@@ -1,0 +1,86 @@
+"""Ablation E5 — meta-sampling parameter study (d x h).
+
+Paper §IV-B.2 evaluates four combinations of direction d ∈ {1,2} and hops
+h ∈ {1,2} and reports that d1h1 works best for node classification while
+d2h1 works best for link prediction.  This benchmark measures, for each
+configuration, the size of the extracted subgraph and the accuracy / Hits@10
+obtained by training on it, plus the extraction cost itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import make_platform, save_report
+from repro.datasets import dblp_author_affiliation_task, dblp_paper_venue_task
+from repro.kgnet import MetaSampler, MetaSamplingConfig
+
+CONFIGS = ["d1h1", "d2h1", "d1h2", "d2h2"]
+
+_NC_ROWS = []
+_LP_ROWS = []
+
+
+@pytest.mark.benchmark(group="ablation-meta-sampling")
+@pytest.mark.parametrize("label", CONFIGS)
+def test_meta_sampling_extraction_cost(benchmark, dblp_graph_bench, label):
+    """Extraction time and subgraph size per (d, h) configuration."""
+    sampler = MetaSampler(MetaSamplingConfig.from_label(label))
+    task = dblp_paper_venue_task()
+    subgraph, report = benchmark.pedantic(
+        sampler.extract, args=(dblp_graph_bench, task), rounds=1, iterations=1)
+    assert 0 < len(subgraph) <= len(dblp_graph_bench)
+    benchmark.extra_info.update(report.as_dict())
+    # Monotonicity: more hops / both directions never shrink the subgraph.
+    if label == "d2h2":
+        d1h1 = MetaSampler(MetaSamplingConfig(1, 1)).extract(dblp_graph_bench, task)[1]
+        assert report.num_subgraph_triples >= d1h1.num_subgraph_triples
+
+
+@pytest.mark.benchmark(group="ablation-meta-sampling")
+@pytest.mark.parametrize("label", ["d1h1", "d2h1"])
+def test_meta_sampling_accuracy_nc(benchmark, dblp_graph_bench, label):
+    """Node-classification accuracy when training on each subgraph flavour."""
+    platform = make_platform(dblp_graph_bench)
+    task = dblp_paper_venue_task()
+
+    def run():
+        return platform.train_task(task, method="graph_saint", meta_sampling=label)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    _NC_ROWS.append({
+        "task": "NC paper-venue", "config": label,
+        "metric_%": round(report.metrics["accuracy"] * 100, 1),
+        "subgraph_triples": report.meta_sampling["num_subgraph_triples"],
+        "time_s": round(report.training["elapsed_seconds"], 2),
+    })
+    assert report.metrics["accuracy"] > 0.0
+
+
+@pytest.mark.benchmark(group="ablation-meta-sampling")
+@pytest.mark.parametrize("label", ["d1h1", "d2h1"])
+def test_meta_sampling_hits_lp(benchmark, dblp_graph_bench, label):
+    """Link-prediction Hits@10 when training on each subgraph flavour."""
+    platform = make_platform(dblp_graph_bench)
+    task = dblp_author_affiliation_task()
+
+    def run():
+        return platform.train_task(task, method="morse", meta_sampling=label)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    _LP_ROWS.append({
+        "task": "LP author-affiliation", "config": label,
+        "metric_%": round(report.metrics["hits@10"] * 100, 1),
+        "subgraph_triples": report.meta_sampling["num_subgraph_triples"],
+        "time_s": round(report.training["elapsed_seconds"], 2),
+    })
+    assert report.metrics["hits@10"] >= 0.0
+    if label == "d2h1":
+        save_report(
+            "ablation_meta_sampling",
+            "Meta-sampling parameter study (paper §IV-B.2): d/h vs subgraph size and quality",
+            _NC_ROWS + _LP_ROWS,
+            notes=[
+                "Paper: d1h1 is the best setting for node classification, "
+                "d2h1 for link prediction.",
+            ])

@@ -1,0 +1,27 @@
+"""Shared fixtures for the paper-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import build_dblp_graph, build_yago_graph, make_platform
+
+
+@pytest.fixture(scope="session")
+def dblp_graph_bench():
+    return build_dblp_graph()
+
+
+@pytest.fixture(scope="session")
+def yago_graph_bench():
+    return build_yago_graph()
+
+
+@pytest.fixture(scope="session")
+def dblp_platform(dblp_graph_bench):
+    return make_platform(dblp_graph_bench)
+
+
+@pytest.fixture(scope="session")
+def yago_platform(yago_graph_bench):
+    return make_platform(yago_graph_bench)

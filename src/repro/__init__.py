@@ -1,0 +1,19 @@
+"""KGNet reproduction: a GML-enabled knowledge graph platform.
+
+Reproduction of "Towards a GML-Enabled Knowledge Graph Platform"
+(Abdallah & Mansour, ICDE 2023).  The package is organised as:
+
+* :mod:`repro.rdf` -- in-memory RDF store (the Virtuoso stand-in),
+* :mod:`repro.sparql` -- SPARQL parser/evaluator/endpoint with UDF support,
+* :mod:`repro.gml` -- numpy-based graph machine learning framework
+  (the PyG/DGL/OGB stand-in): autograd, GNN layers, samplers, KGE models,
+  trainers, metrics and cost estimators,
+* :mod:`repro.kgnet` -- the paper's contribution: meta-sampler, GMLaaS,
+  KGMeta governor, SPARQL-ML service, and the KGNet facade,
+* :mod:`repro.datasets` -- synthetic DBLP-like and YAGO4-like KG generators
+  and task definitions.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

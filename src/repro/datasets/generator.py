@@ -1,0 +1,110 @@
+"""Shared machinery for the synthetic knowledge-graph generators.
+
+The paper evaluates on DBLP (252M triples) and YAGO-4 (400M triples), which
+are far beyond laptop scale and not redistributable here.  The generators in
+:mod:`repro.datasets.dblp` and :mod:`repro.datasets.yago` produce *schema-
+faithful*, seeded synthetic KGs instead: the node/edge type inventory mirrors
+the real graphs (many task-irrelevant types, literal attributes, skewed
+degree distributions) while the instance counts are scaled down.  What the
+KGNet experiments measure — how much smaller and cheaper a task-specific
+subgraph is, and whether accuracy survives — depends on that schema
+heterogeneity, not on absolute size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI, Literal, RDF_TYPE
+
+__all__ = ["KGBuilder", "GeneratorConfig"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Base configuration shared by the synthetic generators."""
+
+    seed: int = 7
+    #: Global multiplier on instance counts (1.0 = default laptop scale).
+    scale: float = 1.0
+    #: Whether to attach literal attributes (titles, names, years ...).
+    include_literals: bool = True
+    #: Whether to attach the task-irrelevant "long tail" of node/edge types.
+    include_irrelevant_structure: bool = True
+
+    def scaled(self, count: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(count * self.scale)))
+
+
+class KGBuilder:
+    """Mutable helper accumulating triples for a synthetic KG."""
+
+    def __init__(self, namespace: Namespace, seed: int = 7) -> None:
+        self.ns = namespace
+        self.graph = Graph()
+        self.rng = np.random.default_rng(seed)
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Entity creation
+    # ------------------------------------------------------------------
+    def new_entity(self, type_name: str, prefix: Optional[str] = None) -> IRI:
+        """Mint a fresh IRI of type ``type_name`` and assert its rdf:type."""
+        prefix = prefix or type_name.lower()
+        index = self._counters.get(prefix, 0)
+        self._counters[prefix] = index + 1
+        entity = self.ns[f"{prefix}/{index}"]
+        self.graph.add(entity, RDF_TYPE, self.ns[type_name])
+        return entity
+
+    def entities_of(self, type_name: str) -> List[IRI]:
+        return [s for s in self.graph.subjects(RDF_TYPE, self.ns[type_name])
+                if isinstance(s, IRI)]
+
+    # ------------------------------------------------------------------
+    # Triple helpers
+    # ------------------------------------------------------------------
+    def add(self, subject: IRI, predicate: IRI, obj) -> None:
+        self.graph.add(subject, predicate, obj)
+
+    def add_literal(self, subject: IRI, predicate: IRI, value) -> None:
+        self.graph.add(subject, predicate, Literal(value))
+
+    def link_many(self, subjects: Sequence[IRI], predicate: IRI,
+                  objects: Sequence[IRI], per_subject: int = 1,
+                  replace: bool = False) -> None:
+        """Link each subject to ``per_subject`` randomly drawn objects."""
+        if not objects:
+            raise DatasetError("cannot link to an empty object list")
+        objects = list(objects)
+        for subject in subjects:
+            count = min(per_subject, len(objects)) if not replace else per_subject
+            chosen = self.rng.choice(len(objects), size=count, replace=replace)
+            for index in np.atleast_1d(chosen):
+                self.add(subject, predicate, objects[int(index)])
+
+    # ------------------------------------------------------------------
+    # Random draws
+    # ------------------------------------------------------------------
+    def choice(self, items: Sequence, p: Optional[np.ndarray] = None):
+        index = self.rng.choice(len(items), p=p)
+        return items[int(index)]
+
+    def zipf_choice(self, items: Sequence, exponent: float = 1.1):
+        """Skewed (Zipf-like) draw — real KGs have heavy-tailed degree laws."""
+        ranks = np.arange(1, len(items) + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        weights /= weights.sum()
+        return self.choice(items, p=weights)
+
+    def poisson(self, mean: float, minimum: int = 0) -> int:
+        return max(minimum, int(self.rng.poisson(mean)))
+
+    def build(self) -> Graph:
+        return self.graph

@@ -1,0 +1,136 @@
+"""Exception hierarchy for the KGNet reproduction.
+
+Every subsystem raises exceptions derived from :class:`KGNetError` so callers
+can catch platform errors without accidentally swallowing programming errors
+(``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class KGNetError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# RDF / SPARQL substrate errors
+# ---------------------------------------------------------------------------
+
+
+class RDFError(KGNetError):
+    """Base class for errors raised by the RDF store."""
+
+
+class TermError(RDFError):
+    """An RDF term was constructed from invalid input."""
+
+
+class ParseError(RDFError):
+    """Raised when an RDF document or a SPARQL query fails to parse.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    line, column:
+        1-based position in the source text, when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SPARQLError(RDFError):
+    """Base class for SPARQL processing errors."""
+
+
+class QueryError(SPARQLError):
+    """A syntactically valid query could not be evaluated."""
+
+
+class UpdateError(SPARQLError):
+    """A SPARQL UPDATE request could not be applied."""
+
+
+class UnsupportedFeatureError(SPARQLError):
+    """The query uses a SPARQL feature outside the supported subset."""
+
+
+class UDFError(SPARQLError):
+    """A user-defined function failed or is unknown to the endpoint."""
+
+
+# ---------------------------------------------------------------------------
+# GML framework errors
+# ---------------------------------------------------------------------------
+
+
+class GMLError(KGNetError):
+    """Base class for graph machine learning errors."""
+
+
+class AutogradError(GMLError):
+    """Raised for invalid autograd graph operations."""
+
+
+class ShapeError(GMLError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class TrainingError(GMLError):
+    """Model training failed or was configured inconsistently."""
+
+
+class BudgetExceededError(TrainingError):
+    """A training run exceeded its time or memory budget."""
+
+    def __init__(self, message: str, *, elapsed_seconds: float = 0.0,
+                 peak_memory_bytes: int = 0) -> None:
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.peak_memory_bytes = peak_memory_bytes
+
+
+class SamplingError(GMLError):
+    """A graph sampler received an invalid configuration."""
+
+
+class DatasetError(GMLError):
+    """A dataset or task definition is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# KGNet platform errors
+# ---------------------------------------------------------------------------
+
+
+class PlatformError(KGNetError):
+    """Base class for KGNet platform-level errors."""
+
+
+class MetaSamplingError(PlatformError):
+    """The meta-sampler could not extract a task-specific subgraph."""
+
+
+class ModelNotFoundError(PlatformError):
+    """No trained model satisfies the requested user-defined predicate."""
+
+
+class ModelSelectionError(PlatformError):
+    """The optimizer could not select a GML method or model."""
+
+
+class InferenceError(PlatformError):
+    """The GML inference manager failed to produce predictions."""
+
+
+class KGMetaError(PlatformError):
+    """The KGMeta graph is inconsistent or an update to it failed."""
+
+
+class SPARQLMLError(PlatformError):
+    """A SPARQL-ML query is malformed or cannot be rewritten."""

@@ -1,0 +1,276 @@
+"""In-memory graph data structures used for GML training.
+
+These classes are the sparse-matrix representation the paper's *Dataset
+Transformer* produces (Fig 6): a homogeneous-index, heterogeneous-typed graph
+(:class:`GraphData`) for node classification with GNNs, and a triple-factored
+view (:class:`TriplesData`) for KGE-based link prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.exceptions import DatasetError
+
+__all__ = ["GraphData", "TriplesData", "xavier_features"]
+
+
+def xavier_features(num_nodes: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Xavier/Glorot-uniform random node features.
+
+    The paper initialises node features randomly with Xavier initialisation
+    in every experiment (§V-A), so the transformer does the same.
+    """
+    rng = np.random.default_rng(seed)
+    bound = np.sqrt(6.0 / dim)
+    return rng.uniform(-bound, bound, size=(num_nodes, dim))
+
+
+@dataclass
+class GraphData:
+    """A typed multigraph in index space, ready for GNN training."""
+
+    num_nodes: int
+    edge_index: np.ndarray            # (2, E) int64 — source, destination
+    edge_type: np.ndarray             # (E,) int64 — relation id per edge
+    num_relations: int
+    features: np.ndarray              # (N, F) float64
+    labels: np.ndarray                # (N,) int64, -1 where unlabeled
+    num_classes: int
+    train_mask: np.ndarray            # (N,) bool
+    val_mask: np.ndarray              # (N,) bool
+    test_mask: np.ndarray             # (N,) bool
+    node_names: List[str] = field(default_factory=list)
+    node_types: Optional[np.ndarray] = None
+    node_type_names: List[str] = field(default_factory=list)
+    relation_names: List[str] = field(default_factory=list)
+    class_names: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Validation and derived quantities
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
+        self.edge_type = np.asarray(self.edge_type, dtype=np.int64).reshape(-1)
+        if self.edge_index.shape[1] != self.edge_type.shape[0]:
+            raise DatasetError("edge_index and edge_type disagree on the number of edges")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise DatasetError("edge_index references a node id >= num_nodes")
+        if self.features.shape[0] != self.num_nodes:
+            raise DatasetError("feature matrix has the wrong number of rows")
+        if self.labels.shape[0] != self.num_nodes:
+            raise DatasetError("label vector has the wrong length")
+        for mask in (self.train_mask, self.val_mask, self.test_mask):
+            if mask.shape[0] != self.num_nodes:
+                raise DatasetError("split mask has the wrong length")
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.features.shape[1])
+
+    def labeled_nodes(self) -> np.ndarray:
+        return np.flatnonzero(self.labels >= 0)
+
+    # ------------------------------------------------------------------
+    # Sparse adjacency construction
+    # ------------------------------------------------------------------
+    def adjacency(self, relation: Optional[int] = None, add_self_loops: bool = True,
+                  normalize: bool = True, symmetric: bool = True) -> sp.csr_matrix:
+        """Build a (normalised) sparse adjacency matrix.
+
+        ``relation`` restricts the edges to one relation type (used by RGCN);
+        ``None`` merges all relations (used by GCN/GraphSAINT aggregation).
+        With ``symmetric=True`` (the default) every edge also contributes its
+        inverse, so messages flow both along and against edge direction —
+        the usual practice for RDF graphs where most predicates have an
+        implicit inverse (``authoredBy`` vs ``authorOf``).
+        """
+        if relation is None:
+            mask = np.ones(self.num_edges, dtype=bool)
+        else:
+            mask = self.edge_type == relation
+        src = self.edge_index[0, mask]
+        dst = self.edge_index[1, mask]
+        if symmetric:
+            src, dst = (np.concatenate([src, dst]), np.concatenate([dst, src]))
+        values = np.ones(src.shape[0], dtype=np.float64)
+        adj = sp.coo_matrix((values, (dst, src)),
+                            shape=(self.num_nodes, self.num_nodes))
+        adj = adj.tocsr()
+        if add_self_loops:
+            adj = adj + sp.eye(self.num_nodes, format="csr")
+        if normalize:
+            degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+            degree[degree == 0] = 1.0
+            inv = sp.diags(1.0 / degree)
+            adj = inv @ adj
+        return adj.tocsr()
+
+    def relation_adjacencies(self, add_self_loops: bool = False,
+                             normalize: bool = True,
+                             symmetric: bool = True) -> List[sp.csr_matrix]:
+        """One adjacency matrix per relation (RGCN message passing)."""
+        return [self.adjacency(relation=r, add_self_loops=add_self_loops,
+                               normalize=normalize, symmetric=symmetric)
+                for r in range(self.num_relations)]
+
+    # Cached variants: adjacency construction is the dominant per-forward cost
+    # for full-batch training, so models memoise it on the data object itself
+    # (the cache dies with the GraphData, which matters for sampled batches).
+    def cached_adjacency(self) -> sp.csr_matrix:
+        cache = getattr(self, "_adjacency_cache", None)
+        if cache is None:
+            cache = self.adjacency()
+            object.__setattr__(self, "_adjacency_cache", cache)
+        return cache
+
+    def cached_relation_adjacencies(self) -> List[sp.csr_matrix]:
+        cache = getattr(self, "_relation_adjacency_cache", None)
+        if cache is None:
+            cache = self.relation_adjacencies()
+            object.__setattr__(self, "_relation_adjacency_cache", cache)
+        return cache
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, node_indices: np.ndarray) -> Tuple["GraphData", np.ndarray]:
+        """Induce the subgraph on ``node_indices``.
+
+        Returns the new :class:`GraphData` plus the array mapping new node ids
+        to the original ids.
+        """
+        node_indices = np.unique(np.asarray(node_indices, dtype=np.int64))
+        remap = -np.ones(self.num_nodes, dtype=np.int64)
+        remap[node_indices] = np.arange(node_indices.shape[0])
+        src, dst = self.edge_index
+        keep = (remap[src] >= 0) & (remap[dst] >= 0)
+        new_edge_index = np.stack([remap[src[keep]], remap[dst[keep]]])
+        new_edge_type = self.edge_type[keep]
+        sub = GraphData(
+            num_nodes=node_indices.shape[0],
+            edge_index=new_edge_index,
+            edge_type=new_edge_type,
+            num_relations=self.num_relations,
+            features=self.features[node_indices],
+            labels=self.labels[node_indices],
+            num_classes=self.num_classes,
+            train_mask=self.train_mask[node_indices],
+            val_mask=self.val_mask[node_indices],
+            test_mask=self.test_mask[node_indices],
+            node_names=[self.node_names[i] for i in node_indices] if self.node_names else [],
+            node_types=self.node_types[node_indices] if self.node_types is not None else None,
+            node_type_names=self.node_type_names,
+            relation_names=self.relation_names,
+            class_names=self.class_names,
+        )
+        return sub, node_indices
+
+    def neighbors(self, nodes: np.ndarray, bidirectional: bool = True) -> np.ndarray:
+        """Return the union of one-hop neighbours of ``nodes``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        node_set = np.zeros(self.num_nodes, dtype=bool)
+        node_set[nodes] = True
+        src, dst = self.edge_index
+        out_neighbors = dst[node_set[src]]
+        if bidirectional:
+            in_neighbors = src[node_set[dst]]
+            return np.unique(np.concatenate([out_neighbors, in_neighbors]))
+        return np.unique(out_neighbors)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (used by the GML method cost estimators)
+    # ------------------------------------------------------------------
+    def sparse_matrix_bytes(self, per_relation: bool = False) -> int:
+        """Approximate bytes of the adjacency structure(s) a method materialises."""
+        bytes_per_edge = 8 + 8 + 8  # indices + indptr amortised + value
+        if per_relation:
+            # RGCN materialises one matrix per relation plus per-relation weights.
+            return self.num_edges * bytes_per_edge + self.num_relations * self.num_nodes * 8
+        return self.num_edges * bytes_per_edge
+
+    def feature_bytes(self) -> int:
+        return int(self.features.size * 8)
+
+    def __repr__(self) -> str:
+        return (f"<GraphData nodes={self.num_nodes} edges={self.num_edges} "
+                f"relations={self.num_relations} classes={self.num_classes}>")
+
+
+@dataclass
+class TriplesData:
+    """Triple-factored view of a KG for link prediction / KGE training."""
+
+    num_entities: int
+    num_relations: int
+    triples: np.ndarray               # (T, 3) int64 — head, relation, tail
+    train_idx: np.ndarray             # indices into triples
+    valid_idx: np.ndarray
+    test_idx: np.ndarray
+    entity_names: List[str] = field(default_factory=list)
+    relation_names: List[str] = field(default_factory=list)
+    target_relation: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.triples = np.asarray(self.triples, dtype=np.int64).reshape(-1, 3)
+        if self.triples.size:
+            if self.triples[:, [0, 2]].max() >= self.num_entities:
+                raise DatasetError("triples reference an entity id >= num_entities")
+            if self.triples[:, 1].max() >= self.num_relations:
+                raise DatasetError("triples reference a relation id >= num_relations")
+
+    @property
+    def num_triples(self) -> int:
+        return int(self.triples.shape[0])
+
+    def split(self, name: str) -> np.ndarray:
+        """Return the (T_split, 3) triples of one split by name."""
+        index = {"train": self.train_idx, "valid": self.valid_idx,
+                 "test": self.test_idx}.get(name)
+        if index is None:
+            raise DatasetError(f"unknown split {name!r}")
+        return self.triples[index]
+
+    def filter_entities(self, entity_ids: Sequence[int]) -> "TriplesData":
+        """Restrict the dataset to triples whose head and tail are both kept."""
+        keep_set = np.zeros(self.num_entities, dtype=bool)
+        keep_set[np.asarray(list(entity_ids), dtype=np.int64)] = True
+        mask = keep_set[self.triples[:, 0]] & keep_set[self.triples[:, 2]]
+        kept = np.flatnonzero(mask)
+        remap_triples = self.triples[kept]
+        old_ids = np.flatnonzero(keep_set)
+        remap = -np.ones(self.num_entities, dtype=np.int64)
+        remap[old_ids] = np.arange(old_ids.shape[0])
+        new_triples = remap_triples.copy()
+        new_triples[:, 0] = remap[remap_triples[:, 0]]
+        new_triples[:, 2] = remap[remap_triples[:, 2]]
+        position = {old: new for new, old in enumerate(kept)}
+        def remap_index(idx: np.ndarray) -> np.ndarray:
+            return np.asarray([position[i] for i in idx if i in position], dtype=np.int64)
+        return TriplesData(
+            num_entities=old_ids.shape[0],
+            num_relations=self.num_relations,
+            triples=new_triples,
+            train_idx=remap_index(self.train_idx),
+            valid_idx=remap_index(self.valid_idx),
+            test_idx=remap_index(self.test_idx),
+            entity_names=[self.entity_names[i] for i in old_ids] if self.entity_names else [],
+            relation_names=self.relation_names,
+            target_relation=self.target_relation,
+        )
+
+    def embedding_bytes(self, dim: int) -> int:
+        """Bytes needed by entity + relation embedding tables of width ``dim``."""
+        return (self.num_entities + self.num_relations) * dim * 8
+
+    def __repr__(self) -> str:
+        return (f"<TriplesData entities={self.num_entities} relations={self.num_relations} "
+                f"triples={self.num_triples}>")

@@ -1,0 +1,15 @@
+"""Knowledge-graph embedding models: TransE, DistMult, ComplEx, RotatE, MorsE."""
+
+from repro.gml.kge.base import KGEModel, ranking_metrics
+from repro.gml.kge.models import ComplEx, DistMult, RotatE, TransE
+from repro.gml.kge.morse import MorsE
+
+__all__ = [
+    "KGEModel",
+    "ranking_metrics",
+    "TransE",
+    "DistMult",
+    "ComplEx",
+    "RotatE",
+    "MorsE",
+]

@@ -1,0 +1,29 @@
+"""Neural-network building blocks: modules, layers, models, optimizers."""
+
+from repro.gml.nn.module import Module
+from repro.gml.nn.init import xavier_normal, xavier_uniform, uniform, zeros_init
+from repro.gml.nn.layers import GATConv, GCNConv, Linear, RGCNConv
+from repro.gml.nn.models import GAT, GCN, MLPClassifier, NodeClassifier, RGCN
+from repro.gml.nn.optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
+
+__all__ = [
+    "Module",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "zeros_init",
+    "Linear",
+    "GCNConv",
+    "RGCNConv",
+    "GATConv",
+    "NodeClassifier",
+    "GCN",
+    "RGCN",
+    "GAT",
+    "MLPClassifier",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+]

@@ -1,0 +1,152 @@
+"""GNN models for node classification.
+
+Each model consumes a :class:`~repro.gml.data.GraphData` and produces logits
+for every node.  The same model classes are used for full-batch training
+(RGCN/GCN/GAT on the whole graph) and for mini-batch training on sampled
+subgraphs (GraphSAINT / ShaDow-SAINT) — the trainer decides which graph the
+forward pass sees, exactly as in the paper's pipeline where the GNN method
+and the sampler are independent choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.exceptions import TrainingError
+from repro.gml.autograd import Tensor, dropout, log_softmax, no_grad
+from repro.gml.data import GraphData
+from repro.gml.nn.layers import GATConv, GCNConv, Linear, RGCNConv
+from repro.gml.nn.module import Module
+
+__all__ = ["NodeClassifier", "GCN", "RGCN", "GAT", "MLPClassifier"]
+
+
+class NodeClassifier(Module):
+    """Base class: logits for every node of a :class:`GraphData`."""
+
+    def forward(self, data: GraphData, features: Optional[Tensor] = None) -> Tensor:
+        raise NotImplementedError
+
+    def predict(self, data: GraphData, nodes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted class ids (optionally restricted to ``nodes``)."""
+        with no_grad():
+            logits = self.forward(data)
+        predictions = np.argmax(logits.data, axis=1)
+        if nodes is not None:
+            return predictions[np.asarray(nodes, dtype=np.int64)]
+        return predictions
+
+    def predict_proba(self, data: GraphData,
+                      nodes: Optional[np.ndarray] = None) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(data)
+            probs = np.exp(log_softmax(logits, axis=-1).data)
+        if nodes is not None:
+            return probs[np.asarray(nodes, dtype=np.int64)]
+        return probs
+
+
+class GCN(NodeClassifier):
+    """Multi-layer graph convolutional network (relation-agnostic)."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 num_layers: int = 2, dropout_p: float = 0.3, seed: int = 0) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise TrainingError("GCN needs at least one layer")
+        self.dropout_p = dropout_p
+        self._rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        self.layers = [GCNConv(dims[i], dims[i + 1], seed=seed + i)
+                       for i in range(num_layers)]
+
+    def forward(self, data: GraphData, features: Optional[Tensor] = None) -> Tensor:
+        adjacency = data.cached_adjacency()
+        h = features if features is not None else Tensor(data.features)
+        for index, layer in enumerate(self.layers):
+            h = layer(adjacency, h)
+            if index < len(self.layers) - 1:
+                h = h.relu()
+                h = dropout(h, self.dropout_p, training=self.training, rng=self._rng)
+        return h
+
+
+class RGCN(NodeClassifier):
+    """Relational GCN — the paper's full-batch ("full propagation") method."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 num_relations: int, num_layers: int = 2, num_bases: Optional[int] = None,
+                 dropout_p: float = 0.3, seed: int = 0) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise TrainingError("RGCN needs at least one layer")
+        self.dropout_p = dropout_p
+        self.num_relations = num_relations
+        self._rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        self.layers = [RGCNConv(dims[i], dims[i + 1], num_relations,
+                                num_bases=num_bases, seed=seed + i)
+                       for i in range(num_layers)]
+
+    def forward(self, data: GraphData, features: Optional[Tensor] = None) -> Tensor:
+        if data.num_relations != self.num_relations:
+            raise TrainingError(
+                f"model was built for {self.num_relations} relations, "
+                f"data has {data.num_relations}")
+        adjacencies = data.cached_relation_adjacencies()
+        h = features if features is not None else Tensor(data.features)
+        for index, layer in enumerate(self.layers):
+            h = layer(adjacencies, h)
+            if index < len(self.layers) - 1:
+                h = h.relu()
+                h = dropout(h, self.dropout_p, training=self.training, rng=self._rng)
+        return h
+
+
+class GAT(NodeClassifier):
+    """Graph attention network (single head per layer)."""
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 num_layers: int = 2, dropout_p: float = 0.3, seed: int = 0) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise TrainingError("GAT needs at least one layer")
+        self.dropout_p = dropout_p
+        self._rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        self.layers = [GATConv(dims[i], dims[i + 1], seed=seed + i)
+                       for i in range(num_layers)]
+
+    def forward(self, data: GraphData, features: Optional[Tensor] = None) -> Tensor:
+        h = features if features is not None else Tensor(data.features)
+        for index, layer in enumerate(self.layers):
+            h = layer(data.edge_index, data.num_nodes, h)
+            if index < len(self.layers) - 1:
+                h = h.relu()
+                h = dropout(h, self.dropout_p, training=self.training, rng=self._rng)
+        return h
+
+
+class MLPClassifier(NodeClassifier):
+    """Structure-free baseline: an MLP over node features only.
+
+    Useful as a sanity baseline in tests and ablations (a GNN should beat it
+    whenever the graph structure carries signal).
+    """
+
+    def __init__(self, in_features: int, hidden_features: int, num_classes: int,
+                 dropout_p: float = 0.3, seed: int = 0) -> None:
+        super().__init__()
+        self.dropout_p = dropout_p
+        self._rng = np.random.default_rng(seed)
+        self.layer1 = Linear(in_features, hidden_features, seed=seed)
+        self.layer2 = Linear(hidden_features, num_classes, seed=seed + 1)
+
+    def forward(self, data: GraphData, features: Optional[Tensor] = None) -> Tensor:
+        h = features if features is not None else Tensor(data.features)
+        h = self.layer1(h).relu()
+        h = dropout(h, self.dropout_p, training=self.training, rng=self._rng)
+        return self.layer2(h)

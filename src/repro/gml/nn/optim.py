@@ -1,0 +1,128 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam) and LR scheduling."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.gml.autograd import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: List[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm in place; returns the pre-clip norm."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad * scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, applies updates, zeroes gradients."""
+
+    def __init__(self, parameters: List[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise TrainingError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: List[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(parameter)] = velocity
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: List[Parameter], lr: float = 0.01,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m = self._m.get(id(parameter))
+            v = self._v.get(id(parameter))
+            if m is None:
+                m = np.zeros_like(parameter.data)
+                v = np.zeros_like(parameter.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(parameter)] = m
+            self._v[id(parameter)] = v
+            m_hat = m / (1 - self.beta1 ** self._step)
+            v_hat = v / (1 - self.beta2 ** self._step)
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10,
+                 gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise TrainingError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

@@ -1,0 +1,28 @@
+"""Graph samplers: GraphSAINT, ShaDow, neighbour and triple/negative sampling."""
+
+from repro.gml.sampling.base import SampledSubgraph, SubgraphSampler
+from repro.gml.sampling.graphsaint import (
+    GraphSAINTEdgeSampler,
+    GraphSAINTNodeSampler,
+    GraphSAINTRandomWalkSampler,
+)
+from repro.gml.sampling.shadow import ShadowKHopSampler
+from repro.gml.sampling.neighbor import NeighborSampler
+from repro.gml.sampling.negative import (
+    EdgeSubKGSampler,
+    NegativeSampler,
+    TripleBatchSampler,
+)
+
+__all__ = [
+    "SampledSubgraph",
+    "SubgraphSampler",
+    "GraphSAINTNodeSampler",
+    "GraphSAINTEdgeSampler",
+    "GraphSAINTRandomWalkSampler",
+    "ShadowKHopSampler",
+    "NeighborSampler",
+    "EdgeSubKGSampler",
+    "NegativeSampler",
+    "TripleBatchSampler",
+]

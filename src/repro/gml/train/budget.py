@@ -1,0 +1,166 @@
+"""Task budgets and resource monitoring.
+
+A SPARQL-ML ``INSERT`` (TrainGML) request carries a *task budget* — maximum
+memory, maximum time and an optimisation priority (paper Fig 8).  The
+:class:`TaskBudget` models that JSON object; :class:`ResourceMonitor`
+measures what a training run actually used (wall-clock plus Python heap via
+``tracemalloc``) and enforces the budget when asked to.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import BudgetExceededError, TrainingError
+
+__all__ = ["TaskBudget", "ResourceUsage", "ResourceMonitor", "parse_budget"]
+
+_SIZE_SUFFIXES = {"b": 1, "kb": 1024, "mb": 1024 ** 2, "gb": 1024 ** 3, "tb": 1024 ** 4}
+_TIME_SUFFIXES = {"s": 1.0, "sec": 1.0, "m": 60.0, "min": 60.0, "h": 3600.0, "hr": 3600.0}
+
+
+def _parse_size(value) -> Optional[float]:
+    """Parse ``"50GB"`` / ``2048`` / None into bytes."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().lower().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * _SIZE_SUFFIXES[suffix]
+    return float(text)
+
+
+def _parse_time(value) -> Optional[float]:
+    """Parse ``"1h"`` / ``"30min"`` / 90 / None into seconds."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().lower().replace(" ", "")
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * _TIME_SUFFIXES[suffix]
+    return float(text)
+
+
+@dataclass
+class TaskBudget:
+    """Memory / time budget plus the optimisation priority.
+
+    ``priority`` is one of ``"ModelScore"`` (maximise expected accuracy within
+    the budget) or ``"Time"`` (minimise expected training time among methods
+    that fit the budget), mirroring the paper's Fig 8 JSON.
+    """
+
+    max_memory_bytes: Optional[float] = None
+    max_time_seconds: Optional[float] = None
+    priority: str = "ModelScore"
+
+    def __post_init__(self) -> None:
+        if self.priority not in ("ModelScore", "Time", "Memory"):
+            raise TrainingError(f"unknown budget priority {self.priority!r}")
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TaskBudget":
+        """Build from a TrainGML-style JSON object (case-insensitive keys)."""
+        normalised = {str(key).lower().replace("_", "").replace(" ", ""): value
+                      for key, value in payload.items()}
+        return cls(
+            max_memory_bytes=_parse_size(normalised.get("maxmemory")),
+            max_time_seconds=_parse_time(normalised.get("maxtime")),
+            priority=str(normalised.get("priority", "ModelScore")),
+        )
+
+    def allows_memory(self, bytes_needed: float) -> bool:
+        return self.max_memory_bytes is None or bytes_needed <= self.max_memory_bytes
+
+    def allows_time(self, seconds_needed: float) -> bool:
+        return self.max_time_seconds is None or seconds_needed <= self.max_time_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "max_memory_bytes": self.max_memory_bytes,
+            "max_time_seconds": self.max_time_seconds,
+            "priority": self.priority,
+        }
+
+
+def parse_budget(payload: Optional[Dict[str, object]]) -> TaskBudget:
+    """Convenience wrapper accepting None (=> unconstrained budget)."""
+    if not payload:
+        return TaskBudget()
+    return TaskBudget.from_json(payload)
+
+
+@dataclass
+class ResourceUsage:
+    """What a training run measured."""
+
+    elapsed_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    estimated_memory_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "peak_memory_bytes": int(self.peak_memory_bytes),
+            "estimated_memory_bytes": int(self.estimated_memory_bytes),
+        }
+
+
+class ResourceMonitor:
+    """Context manager measuring wall-clock time and peak Python heap usage."""
+
+    def __init__(self, budget: Optional[TaskBudget] = None,
+                 enforce: bool = False) -> None:
+        self.budget = budget or TaskBudget()
+        self.enforce = enforce
+        self.usage = ResourceUsage()
+        self._start_time = 0.0
+        self._tracing_started_here = False
+
+    def __enter__(self) -> "ResourceMonitor":
+        self._start_time = time.perf_counter()
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._tracing_started_here = True
+        else:
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.usage.elapsed_seconds = time.perf_counter() - self._start_time
+        _, peak = tracemalloc.get_traced_memory()
+        self.usage.peak_memory_bytes = int(peak)
+        if self._tracing_started_here:
+            tracemalloc.stop()
+        if self.enforce and exc_type is None:
+            self.check(final=True)
+
+    # -- explicit checks (called between epochs) ------------------------------
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start_time
+
+    def check(self, final: bool = False) -> None:
+        """Raise :class:`BudgetExceededError` when the budget is blown."""
+        elapsed = self.usage.elapsed_seconds if final else self.elapsed()
+        if not self.budget.allows_time(elapsed):
+            raise BudgetExceededError(
+                f"training exceeded the time budget "
+                f"({elapsed:.2f}s > {self.budget.max_time_seconds:.2f}s)",
+                elapsed_seconds=elapsed,
+                peak_memory_bytes=self.usage.peak_memory_bytes)
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+        else:
+            peak = self.usage.peak_memory_bytes
+        if not self.budget.allows_memory(float(peak)):
+            raise BudgetExceededError(
+                f"training exceeded the memory budget "
+                f"({peak} B > {self.budget.max_memory_bytes:.0f} B)",
+                elapsed_seconds=elapsed, peak_memory_bytes=int(peak))

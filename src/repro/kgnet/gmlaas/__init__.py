@@ -1,0 +1,34 @@
+"""GML-as-a-Service: training manager, model/embedding stores, inference."""
+
+from repro.kgnet.gmlaas.embedding_store import (
+    EmbeddingStore,
+    FlatIndex,
+    IVFIndex,
+    SearchResult,
+)
+from repro.kgnet.gmlaas.inference_manager import GMLInferenceManager
+from repro.kgnet.gmlaas.method_selector import MethodSelection, MethodSelector
+from repro.kgnet.gmlaas.model_store import ModelStore, StoredModel
+from repro.kgnet.gmlaas.service import GMLaaS, TrainResponse
+from repro.kgnet.gmlaas.training_manager import (
+    GMLTrainingManager,
+    TrainingManagerConfig,
+    TrainingOutcome,
+)
+
+__all__ = [
+    "EmbeddingStore",
+    "FlatIndex",
+    "IVFIndex",
+    "SearchResult",
+    "GMLInferenceManager",
+    "MethodSelection",
+    "MethodSelector",
+    "ModelStore",
+    "StoredModel",
+    "GMLaaS",
+    "TrainResponse",
+    "GMLTrainingManager",
+    "TrainingManagerConfig",
+    "TrainingOutcome",
+]

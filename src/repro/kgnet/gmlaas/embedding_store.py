@@ -1,0 +1,217 @@
+"""Embedding store for entity-similarity search (the FAISS stand-in).
+
+The paper's GMLaaS keeps trained embeddings in a FAISS index "for fast
+similarity search by storing, indexing, and searching embeddings" (§IV-A).
+This module provides the same API with two interchangeable index types:
+
+* :class:`FlatIndex` — exact brute-force search (FAISS ``IndexFlat``),
+* :class:`IVFIndex` — an inverted-file index built on a k-means coarse
+  quantiser (FAISS ``IndexIVFFlat``): search probes only the closest
+  ``nprobe`` clusters, trading a little recall for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import PlatformError
+
+__all__ = ["SearchResult", "FlatIndex", "IVFIndex", "EmbeddingStore"]
+
+
+@dataclass
+class SearchResult:
+    """One nearest-neighbour hit."""
+
+    key: str
+    score: float
+    rank: int
+
+
+def _normalise(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return matrix / norms
+
+
+class FlatIndex:
+    """Exact (brute force) cosine / L2 nearest-neighbour index."""
+
+    def __init__(self, dim: int, metric: str = "cosine") -> None:
+        if metric not in ("cosine", "l2"):
+            raise PlatformError(f"unknown metric {metric!r}")
+        self.dim = dim
+        self.metric = metric
+        self._vectors = np.zeros((0, dim), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self._vectors.shape[0])
+
+    def add(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64).reshape(-1, self.dim)
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+
+    def search(self, queries: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (scores, indices) of the top-k neighbours per query row."""
+        queries = np.asarray(queries, dtype=np.float64).reshape(-1, self.dim)
+        if len(self) == 0:
+            raise PlatformError("search on an empty index")
+        if self.metric == "cosine":
+            scores = _normalise(queries) @ _normalise(self._vectors).T
+        else:
+            # Negative squared L2 so that higher is always better.
+            diff = queries[:, None, :] - self._vectors[None, :, :]
+            scores = -np.square(diff).sum(axis=-1)
+        k = min(k, len(self))
+        indices = np.argsort(-scores, axis=1)[:, :k]
+        top_scores = np.take_along_axis(scores, indices, axis=1)
+        return top_scores, indices
+
+
+class IVFIndex:
+    """Inverted-file index: k-means clusters + per-cluster exact search."""
+
+    def __init__(self, dim: int, num_clusters: int = 16, nprobe: int = 2,
+                 metric: str = "cosine", seed: int = 0,
+                 kmeans_iterations: int = 10) -> None:
+        if num_clusters < 1:
+            raise PlatformError("num_clusters must be >= 1")
+        self.dim = dim
+        self.metric = metric
+        self.num_clusters = num_clusters
+        self.nprobe = max(1, min(nprobe, num_clusters))
+        self.kmeans_iterations = kmeans_iterations
+        self.seed = seed
+        self._vectors = np.zeros((0, dim), dtype=np.float64)
+        self._centroids: Optional[np.ndarray] = None
+        self._assignments: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self._vectors.shape[0])
+
+    def add(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64).reshape(-1, self.dim)
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._centroids = None  # re-train lazily on next search
+
+    def _train(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        data = _normalise(self._vectors) if self.metric == "cosine" else self._vectors
+        k = min(self.num_clusters, data.shape[0])
+        centroids = data[rng.choice(data.shape[0], size=k, replace=False)]
+        for _ in range(self.kmeans_iterations):
+            distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1)
+            assignments = distances.argmin(axis=1)
+            for cluster in range(k):
+                members = data[assignments == cluster]
+                if members.shape[0]:
+                    centroids[cluster] = members.mean(axis=0)
+        self._centroids = centroids
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1)
+        self._assignments = distances.argmin(axis=1)
+
+    def search(self, queries: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        queries = np.asarray(queries, dtype=np.float64).reshape(-1, self.dim)
+        if len(self) == 0:
+            raise PlatformError("search on an empty index")
+        if self._centroids is None:
+            self._train()
+        data = _normalise(self._vectors) if self.metric == "cosine" else self._vectors
+        query_data = _normalise(queries) if self.metric == "cosine" else queries
+        k = min(k, len(self))
+        all_scores = np.full((queries.shape[0], k), -np.inf)
+        all_indices = np.zeros((queries.shape[0], k), dtype=np.int64)
+        for row, query in enumerate(query_data):
+            centroid_distance = ((query[None, :] - self._centroids) ** 2).sum(axis=-1)
+            probe = np.argsort(centroid_distance)[: self.nprobe]
+            candidate_mask = np.isin(self._assignments, probe)
+            candidates = np.flatnonzero(candidate_mask)
+            if candidates.size == 0:
+                candidates = np.arange(len(self))
+            if self.metric == "cosine":
+                scores = data[candidates] @ query
+            else:
+                scores = -((data[candidates] - query[None, :]) ** 2).sum(axis=-1)
+            take = min(k, candidates.size)
+            order = np.argsort(-scores)[:take]
+            all_scores[row, :take] = scores[order]
+            all_indices[row, :take] = candidates[order]
+            if take < k:
+                all_indices[row, take:] = candidates[order[-1]] if take else 0
+        return all_scores, all_indices
+
+
+class EmbeddingStore:
+    """Named collections of keyed embeddings with top-k search."""
+
+    def __init__(self, metric: str = "cosine", index_type: str = "flat",
+                 num_clusters: int = 16, nprobe: int = 2) -> None:
+        self.metric = metric
+        self.index_type = index_type
+        self.num_clusters = num_clusters
+        self.nprobe = nprobe
+        self._collections: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def _new_index(self, dim: int):
+        if self.index_type == "flat":
+            return FlatIndex(dim, metric=self.metric)
+        if self.index_type == "ivf":
+            return IVFIndex(dim, num_clusters=self.num_clusters, nprobe=self.nprobe,
+                            metric=self.metric)
+        raise PlatformError(f"unknown index type {self.index_type!r}")
+
+    def create_collection(self, name: str, keys: Sequence[str],
+                          vectors: np.ndarray) -> None:
+        """(Re)create a collection mapping ``keys[i]`` to ``vectors[i]``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[0] != len(keys):
+            raise PlatformError("keys and vectors disagree on the number of rows")
+        index = self._new_index(vectors.shape[1])
+        index.add(vectors)
+        self._collections[name] = {
+            "keys": list(keys),
+            "key_to_row": {key: row for row, key in enumerate(keys)},
+            "vectors": vectors,
+            "index": index,
+        }
+
+    def drop_collection(self, name: str) -> bool:
+        return self._collections.pop(name, None) is not None
+
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def collection_size(self, name: str) -> int:
+        return len(self._collections[name]["keys"]) if name in self._collections else 0
+
+    def collections(self) -> List[str]:
+        return sorted(self._collections)
+
+    # ------------------------------------------------------------------
+    def search(self, name: str, query: np.ndarray, k: int = 10) -> List[SearchResult]:
+        """Top-k neighbours of an explicit query vector."""
+        collection = self._collections.get(name)
+        if collection is None:
+            raise PlatformError(f"unknown embedding collection {name!r}")
+        scores, indices = collection["index"].search(np.asarray(query), k=k)
+        keys = collection["keys"]
+        return [SearchResult(key=keys[int(index)], score=float(score), rank=rank)
+                for rank, (score, index) in enumerate(zip(scores[0], indices[0]))]
+
+    def similar_to(self, name: str, key: str, k: int = 10) -> List[SearchResult]:
+        """Top-k neighbours of a stored key (the key itself is excluded)."""
+        collection = self._collections.get(name)
+        if collection is None:
+            raise PlatformError(f"unknown embedding collection {name!r}")
+        row = collection["key_to_row"].get(key)
+        if row is None:
+            raise PlatformError(f"key {key!r} not present in collection {name!r}")
+        results = self.search(name, collection["vectors"][row], k=k + 1)
+        filtered = [r for r in results if r.key != key][:k]
+        for rank, result in enumerate(filtered):
+            result.rank = rank
+        return filtered

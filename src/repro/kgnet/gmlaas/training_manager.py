@@ -1,0 +1,300 @@
+"""The GML Training Manager: the automated pipeline of paper Fig 6.
+
+Given a (task-specific) RDF subgraph, a task description and a budget, the
+manager runs the end-to-end pipeline:
+
+1. **Dataset transformation** — RDF triples to sparse matrices
+   (:class:`~repro.gml.transform.RDFGraphTransformer`), with statistics,
+   literal/label-edge removal and the train/valid/test split.
+2. **Optimal method selection** — cost-estimate every applicable method and
+   choose one under the task budget
+   (:class:`~repro.kgnet.gmlaas.method_selector.MethodSelector`).
+3. **Training** — build the model and the matching trainer (full-batch,
+   GraphSAINT/ShaDow mini-batch, KGE or MorsE) and train it, tracking time
+   and memory.
+4. **Artefact preparation** — produce everything the inference manager needs
+   (prediction dictionaries, entity embeddings, similarity collections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.gml.data import GraphData, TriplesData
+from repro.gml.kge import ComplEx, DistMult, MorsE, RotatE, TransE
+from repro.gml.nn import GAT, GCN, RGCN
+from repro.gml.sampling import (
+    GraphSAINTNodeSampler,
+    ShadowKHopSampler,
+)
+from repro.gml.tasks import TaskSpec, TaskType
+from repro.gml.train import (
+    FullBatchNodeClassificationTrainer,
+    KGETrainer,
+    MorsETrainer,
+    SamplingNodeClassificationTrainer,
+    TaskBudget,
+    TrainingResult,
+)
+from repro.gml.transform import RDFGraphTransformer, TransformReport
+from repro.kgnet.gmlaas.method_selector import MethodSelection, MethodSelector
+from repro.rdf.graph import Graph
+
+__all__ = ["TrainingManagerConfig", "TrainingOutcome", "GMLTrainingManager"]
+
+
+@dataclass
+class TrainingManagerConfig:
+    """Hyper-parameters of the automated pipeline."""
+
+    feature_dim: int = 32
+    hidden_dim: int = 32
+    embedding_dim: int = 32
+    num_layers: int = 2
+    epochs_full_batch: int = 30
+    epochs_sampling: int = 15
+    epochs_kge: int = 30
+    learning_rate: float = 0.02
+    batch_size: int = 256
+    kge_batch_size: int = 512
+    num_negatives: int = 8
+    split_strategy: str = "random"
+    seed: int = 0
+    enforce_budget: bool = False
+
+
+@dataclass
+class TrainingOutcome:
+    """Everything the platform learns from one training run."""
+
+    task: TaskSpec
+    result: TrainingResult
+    selection: MethodSelection
+    transform_report: TransformReport
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    data: object = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "task": self.task.as_dict(),
+            "selection": self.selection.as_dict(),
+            "transform": self.transform_report.as_dict(),
+            "result": self.result.as_dict(),
+        }
+
+
+class GMLTrainingManager:
+    """Automates GML training for one task on one (sub)graph."""
+
+    def __init__(self, config: Optional[TrainingManagerConfig] = None,
+                 selector: Optional[MethodSelector] = None) -> None:
+        self.config = config or TrainingManagerConfig()
+        self.selector = selector or MethodSelector()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def train(self, graph: Graph, task: TaskSpec,
+              budget: Optional[TaskBudget] = None,
+              method: Optional[str] = None,
+              candidate_methods: Optional[Sequence[str]] = None) -> TrainingOutcome:
+        """Run the full pipeline; returns the training outcome."""
+        budget = budget or TaskBudget()
+        transformer = RDFGraphTransformer(
+            feature_dim=self.config.feature_dim,
+            split_strategy=self.config.split_strategy,
+            seed=self.config.seed)
+
+        if task.task_type == TaskType.NODE_CLASSIFICATION:
+            data, report = transformer.to_node_classification_data(
+                graph, task.target_node_type, task.label_predicate)
+        elif task.task_type == TaskType.LINK_PREDICTION:
+            data, report = transformer.to_link_prediction_data(
+                graph, task.target_predicate)
+        elif task.task_type == TaskType.ENTITY_SIMILARITY:
+            # Entity similarity trains a KGE model over the whole subgraph;
+            # there is no held-out edge set, so reuse the LP transformation
+            # with the most frequent predicate as a pseudo target.
+            data, report = self._entity_similarity_data(transformer, graph)
+        else:  # pragma: no cover - TaskSpec already validates
+            raise TrainingError(f"unsupported task type {task.task_type!r}")
+
+        if method is not None:
+            candidate_methods = [method]
+        selection = self.selector.select(
+            task.task_type if task.task_type != TaskType.ENTITY_SIMILARITY
+            else TaskType.ENTITY_SIMILARITY,
+            data, budget=budget, candidate_methods=candidate_methods)
+
+        result = self._run_trainer(selection.method, task, data, budget)
+        artifacts = self._build_artifacts(selection.method, task, data, result)
+        return TrainingOutcome(task=task, result=result, selection=selection,
+                               transform_report=report, artifacts=artifacts,
+                               data=data)
+
+    # ------------------------------------------------------------------
+    # Trainer construction
+    # ------------------------------------------------------------------
+    def _run_trainer(self, method: str, task: TaskSpec, data,
+                     budget: TaskBudget) -> TrainingResult:
+        config = self.config
+        if task.task_type == TaskType.NODE_CLASSIFICATION:
+            if not isinstance(data, GraphData):
+                raise TrainingError("node classification requires GraphData")
+            return self._train_node_classifier(method, data, budget)
+        if not isinstance(data, TriplesData):
+            raise TrainingError("link prediction requires TriplesData")
+        return self._train_link_predictor(method, data, budget)
+
+    def _train_node_classifier(self, method: str, data: GraphData,
+                               budget: TaskBudget) -> TrainingResult:
+        config = self.config
+        seed = config.seed
+        if method == "gcn":
+            model = GCN(data.feature_dim, config.hidden_dim, data.num_classes,
+                        num_layers=config.num_layers, seed=seed)
+        elif method == "gat":
+            model = GAT(data.feature_dim, config.hidden_dim, data.num_classes,
+                        num_layers=config.num_layers, seed=seed)
+        else:
+            model = RGCN(data.feature_dim, config.hidden_dim, data.num_classes,
+                         data.num_relations, num_layers=config.num_layers,
+                         num_bases=8, seed=seed)
+
+        if method in ("rgcn", "gcn", "gat"):
+            trainer = FullBatchNodeClassificationTrainer(
+                model, data, epochs=config.epochs_full_batch,
+                learning_rate=config.learning_rate, budget=budget,
+                enforce_budget=config.enforce_budget, method_name=method)
+            return trainer.train()
+        if method == "graph_saint":
+            sampler = GraphSAINTNodeSampler(
+                data, batch_size=min(config.batch_size, max(8, data.num_nodes // 2)),
+                num_batches=6, seed=seed)
+        elif method == "shadow_saint":
+            sampler = ShadowKHopSampler(
+                data, batch_size=min(64, max(4, data.labeled_nodes().size // 4)),
+                num_batches=4, depth=2, neighbors_per_hop=10, seed=seed)
+        else:
+            raise TrainingError(f"method {method!r} does not support node classification")
+        trainer = SamplingNodeClassificationTrainer(
+            model, data, sampler, epochs=config.epochs_sampling,
+            learning_rate=config.learning_rate, budget=budget,
+            enforce_budget=config.enforce_budget, method_name=method)
+        return trainer.train()
+
+    def _train_link_predictor(self, method: str, data: TriplesData,
+                              budget: TaskBudget) -> TrainingResult:
+        config = self.config
+        if method == "morse":
+            model = MorsE(data.num_relations, dim=config.embedding_dim,
+                          seed=config.seed)
+            trainer = MorsETrainer(
+                model, data, epochs=max(5, config.epochs_kge // 2),
+                triples_per_subkg=min(2000, max(100, data.num_triples // 2)),
+                subkgs_per_epoch=3, num_negatives=config.num_negatives,
+                budget=budget, enforce_budget=config.enforce_budget,
+                method_name=method, seed=config.seed)
+            return trainer.train()
+        kge_classes = {"transe": TransE, "distmult": DistMult,
+                       "complex": ComplEx, "rotate": RotatE}
+        if method not in kge_classes:
+            raise TrainingError(f"method {method!r} does not support link prediction")
+        model = kge_classes[method](data.num_entities, data.num_relations,
+                                    dim=config.embedding_dim, seed=config.seed)
+        trainer = KGETrainer(
+            model, data, epochs=config.epochs_kge,
+            batch_size=config.kge_batch_size, num_negatives=config.num_negatives,
+            budget=budget, enforce_budget=config.enforce_budget,
+            method_name=method, seed=config.seed)
+        return trainer.train()
+
+    # ------------------------------------------------------------------
+    # Inference artefacts
+    # ------------------------------------------------------------------
+    def _build_artifacts(self, method: str, task: TaskSpec, data,
+                         result: TrainingResult) -> Dict[str, object]:
+        if task.task_type == TaskType.NODE_CLASSIFICATION:
+            return self._node_classification_artifacts(task, data, result)
+        if task.task_type == TaskType.LINK_PREDICTION:
+            return self._link_prediction_artifacts(method, data, result)
+        return self._entity_similarity_artifacts(method, data, result)
+
+    def _node_classification_artifacts(self, task: TaskSpec, data: GraphData,
+                                       result: TrainingResult) -> Dict[str, object]:
+        model = result.model
+        target_type = task.target_node_type.value if task.target_node_type else None
+        if data.node_types is not None and target_type in data.node_type_names:
+            type_id = data.node_type_names.index(target_type)
+            target_nodes = np.flatnonzero(data.node_types == type_id)
+        else:
+            target_nodes = data.labeled_nodes()
+        predictions = model.predict(data, target_nodes)
+        prediction_map = {
+            data.node_names[int(node)]: data.class_names[int(label)]
+            for node, label in zip(target_nodes, predictions)
+            if data.node_names and int(label) < len(data.class_names)
+        }
+        return {
+            "prediction_map": prediction_map,
+            "class_names": list(data.class_names),
+            "num_predictions": len(prediction_map),
+        }
+
+    def _link_prediction_artifacts(self, method: str, data: TriplesData,
+                                   result: TrainingResult) -> Dict[str, object]:
+        model = result.model
+        target_relation = data.target_relation if data.target_relation is not None else 0
+        train_triples = data.split("train")
+        if isinstance(model, MorsE):
+            entity_embeddings = model.materialise_entities(train_triples,
+                                                           data.num_entities)
+        else:
+            entity_embeddings = model.entity_embedding_matrix()
+        # Candidate tails: entities observed as objects of the target relation.
+        target_mask = data.triples[:, 1] == target_relation
+        candidate_tails = np.unique(data.triples[target_mask, 2])
+        known: Dict[int, List[int]] = {}
+        for head, relation, tail in data.triples[target_mask]:
+            known.setdefault(int(head), []).append(int(tail))
+        return {
+            "entity_names": list(data.entity_names),
+            "entity_index": {name: i for i, name in enumerate(data.entity_names)},
+            "entity_embeddings": entity_embeddings,
+            "target_relation": int(target_relation),
+            "candidate_tails": candidate_tails,
+            "known_tails": known,
+            "relation_names": list(data.relation_names),
+        }
+
+    def _entity_similarity_artifacts(self, method: str, data: TriplesData,
+                                     result: TrainingResult) -> Dict[str, object]:
+        model = result.model
+        if isinstance(model, MorsE):
+            embeddings = model.materialise_entities(data.split("train"),
+                                                    data.num_entities)
+        else:
+            embeddings = model.entity_embedding_matrix()
+        return {
+            "entity_names": list(data.entity_names),
+            "entity_embeddings": embeddings,
+        }
+
+    # ------------------------------------------------------------------
+    def _entity_similarity_data(self, transformer: RDFGraphTransformer,
+                                graph: Graph) -> Tuple[TriplesData, TransformReport]:
+        """Pick the most frequent predicate as the pseudo link-prediction target."""
+        from collections import Counter
+        from repro.rdf.terms import Literal
+        counts = Counter()
+        for _, p, o in graph:
+            if not isinstance(o, Literal):
+                counts[p] += 1
+        if not counts:
+            raise TrainingError("graph has no structural triples for similarity training")
+        target_predicate = counts.most_common(1)[0][0]
+        return transformer.to_link_prediction_data(graph, target_predicate)

@@ -1,0 +1,10 @@
+"""KGMeta: the RDF graph of trained-model metadata and its governor."""
+
+from repro.kgnet.kgmeta import ontology
+from repro.kgnet.kgmeta.governor import (
+    KGMETA_GRAPH_IRI,
+    KGMetaGovernor,
+    ModelMetadata,
+)
+
+__all__ = ["ontology", "KGMETA_GRAPH_IRI", "KGMetaGovernor", "ModelMetadata"]

@@ -1,0 +1,164 @@
+"""The KGNet platform facade (paper Fig 3).
+
+:class:`KGNet` wires together every component of the reproduction:
+
+* an in-process SPARQL endpoint hosting the data KG and the KGMeta graph,
+* GML-as-a-Service (training manager, model/embedding stores, inference),
+* the KGMeta governor,
+* the SPARQL-ML service (parser, optimizer, rewriter, UDFs).
+
+Typical usage::
+
+    from repro.kgnet import KGNet
+    from repro.datasets import generate_dblp_kg, dblp_paper_venue_task
+
+    platform = KGNet()
+    platform.load_graph(generate_dblp_kg())
+    report = platform.train_task(dblp_paper_venue_task())
+    answers = platform.query(SPARQL_ML_QUERY_TEXT)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.gml.tasks import TaskSpec, TaskType
+from repro.gml.train.budget import TaskBudget
+from repro.kgnet.gmlaas.service import GMLaaS
+from repro.kgnet.gmlaas.training_manager import TrainingManagerConfig
+from repro.kgnet.kgmeta.governor import KGMetaGovernor, ModelMetadata
+from repro.kgnet.meta_sampler import MetaSampler, MetaSamplingConfig
+from repro.kgnet.sparqlml.parser import TrainGMLRequest
+from repro.kgnet.sparqlml.optimizer import ModelSelectionObjective
+from repro.kgnet.sparqlml.service import (
+    DeleteReport,
+    SelectReport,
+    SPARQLMLService,
+    TrainReport,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Triple
+from repro.sparql.endpoint import SPARQLEndpoint
+from repro.sparql.results import ResultSet
+
+__all__ = ["KGNet"]
+
+
+class KGNet:
+    """On-demand GML as a service on top of an RDF engine."""
+
+    def __init__(self, endpoint: Optional[SPARQLEndpoint] = None,
+                 training_config: Optional[TrainingManagerConfig] = None,
+                 model_directory: Optional[str] = None) -> None:
+        self.endpoint = endpoint or SPARQLEndpoint()
+        self.gmlaas = GMLaaS(config=training_config, model_directory=model_directory)
+        self.governor = KGMetaGovernor(self.endpoint)
+        self.sparqlml = SPARQLMLService(self.endpoint, self.gmlaas, self.governor)
+        self.meta_sampler = MetaSampler()
+
+    # ------------------------------------------------------------------
+    # Data loading
+    # ------------------------------------------------------------------
+    def load_graph(self, triples: Union[Graph, Iterable[Triple]],
+                   graph_iri: Optional[Union[str, IRI]] = None) -> int:
+        """Load a knowledge graph into the endpoint (default graph by default)."""
+        return self.endpoint.load(triples, graph_iri=graph_iri)
+
+    @property
+    def graph(self) -> Graph:
+        return self.endpoint.graph
+
+    # ------------------------------------------------------------------
+    # SPARQL / SPARQL-ML execution
+    # ------------------------------------------------------------------
+    def sparql(self, query_text: str):
+        """Run a plain SPARQL query / update against the endpoint."""
+        import re
+        body = re.sub(r"(?i)prefix\s+\S+\s*<[^>]*>", " ", query_text)
+        body = re.sub(r"(?i)base\s*<[^>]*>", " ", body).lstrip().lower()
+        if body.startswith(("insert", "delete", "clear", "drop", "with")):
+            return self.endpoint.update(query_text)
+        return self.endpoint.query(query_text)
+
+    def execute(self, query_text: str, **kwargs):
+        """Run a SPARQL-ML request (SELECT / INSERT-TrainGML / DELETE)."""
+        return self.sparqlml.execute(query_text, **kwargs)
+
+    def query(self, query_text: str,
+              objective: Optional[ModelSelectionObjective] = None,
+              force_plan: Optional[str] = None) -> SelectReport:
+        """Run a SPARQL-ML SELECT query and return results + execution report."""
+        return self.sparqlml.execute_select(query_text, objective=objective,
+                                            force_plan=force_plan)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_task(self, task: TaskSpec, budget: Optional[TaskBudget] = None,
+                   method: Optional[str] = None,
+                   meta_sampling: Optional[Union[str, MetaSamplingConfig]] = None,
+                   use_meta_sampling: bool = True,
+                   name: Optional[str] = None) -> TrainReport:
+        """Train a GML model for ``task`` (programmatic TrainGML)."""
+        if isinstance(meta_sampling, str):
+            meta_sampling = MetaSamplingConfig.from_label(meta_sampling)
+        request = TrainGMLRequest(name=name or task.name, task=task,
+                                  budget=budget or TaskBudget(), method=method)
+        return self.sparqlml.train_request(request, meta_sampling=meta_sampling,
+                                           use_meta_sampling=use_meta_sampling,
+                                           method=method)
+
+    def train_sparqlml(self, insert_query: str, **kwargs) -> TrainReport:
+        """Train from a SPARQL-ML INSERT query (paper Fig 8)."""
+        return self.sparqlml.execute_train(insert_query, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Model management / inspection
+    # ------------------------------------------------------------------
+    def list_models(self) -> List[ModelMetadata]:
+        return self.governor.list_models()
+
+    def describe_model(self, model_uri: Union[str, IRI]) -> Dict[str, object]:
+        if isinstance(model_uri, str):
+            model_uri = IRI(model_uri)
+        return self.governor.describe(model_uri).as_dict()
+
+    def delete_models(self, delete_query: str) -> DeleteReport:
+        """Delete models via a SPARQL-ML DELETE query (paper Fig 9)."""
+        return self.sparqlml.execute_delete(delete_query)
+
+    # ------------------------------------------------------------------
+    # Direct inference helpers (bypassing SPARQL-ML)
+    # ------------------------------------------------------------------
+    def predict_node_class(self, model_uri: Union[str, IRI],
+                           node_iri: Union[str, IRI]) -> Optional[str]:
+        return self.gmlaas.infer_node_class(model_uri, node_iri)
+
+    def predict_links(self, model_uri: Union[str, IRI], source_iri: Union[str, IRI],
+                      k: int = 10) -> List[Dict[str, object]]:
+        return self.gmlaas.infer_links(model_uri, source_iri, k=k)
+
+    def similar_entities(self, model_uri: Union[str, IRI], entity_iri: Union[str, IRI],
+                         k: int = 10) -> List[Dict[str, object]]:
+        return self.gmlaas.infer_similar_entities(model_uri, entity_iri, k=k)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def http_calls(self) -> int:
+        """Inference HTTP calls served by GMLaaS since start-up."""
+        return self.gmlaas.http_calls
+
+    def statistics(self) -> Dict[str, object]:
+        from repro.rdf.stats import compute_statistics
+        return {
+            "kg": compute_statistics(self.endpoint.graph).as_dict(),
+            "kgmeta_models": len(self.governor),
+            "stored_models": len(self.gmlaas.model_store),
+            "http_calls": self.http_calls,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<KGNet kg_triples={len(self.endpoint.graph)} "
+                f"models={len(self.gmlaas.model_store)}>")

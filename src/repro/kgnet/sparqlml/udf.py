@@ -1,0 +1,106 @@
+"""User-defined functions bridging the RDF engine and GMLaaS.
+
+The paper maps each user-defined predicate to a UDF inside the RDF engine;
+at query time the UDF issues an HTTP call to the GML Inference Manager
+(Figs 11-12).  :func:`register_udfs` installs the same functions on a
+:class:`~repro.sparql.endpoint.SPARQLEndpoint`, backed by an in-process
+:class:`~repro.kgnet.gmlaas.service.GMLaaS` instance.  The inference
+manager's call counter therefore reflects exactly the number of "HTTP calls"
+each execution plan makes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import UDFError
+from repro.kgnet.gmlaas.service import GMLaaS
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.endpoint import SPARQLEndpoint
+from repro.sparql.functions import OpaqueValue
+
+__all__ = ["register_udfs"]
+
+
+def _as_string(term) -> str:
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, Term):
+        return term.n3()
+    return str(term)
+
+
+def _as_int(term, default: int = 10) -> int:
+    try:
+        if isinstance(term, Literal):
+            return int(float(term.lexical))
+        return int(term)
+    except (TypeError, ValueError):
+        return default
+
+
+def register_udfs(endpoint: SPARQLEndpoint, gmlaas: GMLaaS) -> None:
+    """Register the SPARQL-ML UDF suite on ``endpoint`` backed by ``gmlaas``."""
+
+    def get_node_class(model, node) -> Optional[object]:
+        """``sql:UDFS.getNodeClass(model, node_or_type)``.
+
+        When the second argument is an individual node IRI the function
+        returns that node's predicted class (one HTTP call per invocation —
+        the Fig 11 plan).  When it is the model's *target node type* (or any
+        non-instance IRI), the function returns the full prediction
+        dictionary in a single call (the inner sub-select of Fig 12).
+        """
+        model_uri = _as_string(model)
+        node_key = _as_string(node)
+        stored = gmlaas.model_store.get(model_uri)
+        prediction_map = stored.artifact("prediction_map", {})
+        if node_key in prediction_map:
+            return gmlaas.infer_node_class(model_uri, node_key)
+        # Not an individual target node: treat as a dictionary request.
+        return gmlaas.infer_node_class_dictionary(model_uri)
+
+    def get_key_value(dictionary, key) -> Optional[str]:
+        """``sql:UDFS.getKeyValue(dict, key)`` — local lookup, no HTTP call."""
+        if isinstance(dictionary, OpaqueValue):
+            dictionary = dictionary.value
+        if not isinstance(dictionary, dict):
+            raise UDFError("getKeyValue expects the dictionary produced by getNodeClass")
+        return dictionary.get(_as_string(key))
+
+    def get_link_pred(model, source, k=None) -> Optional[str]:
+        """``sql:UDFS.getLinkPred(model, source[, k])`` — best predicted link."""
+        results = gmlaas.infer_links(_as_string(model), _as_string(source),
+                                     k=_as_int(k, default=1))
+        if not results:
+            return None
+        return results[0]["entity"]
+
+    def get_topk_links(model, source, k=None) -> Optional[object]:
+        """``sql:UDFS.getTopKLinks(model, source, k)`` — top-k predicted links."""
+        results = gmlaas.infer_links(_as_string(model), _as_string(source),
+                                     k=_as_int(k, default=10))
+        if not results:
+            return None
+        return ", ".join(result["entity"] for result in results)
+
+    def get_similar_entities(model, entity, k=None) -> Optional[object]:
+        """``sql:UDFS.getSimilarEntities(model, entity, k)`` — similar entities."""
+        results = gmlaas.infer_similar_entities(_as_string(model), _as_string(entity),
+                                                k=_as_int(k, default=10))
+        if not results:
+            return None
+        return ", ".join(result["entity"] for result in results)
+
+    endpoint.register_udf("sql:UDFS.getNodeClass", get_node_class,
+                          aliases=["UDFS.getNodeClass", "getNodeClass"])
+    endpoint.register_udf("sql:UDFS.getKeyValue", get_key_value,
+                          aliases=["UDFS.getKeyValue", "getKeyValue"])
+    endpoint.register_udf("sql:UDFS.getLinkPred", get_link_pred,
+                          aliases=["UDFS.getLinkPred", "getLinkPred"])
+    endpoint.register_udf("sql:UDFS.getTopKLinks", get_topk_links,
+                          aliases=["UDFS.getTopKLinks", "getTopKLinks"])
+    endpoint.register_udf("sql:UDFS.getSimilarEntities", get_similar_entities,
+                          aliases=["UDFS.getSimilarEntities", "getSimilarEntities"])

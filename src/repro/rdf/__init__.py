@@ -1,0 +1,87 @@
+"""In-memory RDF substrate (the role Virtuoso plays in the paper).
+
+Public entry points:
+
+* :class:`~repro.rdf.terms.IRI`, :class:`~repro.rdf.terms.Literal`,
+  :class:`~repro.rdf.terms.BNode`, :class:`~repro.rdf.terms.Variable`,
+  :class:`~repro.rdf.terms.Triple` — the term model.
+* :class:`~repro.rdf.graph.Graph` and :class:`~repro.rdf.dataset.Dataset` —
+  indexed triple storage.
+* :class:`~repro.rdf.namespace.Namespace` and the common vocabularies
+  (``DBLP``, ``YAGO``, ``KGNET`` ...).
+* :func:`~repro.rdf.io.parse_turtle` / :func:`~repro.rdf.io.serialize_turtle`.
+* :func:`~repro.rdf.stats.compute_statistics`.
+"""
+
+from repro.rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Quad,
+    Term,
+    Triple,
+    Variable,
+    RDF_TYPE,
+    term_from_python,
+    python_from_term,
+)
+from repro.rdf.namespace import (
+    DBLP,
+    DEFAULT_PREFIXES,
+    KGNET,
+    Namespace,
+    NamespaceManager,
+    OWL,
+    RDF,
+    RDFS,
+    SCHEMA,
+    XSD,
+    YAGO,
+)
+from repro.rdf.graph import Graph, ReadOnlyGraphView
+from repro.rdf.dataset import Dataset
+from repro.rdf.io import (
+    dump_graph,
+    load_graph,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.stats import GraphStatistics, compute_statistics, format_table
+
+__all__ = [
+    "IRI",
+    "BNode",
+    "Literal",
+    "Quad",
+    "Term",
+    "Triple",
+    "Variable",
+    "RDF_TYPE",
+    "term_from_python",
+    "python_from_term",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "OWL",
+    "KGNET",
+    "DBLP",
+    "YAGO",
+    "SCHEMA",
+    "DEFAULT_PREFIXES",
+    "Graph",
+    "ReadOnlyGraphView",
+    "Dataset",
+    "parse_turtle",
+    "parse_ntriples",
+    "serialize_turtle",
+    "serialize_ntriples",
+    "load_graph",
+    "dump_graph",
+    "GraphStatistics",
+    "compute_statistics",
+    "format_table",
+]

@@ -1,0 +1,100 @@
+"""An RDF dataset: one default graph plus any number of named graphs.
+
+KGNet stores the data knowledge graph and the KGMeta graph side by side in
+the same RDF engine; the :class:`Dataset` models exactly that arrangement
+(paper §IV-B.1: "KGMeta ... is stored alongside associated KGs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.exceptions import RDFError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import IRI, Quad, Triple
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """A collection of named graphs sharing one namespace manager."""
+
+    def __init__(self, namespaces: Optional[NamespaceManager] = None) -> None:
+        self.namespaces = namespaces or NamespaceManager()
+        self._default = Graph(namespaces=self.namespaces)
+        self._named: Dict[IRI, Graph] = {}
+
+    # ------------------------------------------------------------------
+    # Graph management
+    # ------------------------------------------------------------------
+    @property
+    def default_graph(self) -> Graph:
+        return self._default
+
+    def graph(self, identifier: Optional[object] = None, create: bool = True) -> Graph:
+        """Return the graph named ``identifier`` (or the default graph).
+
+        When ``create`` is True the named graph is created on first access,
+        mirroring SPARQL UPDATE semantics for implicitly created graphs.
+        """
+        if identifier is None:
+            return self._default
+        if isinstance(identifier, str):
+            identifier = IRI(identifier)
+        if not isinstance(identifier, IRI):
+            raise RDFError(f"graph identifier must be an IRI, got {identifier!r}")
+        if identifier not in self._named:
+            if not create:
+                raise RDFError(f"unknown named graph {identifier.value!r}")
+            self._named[identifier] = Graph(identifier=identifier,
+                                            namespaces=self.namespaces)
+        return self._named[identifier]
+
+    def has_graph(self, identifier: object) -> bool:
+        if isinstance(identifier, str):
+            identifier = IRI(identifier)
+        return identifier in self._named
+
+    def drop_graph(self, identifier: object) -> bool:
+        """Remove a named graph entirely; returns True when it existed."""
+        if isinstance(identifier, str):
+            identifier = IRI(identifier)
+        return self._named.pop(identifier, None) is not None
+
+    def graphs(self) -> Iterator[Graph]:
+        yield self._default
+        yield from self._named.values()
+
+    def named_graphs(self) -> Iterator[Graph]:
+        yield from self._named.values()
+
+    # ------------------------------------------------------------------
+    # Quad-level access
+    # ------------------------------------------------------------------
+    def add_quad(self, quad: Quad) -> bool:
+        return self.graph(quad.graph).add(quad.triple())
+
+    def quads(self) -> Iterator[Quad]:
+        for triple in self._default:
+            yield Quad(*triple, graph=None)
+        for identifier, graph in self._named.items():
+            for triple in graph:
+                yield Quad(*triple, graph=identifier)
+
+    def union_graph(self) -> Graph:
+        """Materialise the union of the default and all named graphs."""
+        union = Graph(namespaces=self.namespaces.copy())
+        for graph in self.graphs():
+            union.add_all(graph)
+        return union
+
+    def __len__(self) -> int:
+        return sum(len(graph) for graph in self.graphs())
+
+    def __contains__(self, triple: Triple) -> bool:
+        return any(triple in graph for graph in self.graphs())
+
+    def __repr__(self) -> str:
+        return (f"<Dataset default={len(self._default)} triples, "
+                f"{len(self._named)} named graphs, total={len(self)}>")

@@ -1,0 +1,361 @@
+"""An indexed, in-memory RDF graph.
+
+The :class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that every
+triple-pattern access path is answered without scanning the whole store.  This
+is the data structure the SPARQL evaluator (``repro.sparql``) runs against and
+it plays the role that OpenLink Virtuoso plays in the paper: the RDF engine
+hosting the knowledge graph and the KGMeta graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.exceptions import RDFError
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Term,
+    Triple,
+    Variable,
+    RDF_TYPE,
+    term_from_python,
+)
+
+__all__ = ["Graph", "ReadOnlyGraphView"]
+
+_Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+def _as_term(value: object, *, allow_none: bool = False) -> Optional[Term]:
+    if value is None:
+        if allow_none:
+            return None
+        raise RDFError("None is not a valid triple component")
+    if isinstance(value, Variable):
+        # For store access a variable behaves like a wildcard.
+        return None
+    return term_from_python(value)
+
+
+class Graph:
+    """A set of RDF triples with SPO / POS / OSP indexes.
+
+    Parameters
+    ----------
+    identifier:
+        Optional IRI naming the graph (used for named graphs in a dataset).
+    namespaces:
+        Optional :class:`NamespaceManager`; a default one (with the paper's
+        ``dblp:``, ``yago:`` and ``kgnet:`` prefixes) is created otherwise.
+    """
+
+    def __init__(self, identifier: Optional[IRI] = None,
+                 namespaces: Optional[NamespaceManager] = None) -> None:
+        self.identifier = identifier
+        self.namespaces = namespaces or NamespaceManager()
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subject: object, predicate: object = None, obj: object = None) -> bool:
+        """Add a triple.  Returns True when the triple was new.
+
+        Accepts either ``add(Triple(...))`` or ``add(s, p, o)``; plain Python
+        values are coerced via :func:`repro.rdf.terms.term_from_python`.
+        """
+        if isinstance(subject, Triple) and predicate is None and obj is None:
+            s, p, o = subject
+        else:
+            s, p, o = subject, predicate, obj
+        s = _as_term(s)
+        p = _as_term(p)
+        o = _as_term(o)
+        if s is None or p is None or o is None:
+            raise RDFError("cannot add a triple containing variables or wildcards")
+        if isinstance(s, Literal):
+            raise RDFError("literals cannot be used as subjects")
+        if not isinstance(p, IRI):
+            raise RDFError("predicates must be IRIs")
+        objects = self._spo[s][p]
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number of newly inserted triples."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, subject: object = None, predicate: object = None,
+               obj: object = None) -> int:
+        """Remove every triple matching the (possibly wildcarded) pattern.
+
+        Returns the number of removed triples.
+        """
+        if isinstance(subject, Triple) and predicate is None and obj is None:
+            subject, predicate, obj = subject
+        pattern = (
+            _as_term(subject, allow_none=True),
+            _as_term(predicate, allow_none=True),
+            _as_term(obj, allow_none=True),
+        )
+        to_remove = list(self.triples(*pattern))
+        for s, p, o in to_remove:
+            self._spo[s][p].discard(o)
+            if not self._spo[s][p]:
+                del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+            self._pos[p][o].discard(s)
+            if not self._pos[p][o]:
+                del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+            self._osp[o][s].discard(p)
+            if not self._osp[o][s]:
+                del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+            self._size -= 1
+        return len(to_remove)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, set())
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples(None, None, None)
+
+    def triples(self, subject: Optional[object] = None,
+                predicate: Optional[object] = None,
+                obj: Optional[object] = None) -> Iterator[Triple]:
+        """Iterate over triples matching a pattern (``None`` = wildcard)."""
+        s = _as_term(subject, allow_none=True)
+        p = _as_term(predicate, allow_none=True)
+        o = _as_term(obj, allow_none=True)
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if not by_pred:
+                return
+            if p is not None:
+                objects = by_pred.get(p)
+                if not objects:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj_term in objects:
+                    yield Triple(s, p, obj_term)
+                return
+            for pred, objects in by_pred.items():
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, pred, o)
+                    continue
+                for obj_term in objects:
+                    yield Triple(s, pred, obj_term)
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if not by_obj:
+                return
+            if o is not None:
+                for subj in by_obj.get(o, set()):
+                    yield Triple(subj, p, o)
+                return
+            for obj_term, subjects in by_obj.items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj_term)
+            return
+        if o is not None:
+            by_subj = self._osp.get(o)
+            if not by_subj:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, by_pred in self._spo.items():
+            for pred, objects in by_pred.items():
+                for obj_term in objects:
+                    yield Triple(subj, pred, obj_term)
+
+    def count(self, subject: Optional[object] = None,
+              predicate: Optional[object] = None,
+              obj: Optional[object] = None) -> int:
+        """Count triples matching the pattern without materialising them.
+
+        The common access paths use index sizes directly which is what the
+        SPARQL join-order optimizer relies on for cardinality estimation.
+        """
+        s = _as_term(subject, allow_none=True)
+        p = _as_term(predicate, allow_none=True)
+        o = _as_term(obj, allow_none=True)
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is None and o is None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None and s is None and o is None:
+            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
+        if o is not None and s is None and p is None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, set()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, set()))
+        return sum(1 for _ in self.triples(s, p, o))
+
+    # -- convenience accessors ------------------------------------------------
+    def subjects(self, predicate: Optional[object] = None,
+                 obj: Optional[object] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for s, _, _ in self.triples(None, predicate, obj):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def predicates(self, subject: Optional[object] = None,
+                   obj: Optional[object] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, p, _ in self.triples(subject, None, obj):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def objects(self, subject: Optional[object] = None,
+                predicate: Optional[object] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, _, o in self.triples(subject, predicate, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def value(self, subject: Optional[object] = None,
+              predicate: Optional[object] = None,
+              obj: Optional[object] = None) -> Optional[Term]:
+        """Return one matching value (the missing component), or None."""
+        for s, p, o in self.triples(subject, predicate, obj):
+            if subject is None:
+                return s
+            if obj is None:
+                return o
+            return p
+        return None
+
+    def rdf_type(self, node: object) -> Optional[Term]:
+        """Return the ``rdf:type`` of ``node`` (one of them), or None."""
+        return self.value(subject=node, predicate=RDF_TYPE)
+
+    def nodes(self) -> Iterator[Term]:
+        """Iterate over every distinct subject or object term."""
+        seen: Set[Term] = set()
+        for s in self._spo:
+            if s not in seen:
+                seen.add(s)
+                yield s
+        for o in self._osp:
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    # ------------------------------------------------------------------
+    # Set-style operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        clone = Graph(identifier=self.identifier, namespaces=self.namespaces.copy())
+        clone.add_all(self)
+        return clone
+
+    def union(self, other: "Graph") -> "Graph":
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        self.add_all(other)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(triple in other for triple in self)
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash.
+        return id(self)
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier else "default"
+        return f"<Graph {name!r} with {self._size} triples>"
+
+
+class ReadOnlyGraphView:
+    """A read-only facade over a :class:`Graph`.
+
+    Handed to user-defined functions and to the inference manager so that
+    query-time extensions cannot mutate the knowledge graph behind the
+    engine's back.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._graph)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._graph
+
+    def triples(self, *pattern) -> Iterator[Triple]:
+        return self._graph.triples(*pattern)
+
+    def count(self, *pattern) -> int:
+        return self._graph.count(*pattern)
+
+    def subjects(self, *args, **kwargs) -> Iterator[Term]:
+        return self._graph.subjects(*args, **kwargs)
+
+    def predicates(self, *args, **kwargs) -> Iterator[Term]:
+        return self._graph.predicates(*args, **kwargs)
+
+    def objects(self, *args, **kwargs) -> Iterator[Term]:
+        return self._graph.objects(*args, **kwargs)
+
+    def value(self, *args, **kwargs) -> Optional[Term]:
+        return self._graph.value(*args, **kwargs)
+
+    @property
+    def namespaces(self) -> NamespaceManager:
+        return self._graph.namespaces

@@ -1,0 +1,311 @@
+"""N-Triples and Turtle-lite parsing and serialization.
+
+The parser supports the subset of Turtle actually needed to load and dump the
+reproduction's knowledge graphs:
+
+* ``@prefix`` / ``PREFIX`` declarations,
+* prefixed names and full IRIs,
+* literals with datatypes, language tags, and the numeric / boolean shortcuts,
+* ``a`` as shorthand for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* blank node labels (``_:b1``) — but not anonymous ``[...]`` syntax,
+* comments (``# ...``).
+
+That subset is a strict superset of N-Triples, so the same parser reads both.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.exceptions import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Term,
+    Triple,
+    RDF_TYPE,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+
+__all__ = [
+    "parse_turtle",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "serialize_turtle",
+    "load_graph",
+    "dump_graph",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^>]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<prefix_decl>@prefix|@base|PREFIX\b|BASE\b)
+  | (?P<langtag>@[a-zA-Z][a-zA-Z0-9-]*)
+  | (?P<datatype_marker>\^\^)
+  | (?P<bnode>_:[A-Za-z0-9_.-]+)
+  | (?P<number>[+-]?\d+\.\d+(?:[eE][+-]?\d+)?|[+-]?\d+(?:[eE][+-]?\d+)?)
+  | (?P<boolean>\btrue\b|\bfalse\b)
+  | (?P<a_keyword>\ba\b(?!\s*:))
+  | (?P<pname>[A-Za-z_][\w-]*)?:(?P<plocal>[A-Za-z0-9_](?:[\w\-/%]|\.(?=[\w\-/%]))*)?
+  | (?P<punct>[;,.\[\]])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind: str, value: str, line: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line=line)
+        kind = match.lastgroup
+        value = match.group(0)
+        line += value.count("\n")
+        pos = match.end()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "plocal" or kind == "pname":
+            # A prefixed name matched; reconstruct "prefix:local".
+            yield _Token("qname", value, line)
+            continue
+        yield _Token(kind, value, line)
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n")
+        .replace("\\r", "\r")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, namespaces: Optional[NamespaceManager] = None) -> None:
+        self.tokens: List[_Token] = list(_tokenize(text))
+        self.pos = 0
+        self.namespaces = namespaces or NamespaceManager()
+        self.base: Optional[str] = None
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != char:
+            raise ParseError(f"expected {char!r}, got {token.value!r}", line=token.line)
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> Iterator[Triple]:
+        while self._peek() is not None:
+            token = self._peek()
+            if token.kind == "prefix_decl":
+                self._parse_directive()
+            else:
+                yield from self._parse_statement()
+
+    def _parse_directive(self) -> None:
+        directive = self._next()
+        keyword = directive.value.lstrip("@").lower()
+        if keyword == "prefix":
+            name_token = self._next()
+            if name_token.kind != "qname":
+                raise ParseError("expected prefix name after @prefix",
+                                 line=name_token.line)
+            prefix = name_token.value.rstrip(":")
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise ParseError("expected IRI after prefix name", line=iri_token.line)
+            self.namespaces.bind(prefix, iri_token.value[1:-1])
+        elif keyword == "base":
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise ParseError("expected IRI after @base", line=iri_token.line)
+            self.base = iri_token.value[1:-1]
+        else:  # pragma: no cover - unreachable given the token regex
+            raise ParseError(f"unknown directive {directive.value!r}", line=directive.line)
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.value == ".":
+            self._next()
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        subject = self._parse_term(position="subject")
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                yield Triple(subject, predicate, obj)
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.value == ",":
+                    self._next()
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.value == ";":
+                self._next()
+                nxt = self._peek()
+                # A dangling ';' before '.' is legal Turtle.
+                if nxt is not None and nxt.kind == "punct" and nxt.value == ".":
+                    self._next()
+                    return
+                continue
+            self._expect_punct(".")
+            return
+
+    def _parse_term(self, position: str) -> Term:
+        token = self._next()
+        if token.kind == "iri":
+            value = token.value[1:-1]
+            if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
+                value = self.base + value
+            return IRI(value)
+        if token.kind == "qname":
+            return self.namespaces.expand(token.value)
+        if token.kind == "a_keyword":
+            if position != "predicate":
+                raise ParseError("'a' is only valid in the predicate position",
+                                 line=token.line)
+            return RDF_TYPE
+        if token.kind == "bnode":
+            return BNode(token.value[2:])
+        if token.kind == "literal":
+            lexical = _unescape(token.value[1:-1])
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "langtag":
+                self._next()
+                return Literal(lexical, language=nxt.value[1:])
+            if nxt is not None and nxt.kind == "datatype_marker":
+                self._next()
+                dt_token = self._next()
+                if dt_token.kind == "iri":
+                    datatype = IRI(dt_token.value[1:-1])
+                elif dt_token.kind == "qname":
+                    datatype = self.namespaces.expand(dt_token.value)
+                else:
+                    raise ParseError("expected datatype IRI after ^^", line=dt_token.line)
+                return Literal(lexical, datatype=datatype)
+            return Literal(lexical)
+        if token.kind == "number":
+            if "." in token.value or "e" in token.value or "E" in token.value:
+                return Literal(token.value, datatype=XSD_DOUBLE)
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "boolean":
+            return Literal(token.value, datatype=XSD_BOOLEAN)
+        raise ParseError(f"unexpected token {token.value!r} in {position} position",
+                         line=token.line)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle-lite ``text`` into ``graph`` (a new graph by default)."""
+    graph = graph if graph is not None else Graph()
+    parser = _TurtleParser(text, namespaces=graph.namespaces)
+    graph.add_all(parser.parse())
+    return graph
+
+
+def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse N-Triples ``text``; identical to :func:`parse_turtle`."""
+    return parse_turtle(text, graph=graph)
+
+
+def serialize_ntriples(graph: Iterable[Triple]) -> str:
+    """Serialize triples as canonical N-Triples (one triple per line, sorted)."""
+    lines = sorted(triple.n3() for triple in graph)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def serialize_turtle(graph: Graph) -> str:
+    """Serialize a graph as compact Turtle grouped by subject."""
+    manager = graph.namespaces
+    lines: List[str] = [
+        f"@prefix {prefix}: <{base}> ." for prefix, base in manager.prefixes()
+    ]
+    if lines:
+        lines.append("")
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            short = manager.shrink(term)
+            return short if short is not None else term.n3()
+        return term.n3()
+
+    by_subject = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+    for subject in sorted(by_subject, key=lambda t: t.sort_key()):
+        pairs = sorted(by_subject[subject], key=lambda po: (po[0].sort_key(), po[1].sort_key()))
+        rendered = [f"    {render(p)} {render(o)}" for p, o in pairs]
+        lines.append(render(subject) + "\n" + " ;\n".join(rendered) + " .")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_graph(source: Union[str, TextIO], graph: Optional[Graph] = None) -> Graph:
+    """Load a graph from a file path or file-like object."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return parse_turtle(text, graph=graph)
+
+
+def dump_graph(graph: Graph, destination: Union[str, TextIO],
+               fmt: str = "turtle") -> None:
+    """Write a graph to a file path or file-like object.
+
+    ``fmt`` is ``"turtle"`` or ``"ntriples"``.
+    """
+    if fmt == "turtle":
+        text = serialize_turtle(graph)
+    elif fmt in ("ntriples", "nt"):
+        text = serialize_ntriples(graph)
+    else:
+        raise ParseError(f"unknown serialization format {fmt!r}")
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)

@@ -1,0 +1,379 @@
+"""RDF term model: IRIs, literals, blank nodes, variables and triples.
+
+The term model mirrors the RDF 1.1 abstract syntax.  Terms are immutable,
+hashable value objects so they can be used directly as dictionary keys inside
+the triple store indexes and as binding values inside the SPARQL evaluator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator, NamedTuple, Optional, Tuple, Union
+
+from repro.exceptions import TermError
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BNode",
+    "Variable",
+    "Triple",
+    "Quad",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+    "RDF_TYPE",
+    "RDF_LANGSTRING",
+    "term_from_python",
+    "python_from_term",
+]
+
+_IRI_FORBIDDEN = re.compile(r"[<>\"{}|^`\\\x00-\x20]")
+
+_BNODE_COUNTER = itertools.count()
+
+
+class Term:
+    """Abstract base class for RDF terms.
+
+    Concrete subclasses are :class:`IRI`, :class:`Literal`, :class:`BNode`
+    and (for query processing only) :class:`Variable`.
+    """
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Return the N-Triples / SPARQL surface form of the term."""
+        raise NotImplementedError
+
+    # Terms sort by (class rank, surface form) which gives a deterministic
+    # total order used by ORDER BY and by the test-suite.
+    _sort_rank = 0
+
+    def sort_key(self) -> Tuple[int, str]:
+        return (self._sort_rank, self.n3())
+
+
+class IRI(Term):
+    """An IRI reference, e.g. ``https://www.dblp.org/Publication``."""
+
+    __slots__ = ("value",)
+    _sort_rank = 1
+
+    def __init__(self, value: str) -> None:
+        if not isinstance(value, str) or not value:
+            raise TermError(f"IRI requires a non-empty string, got {value!r}")
+        if _IRI_FORBIDDEN.search(value):
+            raise TermError(f"IRI contains forbidden characters: {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("IRI is immutable")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"IRI({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("IRI", self.value))
+
+    def __reduce__(self):
+        return (IRI, (self.value,))
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+    def local_name(self) -> str:
+        """Return the fragment or last path segment of the IRI.
+
+        Useful for producing readable labels, e.g.
+        ``IRI("https://dblp.org/rdf/schema#title").local_name() == "title"``.
+        """
+        value = self.value
+        for separator in ("#", "/", ":"):
+            if separator in value:
+                candidate = value.rsplit(separator, 1)[1]
+                if candidate:
+                    return candidate
+        return value
+
+    def namespace(self) -> str:
+        """Return the IRI with the local name stripped."""
+        local = self.local_name()
+        if local and self.value.endswith(local):
+            return self.value[: -len(local)]
+        return self.value
+
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+
+XSD_STRING = IRI(XSD + "string")
+XSD_INTEGER = IRI(XSD + "integer")
+XSD_DECIMAL = IRI(XSD + "decimal")
+XSD_DOUBLE = IRI(XSD + "double")
+XSD_BOOLEAN = IRI(XSD + "boolean")
+RDF_TYPE = IRI(RDF_NS + "type")
+RDF_LANGSTRING = IRI(RDF_NS + "langString")
+
+_NUMERIC_DATATYPES = {XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE}
+
+
+class Literal(Term):
+    """An RDF literal with optional datatype or language tag."""
+
+    __slots__ = ("lexical", "datatype", "language")
+    _sort_rank = 2
+
+    def __init__(self, lexical: object, datatype: Optional[IRI] = None,
+                 language: Optional[str] = None) -> None:
+        if language is not None and datatype is not None:
+            raise TermError("a literal cannot carry both a language tag and a datatype")
+        if isinstance(lexical, bool):
+            datatype = datatype or XSD_BOOLEAN
+            lexical = "true" if lexical else "false"
+        elif isinstance(lexical, int):
+            datatype = datatype or XSD_INTEGER
+            lexical = str(lexical)
+        elif isinstance(lexical, float):
+            datatype = datatype or XSD_DOUBLE
+            lexical = repr(lexical)
+        elif not isinstance(lexical, str):
+            raise TermError(f"unsupported literal value type: {type(lexical).__name__}")
+        if language is not None:
+            language = language.lower()
+            datatype = RDF_LANGSTRING
+        elif datatype is None:
+            datatype = XSD_STRING
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Literal is immutable")
+
+    # -- conversions --------------------------------------------------------
+    def is_numeric(self) -> bool:
+        return self.datatype in _NUMERIC_DATATYPES
+
+    def to_python(self) -> object:
+        """Convert the literal to its natural Python value."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype == XSD_STRING:
+            return f'"{escaped}"'
+        return f'"{escaped}"^^{self.datatype.n3()}'
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:
+        if self.language:
+            return f"Literal({self.lexical!r}, language={self.language!r})"
+        if self.datatype != XSD_STRING:
+            return f"Literal({self.lexical!r}, datatype={self.datatype.value!r})"
+        return f"Literal({self.lexical!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.lexical == self.lexical
+            and other.datatype == self.datatype
+            and other.language == self.language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.lexical, self.datatype.value, self.language))
+
+    def __reduce__(self):
+        if self.language is not None:
+            return (Literal, (self.lexical, None, self.language))
+        return (Literal, (self.lexical, self.datatype, None))
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+
+class BNode(Term):
+    """A blank node.  Identity is purely the local identifier."""
+
+    __slots__ = ("id",)
+    _sort_rank = 0
+
+    def __init__(self, node_id: Optional[str] = None) -> None:
+        if node_id is None:
+            node_id = f"b{next(_BNODE_COUNTER)}"
+        if not isinstance(node_id, str) or not node_id:
+            raise TermError(f"blank node id must be a non-empty string, got {node_id!r}")
+        object.__setattr__(self, "id", node_id)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("BNode is immutable")
+
+    def n3(self) -> str:
+        return f"_:{self.id}"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+    def __repr__(self) -> str:
+        return f"BNode({self.id!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNode) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("BNode", self.id))
+
+    def __reduce__(self):
+        return (BNode, (self.id,))
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+
+class Variable(Term):
+    """A SPARQL variable such as ``?paper``.
+
+    Variables only appear inside queries, never inside stored graphs.
+    """
+
+    __slots__ = ("name",)
+    _sort_rank = 3
+
+    def __init__(self, name: str) -> None:
+        if isinstance(name, str) and name.startswith(("?", "$")):
+            name = name[1:]
+        if not isinstance(name, str) or not name:
+            raise TermError(f"variable name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Variable is immutable")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+
+TermOrVariable = Union[IRI, Literal, BNode, Variable]
+
+
+class Triple(NamedTuple):
+    """A subject/predicate/object triple."""
+
+    subject: TermOrVariable
+    predicate: TermOrVariable
+    object: TermOrVariable
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def is_ground(self) -> bool:
+        """Return True when the triple contains no variables."""
+        return not any(isinstance(term, Variable) for term in self)
+
+    def variables(self) -> Iterator[Variable]:
+        for term in self:
+            if isinstance(term, Variable):
+                yield term
+
+
+class Quad(NamedTuple):
+    """A triple together with the named graph it belongs to."""
+
+    subject: TermOrVariable
+    predicate: TermOrVariable
+    object: TermOrVariable
+    graph: Optional[IRI]
+
+    def triple(self) -> Triple:
+        return Triple(self.subject, self.predicate, self.object)
+
+
+def term_from_python(value: object) -> Term:
+    """Coerce a Python value into an RDF term.
+
+    Strings that look like IRIs (``http://`` / ``https://`` / ``urn:``) become
+    :class:`IRI`; every other scalar becomes a typed :class:`Literal`.  Terms
+    pass through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        if value.startswith(("http://", "https://", "urn:")):
+            return IRI(value)
+        return Literal(value)
+    if isinstance(value, (bool, int, float)):
+        return Literal(value)
+    raise TermError(f"cannot convert {type(value).__name__} to an RDF term")
+
+
+def python_from_term(term: Term) -> object:
+    """Convert an RDF term to a plain Python value (IRIs become strings)."""
+    if isinstance(term, Literal):
+        return term.to_python()
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, BNode):
+        return term.n3()
+    if isinstance(term, Variable):
+        return term.n3()
+    raise TermError(f"unsupported term type: {type(term).__name__}")

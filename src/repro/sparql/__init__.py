@@ -1,0 +1,39 @@
+"""SPARQL engine substrate (parser, evaluator, endpoint, UDF registry)."""
+
+from repro.sparql.tokenizer import Token, tokenize
+from repro.sparql.parser import SPARQLParser, parse, parse_query, parse_update
+from repro.sparql.evaluator import (
+    QueryEvaluator,
+    estimate_pattern_cardinality,
+    reorder_patterns,
+)
+from repro.sparql.functions import (
+    EvaluationContext,
+    OpaqueValue,
+    UDFRegistry,
+    effective_boolean_value,
+    evaluate_expression,
+)
+from repro.sparql.results import ResultSet, Solution
+from repro.sparql.endpoint import QueryStatistics, SPARQLEndpoint
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "SPARQLParser",
+    "parse",
+    "parse_query",
+    "parse_update",
+    "QueryEvaluator",
+    "estimate_pattern_cardinality",
+    "reorder_patterns",
+    "EvaluationContext",
+    "OpaqueValue",
+    "UDFRegistry",
+    "effective_boolean_value",
+    "evaluate_expression",
+    "ResultSet",
+    "Solution",
+    "QueryStatistics",
+    "SPARQLEndpoint",
+]

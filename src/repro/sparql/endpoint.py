@@ -1,0 +1,199 @@
+"""A Virtuoso-style SPARQL endpoint facade.
+
+The paper runs an unmodified Virtuoso endpoint hosting the data KG and the
+KGMeta graph, and KGNet's services talk to it with SPARQL queries plus
+registered UDFs that issue HTTP calls to the GML inference manager.  The
+:class:`SPARQLEndpoint` plays that role here:
+
+* it owns a :class:`~repro.rdf.dataset.Dataset` (default graph = the data KG,
+  named graphs for KGMeta and anything else),
+* it parses and evaluates SPARQL queries and updates,
+* it exposes a UDF registry; every UDF invocation is counted so experiments
+  can report the number of "HTTP calls" an execution plan makes,
+* it keeps simple per-query execution statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.exceptions import QueryError
+from repro.rdf.dataset import Dataset
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import IRI, Triple
+from repro.sparql.ast import (
+    AskQuery,
+    ConstructQuery,
+    Query,
+    SelectQuery,
+    Update,
+)
+from repro.sparql.evaluator import QueryEvaluator
+from repro.sparql.functions import UDFRegistry
+from repro.sparql.parser import SPARQLParser
+from repro.sparql.results import ResultSet
+
+__all__ = ["QueryStatistics", "SPARQLEndpoint"]
+
+
+@dataclass
+class QueryStatistics:
+    """Execution statistics for one query/update request."""
+
+    query: str
+    kind: str
+    elapsed_seconds: float
+    num_results: int
+    pattern_lookups: int
+    udf_calls: int = 0
+
+
+class SPARQLEndpoint:
+    """In-process SPARQL endpoint over an RDF dataset."""
+
+    def __init__(self, dataset: Optional[Dataset] = None,
+                 namespaces: Optional[NamespaceManager] = None,
+                 optimize_joins: bool = True) -> None:
+        self.dataset = dataset or Dataset(namespaces=namespaces)
+        self.namespaces = self.dataset.namespaces
+        self.udfs = UDFRegistry()
+        self.optimize_joins = optimize_joins
+        self.history: List[QueryStatistics] = []
+
+    # ------------------------------------------------------------------
+    # Data management
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The default graph (the data knowledge graph)."""
+        return self.dataset.default_graph
+
+    def load(self, triples, graph_iri: Optional[Union[str, IRI]] = None) -> int:
+        """Bulk-load triples into the default or a named graph."""
+        graph = self.dataset.graph(graph_iri) if graph_iri else self.graph
+        return graph.add_all(triples)
+
+    def named_graph(self, graph_iri: Union[str, IRI]) -> Graph:
+        return self.dataset.graph(graph_iri)
+
+    def register_udf(self, name: str, function: Callable[..., object],
+                     aliases: Optional[List[str]] = None) -> None:
+        """Register a user-defined function callable from SPARQL expressions."""
+        self.udfs.register(name, function, aliases=aliases)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _evaluation_graph(self, query: Query) -> Graph:
+        """Pick the graph a query runs against.
+
+        ``FROM <g>`` selects a named graph; multiple FROM clauses (or none)
+        use the union/default graph, matching how the platform stores KGMeta
+        alongside the data KG.
+        """
+        from_graphs = getattr(query, "from_graphs", [])
+        if len(from_graphs) == 1 and self.dataset.has_graph(from_graphs[0]):
+            return self.dataset.graph(from_graphs[0])
+        if from_graphs:
+            union = Graph(namespaces=self.namespaces.copy())
+            for graph_iri in from_graphs:
+                if self.dataset.has_graph(graph_iri):
+                    union.add_all(self.dataset.graph(graph_iri))
+            return union
+        if self.dataset.named_graphs():
+            # Default behaviour: query the union of default + named graphs so
+            # KGMeta triple patterns and data triple patterns can be mixed in
+            # one query (paper Fig 2 relies on this).
+            has_named = any(True for _ in self.dataset.named_graphs())
+            if has_named:
+                return self.dataset.union_graph()
+        return self.graph
+
+    def parse(self, text: str):
+        return SPARQLParser(text, namespaces=self.namespaces).parse()
+
+    def query(self, text: str, graph_iri: Optional[Union[str, IRI]] = None):
+        """Parse and evaluate a SELECT / ASK / CONSTRUCT query.
+
+        Returns a :class:`ResultSet` (SELECT), ``bool`` (ASK) or
+        :class:`Graph` (CONSTRUCT).
+        """
+        parser = SPARQLParser(text, namespaces=self.namespaces)
+        query = parser.parse_query()
+        if graph_iri is not None:
+            graph = self.dataset.graph(graph_iri)
+        else:
+            graph = self._evaluation_graph(query)
+        evaluator = QueryEvaluator(graph, udfs=self.udfs,
+                                   optimize_joins=self.optimize_joins)
+        udf_calls_before = self.udfs.total_calls()
+        started = time.perf_counter()
+        result = evaluator.evaluate(query)
+        elapsed = time.perf_counter() - started
+        if isinstance(result, ResultSet):
+            count = len(result)
+            kind = "SELECT"
+        elif isinstance(result, Graph):
+            count = len(result)
+            kind = "CONSTRUCT"
+        else:
+            count = int(bool(result))
+            kind = "ASK"
+        self.history.append(QueryStatistics(
+            query=text, kind=kind, elapsed_seconds=elapsed, num_results=count,
+            pattern_lookups=evaluator.pattern_lookups,
+            udf_calls=self.udfs.total_calls() - udf_calls_before,
+        ))
+        return result
+
+    def select(self, text: str, **kwargs) -> ResultSet:
+        result = self.query(text, **kwargs)
+        if not isinstance(result, ResultSet):
+            raise QueryError("query did not produce a SELECT result set")
+        return result
+
+    def ask(self, text: str, **kwargs) -> bool:
+        result = self.query(text, **kwargs)
+        if isinstance(result, bool):
+            return result
+        raise QueryError("query did not produce an ASK result")
+
+    def update(self, text: str) -> int:
+        """Parse and apply a SPARQL UPDATE request; returns affected triples."""
+        parser = SPARQLParser(text, namespaces=self.namespaces)
+        updates = parser.parse_update()
+        started = time.perf_counter()
+        affected = 0
+        for update in updates:
+            affected += self.apply_update(update)
+        elapsed = time.perf_counter() - started
+        self.history.append(QueryStatistics(
+            query=text, kind="UPDATE", elapsed_seconds=elapsed,
+            num_results=affected, pattern_lookups=0,
+        ))
+        return affected
+
+    def apply_update(self, update: Update) -> int:
+        evaluator = QueryEvaluator(self.dataset.union_graph(), udfs=self.udfs,
+                                   optimize_joins=self.optimize_joins)
+        return evaluator.apply_update(update, dataset=self.dataset)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def last_statistics(self) -> Optional[QueryStatistics]:
+        return self.history[-1] if self.history else None
+
+    def total_udf_calls(self, name: Optional[str] = None) -> int:
+        return self.udfs.total_calls(name)
+
+    def reset_counters(self) -> None:
+        self.udfs.reset_counts()
+        self.history.clear()
+
+    def __repr__(self) -> str:
+        return (f"<SPARQLEndpoint default={len(self.graph)} triples, "
+                f"{sum(1 for _ in self.dataset.named_graphs())} named graphs>")

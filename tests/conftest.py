@@ -1,0 +1,126 @@
+"""Shared fixtures for the KGNet reproduction test-suite.
+
+Expensive fixtures (generated KGs, a platform with trained models) are
+session-scoped so the whole suite stays fast; tests that mutate state build
+their own instances instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DBLPConfig,
+    YAGOConfig,
+    dblp_author_affiliation_task,
+    dblp_paper_venue_task,
+    generate_dblp_kg,
+    generate_yago_kg,
+)
+from repro.gml.transform import RDFGraphTransformer
+from repro.kgnet import KGNet, TrainingManagerConfig
+from repro.rdf import DBLP, Graph, IRI, Literal, RDF_TYPE
+from repro.sparql import SPARQLEndpoint
+
+#: Scale factor for generated KGs in tests — small but structurally complete.
+TEST_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def dblp_graph():
+    """A small but schema-complete DBLP-like KG."""
+    return generate_dblp_kg(DBLPConfig(scale=TEST_SCALE, seed=3))
+
+
+@pytest.fixture(scope="session")
+def yago_graph():
+    """A small but schema-complete YAGO-like KG."""
+    return generate_yago_kg(YAGOConfig(scale=TEST_SCALE, seed=3))
+
+
+@pytest.fixture(scope="session")
+def paper_venue_task():
+    return dblp_paper_venue_task()
+
+
+@pytest.fixture(scope="session")
+def author_affiliation_task():
+    return dblp_author_affiliation_task()
+
+
+@pytest.fixture(scope="session")
+def dblp_nc_data(dblp_graph, paper_venue_task):
+    """GraphData + report for the DBLP paper-venue task."""
+    transformer = RDFGraphTransformer(feature_dim=16, seed=0)
+    return transformer.to_node_classification_data(
+        dblp_graph, paper_venue_task.target_node_type,
+        paper_venue_task.label_predicate)
+
+
+@pytest.fixture(scope="session")
+def dblp_lp_data(dblp_graph, author_affiliation_task):
+    """TriplesData + report for the DBLP author-affiliation task."""
+    transformer = RDFGraphTransformer(feature_dim=16, seed=0)
+    return transformer.to_link_prediction_data(
+        dblp_graph, author_affiliation_task.target_predicate)
+
+
+@pytest.fixture()
+def tiny_graph():
+    """A hand-built 10-triple KG used by RDF/SPARQL unit tests."""
+    graph = Graph()
+    graph.add(DBLP["paper/1"], RDF_TYPE, DBLP["Publication"])
+    graph.add(DBLP["paper/1"], DBLP["title"], Literal("Graph Machine Learning"))
+    graph.add(DBLP["paper/1"], DBLP["publishedIn"], DBLP["venue/ICDE"])
+    graph.add(DBLP["paper/1"], DBLP["authoredBy"], DBLP["person/ada"])
+    graph.add(DBLP["paper/2"], RDF_TYPE, DBLP["Publication"])
+    graph.add(DBLP["paper/2"], DBLP["title"], Literal("Knowledge Graphs"))
+    graph.add(DBLP["paper/2"], DBLP["authoredBy"], DBLP["person/bob"])
+    graph.add(DBLP["person/ada"], RDF_TYPE, DBLP["Person"])
+    graph.add(DBLP["person/ada"], DBLP["affiliation"], DBLP["affiliation/mit"])
+    graph.add(DBLP["person/bob"], RDF_TYPE, DBLP["Person"])
+    return graph
+
+
+@pytest.fixture()
+def endpoint(tiny_graph):
+    """A SPARQL endpoint preloaded with the tiny KG."""
+    ep = SPARQLEndpoint()
+    ep.load(tiny_graph)
+    return ep
+
+
+def _quick_training_config() -> TrainingManagerConfig:
+    return TrainingManagerConfig(
+        feature_dim=16, hidden_dim=16, embedding_dim=16,
+        epochs_full_batch=8, epochs_sampling=5, epochs_kge=8,
+        learning_rate=0.05, seed=0)
+
+
+@pytest.fixture()
+def fresh_platform(dblp_graph):
+    """A KGNet platform with the DBLP KG loaded and fast training settings."""
+    platform = KGNet(training_config=_quick_training_config())
+    platform.load_graph(dblp_graph)
+    return platform
+
+
+@pytest.fixture(scope="session")
+def trained_platform(dblp_graph):
+    """A platform with one node-classification and one link-prediction model.
+
+    Session-scoped because training, although fast, is the most expensive
+    fixture in the suite.  Tests must not mutate it (use ``fresh_platform``).
+    """
+    platform = KGNet(training_config=_quick_training_config())
+    platform.load_graph(dblp_graph)
+    platform.train_task(dblp_paper_venue_task(), method="rgcn")
+    platform.train_task(dblp_author_affiliation_task(), method="morse",
+                        meta_sampling="d2h1")
+    return platform
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

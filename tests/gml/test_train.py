@@ -1,0 +1,269 @@
+"""Unit tests for metrics, budgets, cost estimators and the trainers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetExceededError, TrainingError
+from repro.gml.data import GraphData
+from repro.gml.kge import DistMult, MorsE
+from repro.gml.nn import RGCN
+from repro.gml.sampling import GraphSAINTNodeSampler, ShadowKHopSampler
+from repro.gml.train import (
+    METHOD_PROFILES,
+    FullBatchNodeClassificationTrainer,
+    KGETrainer,
+    MethodCostEstimator,
+    MorsETrainer,
+    ResourceMonitor,
+    SamplingNodeClassificationTrainer,
+    TaskBudget,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    hits_at_k,
+    mean_reciprocal_rank,
+    parse_budget,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 0.0
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], num_classes=2)
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_f1_macro_and_micro(self):
+        y_true = [0, 0, 1, 1, 2, 2]
+        y_pred = [0, 0, 1, 0, 2, 2]
+        assert 0 < f1_score(y_true, y_pred, average="macro") <= 1
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(5 / 6)
+
+    def test_f1_perfect_and_worst(self):
+        assert f1_score([0, 1], [0, 1]) == 1.0
+        assert f1_score([0, 0], [1, 1]) == 0.0
+
+    def test_classification_report_keys(self):
+        report = classification_report([0, 1], [0, 1])
+        assert set(report) == {"accuracy", "f1_macro", "f1_micro"}
+
+    def test_ranking_metrics(self):
+        ranks = np.array([1, 5, 20])
+        assert mean_reciprocal_rank(ranks) == pytest.approx((1 + 0.2 + 0.05) / 3)
+        assert hits_at_k(ranks, 10) == pytest.approx(2 / 3)
+        assert hits_at_k(np.array([]), 10) == 0.0
+
+
+class TestTaskBudget:
+    def test_parse_sizes_and_times(self):
+        budget = TaskBudget.from_json({"MaxMemory": "50GB", "MaxTime": "1h",
+                                       "Priority": "ModelScore"})
+        assert budget.max_memory_bytes == 50 * 1024 ** 3
+        assert budget.max_time_seconds == 3600
+        assert budget.priority == "ModelScore"
+
+    def test_parse_variants(self):
+        budget = TaskBudget.from_json({"max_memory": "512 MB", "max time": "30min",
+                                       "priority": "Time"})
+        assert budget.max_memory_bytes == 512 * 1024 ** 2
+        assert budget.max_time_seconds == 1800
+
+    def test_parse_numeric_values(self):
+        budget = TaskBudget.from_json({"MaxMemory": 1024, "MaxTime": 60})
+        assert budget.max_memory_bytes == 1024
+        assert budget.max_time_seconds == 60
+
+    def test_parse_budget_none(self):
+        budget = parse_budget(None)
+        assert budget.allows_memory(1e18) and budget.allows_time(1e9)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(TrainingError):
+            TaskBudget(priority="Everything")
+
+    def test_allows(self):
+        budget = TaskBudget(max_memory_bytes=100, max_time_seconds=10)
+        assert budget.allows_memory(50) and not budget.allows_memory(200)
+        assert budget.allows_time(5) and not budget.allows_time(20)
+
+    def test_as_dict(self):
+        assert "priority" in TaskBudget().as_dict()
+
+
+class TestResourceMonitor:
+    def test_measures_time_and_memory(self):
+        with ResourceMonitor() as monitor:
+            _ = np.zeros((200, 200))
+            time.sleep(0.01)
+        assert monitor.usage.elapsed_seconds >= 0.01
+        assert monitor.usage.peak_memory_bytes > 0
+
+    def test_enforced_time_budget_raises(self):
+        budget = TaskBudget(max_time_seconds=0.001)
+        with pytest.raises(BudgetExceededError):
+            with ResourceMonitor(budget, enforce=True):
+                time.sleep(0.05)
+
+    def test_check_inside_block(self):
+        budget = TaskBudget(max_time_seconds=0.001)
+        with ResourceMonitor(budget) as monitor:
+            time.sleep(0.01)
+            with pytest.raises(BudgetExceededError):
+                monitor.check()
+
+    def test_usage_as_dict(self):
+        with ResourceMonitor() as monitor:
+            pass
+        assert "elapsed_seconds" in monitor.usage.as_dict()
+
+
+class TestMethodCostEstimator:
+    def test_estimates_for_all_profiles(self, dblp_nc_data, dblp_lp_data):
+        estimator = MethodCostEstimator()
+        nc_data, lp_data = dblp_nc_data[0], dblp_lp_data[0]
+        for name, profile in METHOD_PROFILES.items():
+            data = nc_data if "node_classification" in profile.supported_tasks else lp_data
+            estimate = estimator.estimate(name, data)
+            assert estimate.memory_bytes > 0
+            assert estimate.time_seconds > 0
+            assert estimate.as_dict()["method"] == name
+
+    def test_full_batch_needs_more_memory_than_sampling(self, dblp_nc_data):
+        estimator = MethodCostEstimator()
+        data = dblp_nc_data[0]
+        rgcn = estimator.estimate("rgcn", data)
+        saint = estimator.estimate("graph_saint", data,
+                                   batch_size=max(8, data.num_nodes // 8))
+        assert rgcn.memory_bytes > saint.memory_bytes
+
+    def test_morse_needs_less_memory_than_transductive_kge(self, dblp_lp_data):
+        estimator = MethodCostEstimator()
+        data = dblp_lp_data[0]
+        morse = estimator.estimate("morse", data)
+        complex_est = estimator.estimate("complex", data)
+        assert morse.memory_bytes < complex_est.memory_bytes
+
+    def test_smaller_graph_costs_less(self, dblp_nc_data):
+        estimator = MethodCostEstimator()
+        data = dblp_nc_data[0]
+        sub, _ = data.subgraph(np.arange(data.num_nodes // 3))
+        for method in ("rgcn", "graph_saint", "shadow_saint"):
+            assert estimator.estimate(method, sub).memory_bytes <= \
+                estimator.estimate(method, data).memory_bytes
+            assert estimator.estimate(method, sub).time_seconds <= \
+                estimator.estimate(method, data).time_seconds
+
+    def test_unknown_method_raises(self, dblp_nc_data):
+        with pytest.raises(TrainingError):
+            MethodCostEstimator().estimate("no_such_method", dblp_nc_data[0])
+
+
+class TestTrainers:
+    def test_full_batch_trainer(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        model = RGCN(data.feature_dim, 16, data.num_classes, data.num_relations,
+                     num_bases=4, seed=0)
+        trainer = FullBatchNodeClassificationTrainer(model, data, epochs=6,
+                                                     learning_rate=0.05,
+                                                     method_name="rgcn")
+        result = trainer.train()
+        assert result.task_type == "node_classification"
+        assert 0.0 <= result.metrics["accuracy"] <= 1.0
+        assert result.usage.elapsed_seconds > 0
+        assert result.usage.peak_memory_bytes > 0
+        assert result.inference_seconds > 0
+        assert result.history
+        assert result.score == result.metrics["accuracy"]
+        assert "metric_accuracy" in result.as_dict()
+
+    def test_full_batch_trainer_learns_better_than_chance(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        model = RGCN(data.feature_dim, 24, data.num_classes, data.num_relations,
+                     num_bases=8, seed=0)
+        trainer = FullBatchNodeClassificationTrainer(model, data, epochs=30,
+                                                     learning_rate=0.03,
+                                                     method_name="rgcn")
+        result = trainer.train()
+        chance = 1.0 / data.num_classes
+        assert result.metrics["accuracy"] > chance + 0.1
+
+    def test_sampling_trainer_graphsaint(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        model = RGCN(data.feature_dim, 16, data.num_classes, data.num_relations,
+                     num_bases=4, seed=0)
+        sampler = GraphSAINTNodeSampler(data, batch_size=60, num_batches=2, seed=0)
+        trainer = SamplingNodeClassificationTrainer(model, data, sampler, epochs=4,
+                                                    method_name="graph_saint")
+        result = trainer.train()
+        assert result.method == "graph_saint"
+        assert 0.0 <= result.metrics["accuracy"] <= 1.0
+
+    def test_sampling_trainer_shadow(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        model = RGCN(data.feature_dim, 16, data.num_classes, data.num_relations,
+                     num_bases=4, seed=0)
+        sampler = ShadowKHopSampler(data, batch_size=16, num_batches=2, depth=2,
+                                    neighbors_per_hop=5, seed=0)
+        trainer = SamplingNodeClassificationTrainer(model, data, sampler, epochs=4,
+                                                    method_name="shadow_saint")
+        result = trainer.train()
+        assert result.metrics["accuracy"] >= 0.0
+
+    def test_trainer_rejects_unlabelled_data(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        unlabelled = GraphData(
+            num_nodes=data.num_nodes, edge_index=data.edge_index,
+            edge_type=data.edge_type, num_relations=data.num_relations,
+            features=data.features, labels=-np.ones(data.num_nodes, dtype=np.int64),
+            num_classes=data.num_classes,
+            train_mask=np.zeros(data.num_nodes, bool),
+            val_mask=np.zeros(data.num_nodes, bool),
+            test_mask=np.zeros(data.num_nodes, bool))
+        model = RGCN(data.feature_dim, 8, data.num_classes, data.num_relations)
+        with pytest.raises(TrainingError):
+            FullBatchNodeClassificationTrainer(model, unlabelled)
+
+    def test_budget_enforcement_stops_training(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        model = RGCN(data.feature_dim, 16, data.num_classes, data.num_relations,
+                     num_bases=4, seed=0)
+        budget = TaskBudget(max_time_seconds=1e-6)
+        trainer = FullBatchNodeClassificationTrainer(
+            model, data, epochs=50, budget=budget, enforce_budget=True,
+            method_name="rgcn")
+        result = trainer.train()
+        assert result.stopped_early
+
+    def test_kge_trainer(self, dblp_lp_data):
+        data = dblp_lp_data[0]
+        model = DistMult(data.num_entities, data.num_relations, dim=16, seed=0)
+        trainer = KGETrainer(model, data, epochs=3, batch_size=256,
+                             method_name="distmult", seed=0)
+        result = trainer.train()
+        assert result.task_type == "link_prediction"
+        assert "hits@10" in result.metrics
+        assert 0.0 <= result.metrics["mrr"] <= 1.0
+
+    def test_morse_trainer(self, dblp_lp_data):
+        data = dblp_lp_data[0]
+        model = MorsE(data.num_relations, dim=16, seed=0)
+        trainer = MorsETrainer(model, data, epochs=4, triples_per_subkg=300,
+                               subkgs_per_epoch=2, seed=0)
+        result = trainer.train()
+        assert result.method == "morse"
+        assert "hits@10" in result.metrics
+        assert result.usage.peak_memory_bytes > 0
+
+    def test_morse_beats_random_ranking(self, dblp_lp_data):
+        data = dblp_lp_data[0]
+        model = MorsE(data.num_relations, dim=24, seed=0)
+        trainer = MorsETrainer(model, data, epochs=10, triples_per_subkg=600,
+                               subkgs_per_epoch=3, seed=0)
+        result = trainer.train()
+        random_hits = 10.0 / data.num_entities
+        assert result.metrics["hits@10"] > random_hits * 2

@@ -1,0 +1,326 @@
+"""Unit tests for GMLaaS: stores, method selector, training and inference managers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InferenceError,
+    ModelNotFoundError,
+    ModelSelectionError,
+    PlatformError,
+)
+from repro.gml.tasks import TaskSpec, TaskType
+from repro.gml.train import TaskBudget
+from repro.kgnet import (
+    EmbeddingStore,
+    GMLaaS,
+    MethodSelector,
+    ModelStore,
+    StoredModel,
+    TrainingManagerConfig,
+)
+from repro.kgnet.gmlaas.embedding_store import FlatIndex, IVFIndex
+from repro.kgnet.gmlaas.training_manager import GMLTrainingManager
+from repro.rdf import DBLP, IRI
+
+
+# ---------------------------------------------------------------------------
+# Embedding store
+# ---------------------------------------------------------------------------
+
+class TestEmbeddingStore:
+    def _vectors(self, n=30, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = [f"entity/{i}" for i in range(n)]
+        return keys, rng.normal(size=(n, dim))
+
+    def test_flat_index_exact_top1_is_self(self):
+        keys, vectors = self._vectors()
+        index = FlatIndex(dim=8)
+        index.add(vectors)
+        scores, indices = index.search(vectors[:3], k=1)
+        assert indices.reshape(-1).tolist() == [0, 1, 2]
+
+    def test_flat_index_l2_metric(self):
+        index = FlatIndex(dim=2, metric="l2")
+        index.add(np.array([[0.0, 0.0], [10.0, 10.0]]))
+        _, indices = index.search(np.array([[1.0, 1.0]]), k=1)
+        assert indices[0, 0] == 0
+
+    def test_flat_index_empty_search_raises(self):
+        with pytest.raises(PlatformError):
+            FlatIndex(dim=4).search(np.zeros((1, 4)))
+
+    def test_ivf_index_matches_flat_on_small_data(self):
+        keys, vectors = self._vectors(n=40)
+        flat = FlatIndex(dim=8)
+        flat.add(vectors)
+        ivf = IVFIndex(dim=8, num_clusters=4, nprobe=4)  # probe all clusters
+        ivf.add(vectors)
+        _, flat_idx = flat.search(vectors[:5], k=3)
+        _, ivf_idx = ivf.search(vectors[:5], k=3)
+        assert (flat_idx[:, 0] == ivf_idx[:, 0]).all()
+
+    def test_ivf_reduced_probe_still_returns_k(self):
+        keys, vectors = self._vectors(n=50)
+        ivf = IVFIndex(dim=8, num_clusters=8, nprobe=1)
+        ivf.add(vectors)
+        scores, indices = ivf.search(vectors[:2], k=5)
+        assert indices.shape == (2, 5)
+
+    def test_store_create_and_search(self):
+        keys, vectors = self._vectors()
+        store = EmbeddingStore()
+        store.create_collection("authors", keys, vectors)
+        assert store.has_collection("authors")
+        assert store.collection_size("authors") == len(keys)
+        results = store.search("authors", vectors[0], k=3)
+        assert results[0].key == keys[0]
+        assert results[0].rank == 0
+
+    def test_store_similar_to_excludes_self(self):
+        keys, vectors = self._vectors()
+        store = EmbeddingStore()
+        store.create_collection("authors", keys, vectors)
+        results = store.similar_to("authors", keys[5], k=4)
+        assert len(results) == 4
+        assert all(result.key != keys[5] for result in results)
+
+    def test_store_unknown_collection_and_key(self):
+        store = EmbeddingStore()
+        with pytest.raises(PlatformError):
+            store.search("missing", np.zeros(4))
+        keys, vectors = self._vectors()
+        store.create_collection("c", keys, vectors)
+        with pytest.raises(PlatformError):
+            store.similar_to("c", "unknown-key")
+
+    def test_store_mismatched_keys_vectors(self):
+        store = EmbeddingStore()
+        with pytest.raises(PlatformError):
+            store.create_collection("c", ["a"], np.zeros((2, 4)))
+
+    def test_store_drop_collection(self):
+        keys, vectors = self._vectors()
+        store = EmbeddingStore()
+        store.create_collection("c", keys, vectors)
+        assert store.drop_collection("c") is True
+        assert store.drop_collection("c") is False
+        assert store.collections() == []
+
+
+# ---------------------------------------------------------------------------
+# Model store
+# ---------------------------------------------------------------------------
+
+class TestModelStore:
+    def _stored(self, uri="https://www.kgnet.com/model/x"):
+        return StoredModel(uri=IRI(uri), task_type=TaskType.NODE_CLASSIFICATION,
+                           method="rgcn", model={"weights": [1, 2, 3]},
+                           artifacts={"prediction_map": {"a": "b"}})
+
+    def test_add_get_contains(self):
+        store = ModelStore()
+        stored = self._stored()
+        store.add(stored)
+        assert store.get(stored.uri) is stored
+        assert store.get(stored.uri.value) is stored
+        assert stored.uri in store
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ModelNotFoundError):
+            ModelStore().get("https://www.kgnet.com/model/none")
+
+    def test_remove(self):
+        store = ModelStore()
+        stored = self._stored()
+        store.add(stored)
+        assert store.remove(stored.uri) is True
+        assert store.remove(stored.uri) is False
+
+    def test_artifact_accessor(self):
+        stored = self._stored()
+        assert stored.artifact("prediction_map") == {"a": "b"}
+        assert stored.artifact("missing", 42) == 42
+
+    def test_disk_persistence_roundtrip(self, tmp_path):
+        store = ModelStore(directory=str(tmp_path))
+        stored = self._stored()
+        store.add(stored, persist=True)
+        # A brand-new store over the same directory can load it back.
+        reloaded_store = ModelStore(directory=str(tmp_path))
+        reloaded = reloaded_store.get(stored.uri)
+        assert reloaded.artifacts == stored.artifacts
+        assert reloaded.method == "rgcn"
+
+
+# ---------------------------------------------------------------------------
+# Method selector
+# ---------------------------------------------------------------------------
+
+class TestMethodSelector:
+    def test_applicable_methods_by_task(self):
+        selector = MethodSelector()
+        nc_methods = selector.applicable_methods(TaskType.NODE_CLASSIFICATION)
+        lp_methods = selector.applicable_methods(TaskType.LINK_PREDICTION)
+        assert "rgcn" in nc_methods and "graph_saint" in nc_methods
+        assert "morse" in lp_methods and "complex" in lp_methods
+        assert "rgcn" not in lp_methods
+
+    def test_select_prefers_high_prior_unconstrained(self, dblp_nc_data):
+        selection = MethodSelector().select(TaskType.NODE_CLASSIFICATION,
+                                            dblp_nc_data[0])
+        assert selection.method == "shadow_saint"  # highest accuracy prior
+        assert selection.within_budget
+        assert selection.objective == "ModelScore"
+        assert len(selection.candidates) >= 3
+
+    def test_memory_budget_excludes_full_batch(self, dblp_nc_data):
+        data = dblp_nc_data[0]
+        selector = MethodSelector()
+        rgcn_estimate = selector.estimator.estimate("rgcn", data)
+        budget = TaskBudget(max_memory_bytes=rgcn_estimate.memory_bytes * 0.9,
+                            priority="ModelScore")
+        selection = selector.select(TaskType.NODE_CLASSIFICATION, data, budget=budget)
+        assert selection.method != "rgcn"
+
+    def test_time_priority_picks_fastest(self, dblp_nc_data):
+        budget = TaskBudget(priority="Time")
+        selection = MethodSelector().select(TaskType.NODE_CLASSIFICATION,
+                                            dblp_nc_data[0], budget=budget)
+        estimates = {e.method: e.time_seconds for e in selection.candidates}
+        assert selection.estimate.time_seconds == min(estimates.values())
+
+    def test_infeasible_budget_falls_back(self, dblp_nc_data):
+        budget = TaskBudget(max_memory_bytes=1.0)
+        selection = MethodSelector().select(TaskType.NODE_CLASSIFICATION,
+                                            dblp_nc_data[0], budget=budget)
+        assert not selection.within_budget
+
+    def test_candidate_restriction(self, dblp_nc_data):
+        selection = MethodSelector().select(TaskType.NODE_CLASSIFICATION,
+                                            dblp_nc_data[0],
+                                            candidate_methods=["gcn"])
+        assert selection.method == "gcn"
+
+    def test_unknown_candidate_rejected(self, dblp_nc_data):
+        with pytest.raises(ModelSelectionError):
+            MethodSelector().select(TaskType.NODE_CLASSIFICATION, dblp_nc_data[0],
+                                    candidate_methods=["alexnet"])
+
+    def test_selection_as_dict(self, dblp_nc_data):
+        selection = MethodSelector().select(TaskType.NODE_CLASSIFICATION,
+                                            dblp_nc_data[0])
+        payload = selection.as_dict()
+        assert payload["method"] == selection.method
+        assert payload["num_candidates"] == len(selection.candidates)
+
+
+# ---------------------------------------------------------------------------
+# Training manager + GMLaaS service + inference manager
+# ---------------------------------------------------------------------------
+
+QUICK = TrainingManagerConfig(feature_dim=16, hidden_dim=16, embedding_dim=16,
+                              epochs_full_batch=6, epochs_sampling=4, epochs_kge=6,
+                              learning_rate=0.05, seed=0)
+
+
+class TestTrainingManager:
+    def test_node_classification_outcome(self, dblp_graph, paper_venue_task):
+        manager = GMLTrainingManager(QUICK)
+        outcome = manager.train(dblp_graph, paper_venue_task, method="rgcn")
+        assert outcome.result.method == "rgcn"
+        assert outcome.selection.method == "rgcn"
+        assert outcome.transform_report.num_labeled_nodes > 0
+        assert outcome.artifacts["num_predictions"] > 0
+        prediction_map = outcome.artifacts["prediction_map"]
+        sample_value = next(iter(prediction_map.values()))
+        assert sample_value in outcome.artifacts["class_names"]
+        assert "result" in outcome.as_dict()
+
+    def test_link_prediction_outcome(self, dblp_graph, author_affiliation_task):
+        manager = GMLTrainingManager(QUICK)
+        outcome = manager.train(dblp_graph, author_affiliation_task, method="morse")
+        assert outcome.result.task_type == TaskType.LINK_PREDICTION
+        artifacts = outcome.artifacts
+        assert artifacts["entity_embeddings"].shape[0] == len(artifacts["entity_names"])
+        assert artifacts["candidate_tails"].size > 0
+
+    def test_entity_similarity_outcome(self, dblp_graph):
+        task = TaskSpec(task_type=TaskType.ENTITY_SIMILARITY,
+                        entity_node_type=DBLP["Person"])
+        manager = GMLTrainingManager(QUICK)
+        outcome = manager.train(dblp_graph, task, method="distmult")
+        assert outcome.artifacts["entity_embeddings"].shape[0] > 0
+
+    def test_budget_is_threaded_through(self, dblp_graph, paper_venue_task):
+        manager = GMLTrainingManager(QUICK)
+        budget = TaskBudget(max_memory_bytes=1.0, priority="ModelScore")
+        outcome = manager.train(dblp_graph, paper_venue_task, budget=budget)
+        assert not outcome.selection.within_budget
+
+
+class TestGMLaaSService:
+    @pytest.fixture()
+    def service(self):
+        return GMLaaS(config=QUICK)
+
+    def test_train_and_store(self, service, dblp_graph, paper_venue_task):
+        uri = IRI("https://www.kgnet.com/model/test/nc")
+        response = service.train(dblp_graph, paper_venue_task, uri, method="graph_saint")
+        assert response.model_uri == uri.value
+        assert service.has_model(uri)
+        assert uri.value in service.list_models()
+        assert response.metrics["accuracy"] >= 0.0
+        assert response.elapsed_seconds > 0
+        assert response.as_dict()["method"] == "graph_saint"
+
+    def test_node_class_inference(self, service, dblp_graph, paper_venue_task):
+        uri = IRI("https://www.kgnet.com/model/test/nc2")
+        service.train(dblp_graph, paper_venue_task, uri, method="rgcn")
+        stored = service.model_store.get(uri)
+        node, predicted = next(iter(stored.artifact("prediction_map").items()))
+        assert service.infer_node_class(uri, node) == predicted
+        dictionary = service.infer_node_class_dictionary(uri)
+        assert dictionary[node] == predicted
+        subset = service.infer_node_class_dictionary(uri, [node])
+        assert list(subset) == [node]
+        assert service.http_calls == 3
+
+    def test_link_inference(self, service, dblp_graph, author_affiliation_task):
+        uri = IRI("https://www.kgnet.com/model/test/lp")
+        service.train(dblp_graph, author_affiliation_task, uri, method="morse")
+        stored = service.model_store.get(uri)
+        author = next(name for name in stored.artifact("entity_names")
+                      if "person" in name)
+        links = service.infer_links(uri, author, k=3)
+        assert 0 < len(links) <= 3
+        assert all("affiliation" in link["entity"] for link in links)
+        assert links[0]["score"] >= links[-1]["score"]
+
+    def test_similarity_inference(self, service, dblp_graph, author_affiliation_task):
+        uri = IRI("https://www.kgnet.com/model/test/sim")
+        service.train(dblp_graph, author_affiliation_task, uri, method="morse")
+        stored = service.model_store.get(uri)
+        entity = stored.artifact("entity_names")[0]
+        similar = service.infer_similar_entities(uri, entity, k=5)
+        assert len(similar) == 5
+        assert all(result["entity"] != entity for result in similar)
+
+    def test_wrong_model_type_raises(self, service, dblp_graph, paper_venue_task):
+        uri = IRI("https://www.kgnet.com/model/test/nc3")
+        service.train(dblp_graph, paper_venue_task, uri, method="rgcn")
+        with pytest.raises(InferenceError):
+            service.infer_links(uri, "https://www.dblp.org/person/0")
+
+    def test_unknown_model_raises(self, service):
+        with pytest.raises(ModelNotFoundError):
+            service.infer_node_class("https://www.kgnet.com/model/none", "x")
+
+    def test_delete_model(self, service, dblp_graph, paper_venue_task):
+        uri = IRI("https://www.kgnet.com/model/test/del")
+        service.train(dblp_graph, paper_venue_task, uri, method="rgcn")
+        assert service.delete_model(uri) is True
+        assert not service.has_model(uri)
+        assert service.delete_model(uri) is False

@@ -1,0 +1,154 @@
+"""Unit tests for Turtle / N-Triples parsing and serialization."""
+
+import io
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.rdf import (
+    DBLP,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    dump_graph,
+    load_graph,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.terms import RDF_TYPE, XSD_DOUBLE, XSD_INTEGER
+
+
+SAMPLE_TURTLE = """
+@prefix dblp: <https://www.dblp.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+dblp:paper1 a dblp:Publication ;
+    dblp:title "Graph ML" ;
+    dblp:year 2023 ;
+    dblp:score 4.5 ;
+    dblp:open true ;
+    dblp:authoredBy dblp:ada, dblp:bob .
+
+dblp:ada a dblp:Person .
+"""
+
+
+class TestTurtleParsing:
+    def test_parse_counts_triples(self):
+        graph = parse_turtle(SAMPLE_TURTLE)
+        assert len(graph) == 8
+
+    def test_prefix_expansion(self):
+        graph = parse_turtle(SAMPLE_TURTLE)
+        assert Triple(DBLP["paper1"], RDF_TYPE, DBLP["Publication"]) in graph
+
+    def test_predicate_and_object_lists(self):
+        graph = parse_turtle(SAMPLE_TURTLE)
+        authors = set(graph.objects(DBLP["paper1"], DBLP["authoredBy"]))
+        assert authors == {DBLP["ada"], DBLP["bob"]}
+
+    def test_numeric_and_boolean_literals(self):
+        graph = parse_turtle(SAMPLE_TURTLE)
+        year = graph.value(DBLP["paper1"], DBLP["year"])
+        score = graph.value(DBLP["paper1"], DBLP["score"])
+        open_access = graph.value(DBLP["paper1"], DBLP["open"])
+        assert year.datatype == XSD_INTEGER and year.to_python() == 2023
+        assert score.datatype == XSD_DOUBLE and score.to_python() == pytest.approx(4.5)
+        assert open_access.to_python() is True
+
+    def test_string_literal(self):
+        graph = parse_turtle(SAMPLE_TURTLE)
+        assert graph.value(DBLP["paper1"], DBLP["title"]) == Literal("Graph ML")
+
+    def test_language_tag_and_typed_literal(self):
+        text = ('<https://x.org/a> <https://x.org/label> "bonjour"@fr .\n'
+                '<https://x.org/a> <https://x.org/age> '
+                '"12"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        graph = parse_ntriples(text)
+        label = graph.value(IRI("https://x.org/a"), IRI("https://x.org/label"))
+        age = graph.value(IRI("https://x.org/a"), IRI("https://x.org/age"))
+        assert label.language == "fr"
+        assert age.to_python() == 12
+
+    def test_blank_nodes(self):
+        text = "_:b1 <https://x.org/p> _:b2 ."
+        graph = parse_ntriples(text)
+        triple = next(iter(graph))
+        assert triple.subject.id == "b1" and triple.object.id == "b2"
+
+    def test_comments_ignored(self):
+        text = "# a comment\n<https://x.org/a> <https://x.org/p> <https://x.org/b> ."
+        assert len(parse_turtle(text)) == 1
+
+    def test_a_keyword_only_in_predicate_position(self):
+        with pytest.raises(ParseError):
+            parse_turtle("a <https://x.org/p> <https://x.org/b> .")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(Exception):
+            parse_turtle("nope:a <https://x.org/p> nope:b .")
+
+    def test_unterminated_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("<https://x.org/a> <https://x.org/p> <https://x.org/b>")
+
+    def test_trailing_semicolon_allowed(self):
+        text = "@prefix ex: <https://x.org/> .\nex:a ex:p ex:b ; ."
+        assert len(parse_turtle(text)) == 1
+
+    def test_base_resolution(self):
+        text = "@base <https://x.org/> .\n<a> <p> <b> ."
+        graph = parse_turtle(text)
+        triple = next(iter(graph))
+        assert triple.subject == IRI("https://x.org/a")
+
+
+class TestSerialization:
+    def test_ntriples_roundtrip(self, tiny_graph):
+        text = serialize_ntriples(tiny_graph)
+        parsed = parse_ntriples(text)
+        assert parsed == tiny_graph
+
+    def test_ntriples_sorted_lines(self, tiny_graph):
+        lines = serialize_ntriples(tiny_graph).strip().splitlines()
+        assert lines == sorted(lines)
+
+    def test_turtle_roundtrip(self, tiny_graph):
+        text = serialize_turtle(tiny_graph)
+        parsed = parse_turtle(text)
+        assert parsed == tiny_graph
+
+    def test_turtle_uses_prefixes(self, tiny_graph):
+        text = serialize_turtle(tiny_graph)
+        assert "@prefix dblp:" in text
+        assert "dblp:Publication" in text
+
+    def test_empty_graph_serialization(self):
+        assert serialize_ntriples(Graph()) == ""
+
+    def test_dump_and_load_file_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.ttl"
+        dump_graph(tiny_graph, str(path))
+        loaded = load_graph(str(path))
+        assert loaded == tiny_graph
+
+    def test_dump_and_load_ntriples_format(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.nt"
+        dump_graph(tiny_graph, str(path), fmt="ntriples")
+        assert load_graph(str(path)) == tiny_graph
+
+    def test_dump_to_file_object(self, tiny_graph):
+        buffer = io.StringIO()
+        dump_graph(tiny_graph, buffer)
+        assert load_graph(io.StringIO(buffer.getvalue())) == tiny_graph
+
+    def test_dump_unknown_format_raises(self, tiny_graph, tmp_path):
+        with pytest.raises(ParseError):
+            dump_graph(tiny_graph, str(tmp_path / "x"), fmt="rdfxml")
+
+    def test_generated_kg_roundtrip(self, dblp_graph):
+        text = serialize_ntriples(dblp_graph)
+        assert parse_ntriples(text) == dblp_graph

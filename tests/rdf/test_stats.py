@@ -1,0 +1,72 @@
+"""Unit tests for knowledge-graph statistics."""
+
+from repro.rdf import DBLP, Graph, Literal, RDF_TYPE, compute_statistics, format_table
+from repro.rdf.stats import GraphStatistics
+
+
+class TestComputeStatistics:
+    def test_counts_on_tiny_graph(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.num_triples == 10
+        assert stats.num_literals == 2
+        # rdf:type + title + publishedIn + authoredBy + affiliation
+        assert stats.num_edge_types == 5
+        assert stats.num_node_types == 2
+        assert stats.node_type_counts[DBLP["Publication"].value] == 2
+        assert stats.node_type_counts[DBLP["Person"].value] == 2
+
+    def test_literals_not_counted_as_nodes(self):
+        graph = Graph()
+        graph.add(DBLP["a"], DBLP["title"], Literal("x"))
+        stats = compute_statistics(graph)
+        assert stats.num_nodes == 1
+        assert stats.num_literals == 1
+        assert DBLP["title"].value in stats.literal_predicate_counts
+
+    def test_degree_statistics(self, tiny_graph):
+        stats = compute_statistics(tiny_graph)
+        assert stats.max_out_degree == 4  # paper/1 has four outgoing edges
+        assert stats.avg_out_degree > 0
+
+    def test_empty_graph(self):
+        stats = compute_statistics(Graph())
+        assert stats.num_triples == 0
+        assert stats.avg_out_degree == 0.0
+        assert stats.max_out_degree == 0
+
+    def test_as_dict_keys(self, tiny_graph):
+        payload = compute_statistics(tiny_graph).as_dict()
+        for key in ("num_triples", "num_nodes", "num_edge_types", "num_node_types"):
+            assert key in payload
+
+    def test_top_edge_and_node_types(self, dblp_graph):
+        stats = compute_statistics(dblp_graph)
+        top_edges = stats.top_edge_types(5)
+        assert len(top_edges) == 5
+        assert top_edges[0][1] >= top_edges[-1][1]
+        assert stats.top_node_types(3)[0][1] >= stats.top_node_types(3)[-1][1]
+
+    def test_generated_kg_is_heterogeneous(self, dblp_graph, yago_graph):
+        """Table I property: many node and edge types in both KGs."""
+        dblp_stats = compute_statistics(dblp_graph)
+        yago_stats = compute_statistics(yago_graph)
+        assert dblp_stats.num_edge_types >= 15
+        assert dblp_stats.num_node_types >= 10
+        assert yago_stats.num_edge_types >= 15
+        assert yago_stats.num_node_types >= 10
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        rows = [{"kg": "DBLP", "triples": 252}, {"kg": "YAGO", "triples": 400}]
+        table = format_table(rows, title="Table I")
+        assert "Table I" in table
+        assert "DBLP" in table and "YAGO" in table
+        assert table.splitlines()[1].startswith("kg")
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_missing_cells_render_blank(self):
+        table = format_table([{"a": 1}, {"a": 2, "b": 3}], headers=["a", "b"])
+        assert "3" in table

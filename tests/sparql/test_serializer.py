@@ -1,0 +1,125 @@
+"""Unit tests for SPARQL AST serialization (query re-writer support)."""
+
+import pytest
+
+from repro.rdf import DBLP, IRI, Literal, Variable
+from repro.sparql.ast import (
+    ConstantExpr,
+    FunctionCall,
+    GroupPattern,
+    SelectItem,
+    SelectQuery,
+    SubSelectPattern,
+    VariableExpr,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.serializer import (
+    serialize_expression,
+    serialize_query,
+    serialize_select,
+)
+
+PREFIXES = "PREFIX dblp: <https://www.dblp.org/>\nPREFIX kgnet: <https://www.kgnet.com/>\n"
+
+
+def roundtrip(text: str):
+    """Parse -> serialize -> parse again; return both ASTs."""
+    first = parse_query(text)
+    rendered = serialize_query(first)
+    second = parse_query(rendered)
+    return first, second, rendered
+
+
+class TestSerializeRoundtrip:
+    def test_simple_select(self):
+        first, second, rendered = roundtrip(
+            PREFIXES + "SELECT ?s ?t WHERE { ?s dblp:title ?t . }")
+        assert "SELECT ?s ?t" in rendered
+        assert len(second.where.triple_patterns()) == 1
+
+    def test_modifiers_preserved(self):
+        _, second, rendered = roundtrip(
+            PREFIXES + "SELECT DISTINCT ?s WHERE { ?s ?p ?o . } ORDER BY DESC(?s) LIMIT 3")
+        assert second.distinct and second.limit == 3
+        assert second.order_by[0].descending
+        assert "LIMIT 3" in rendered
+
+    def test_filter_and_optional(self):
+        _, second, rendered = roundtrip(PREFIXES + """
+            SELECT ?s WHERE { ?s dblp:title ?t .
+                              OPTIONAL { ?s dblp:year ?y . }
+                              FILTER(?y > 2000) }""")
+        assert "OPTIONAL" in rendered and "FILTER" in rendered
+        assert len(second.where.elements) == 3
+
+    def test_union(self):
+        _, second, rendered = roundtrip(PREFIXES + """
+            SELECT ?x WHERE { { ?x a dblp:Publication . } UNION { ?x a dblp:Person . } }""")
+        assert "UNION" in rendered
+
+    def test_aggregates_and_group_by(self):
+        _, second, rendered = roundtrip(
+            "SELECT ?p (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p")
+        assert "COUNT(DISTINCT ?s)" in rendered
+        assert "GROUP BY ?p" in rendered
+        assert len(second.group_by) == 1
+
+    def test_bind_and_values(self):
+        _, second, rendered = roundtrip(PREFIXES + """
+            SELECT ?y WHERE { VALUES ?s { dblp:a dblp:b }
+                              ?s ?p ?o . BIND(STR(?o) AS ?y) }""")
+        assert "VALUES" in rendered and "BIND" in rendered
+
+    def test_subselect(self):
+        _, second, rendered = roundtrip(PREFIXES + """
+            SELECT ?t WHERE {
+              { SELECT ?s WHERE { ?s a dblp:Publication . } LIMIT 2 }
+              ?s dblp:title ?t . }""")
+        assert rendered.count("SELECT") == 2
+
+    def test_udf_projection(self):
+        _, second, rendered = roundtrip(PREFIXES + """
+            SELECT ?t sql:UDFS.getNodeClass(dblp:m, ?p) as ?venue
+            WHERE { ?p dblp:title ?t . }""")
+        assert "sql:UDFS.getNodeClass(<https://www.dblp.org/m>, ?p)" in rendered
+
+
+class TestSerializeExpressions:
+    def test_constant_and_variable(self):
+        assert serialize_expression(VariableExpr(Variable("x"))) == "?x"
+        assert serialize_expression(ConstantExpr(Literal(3))).startswith('"3"')
+
+    def test_function_with_full_iri_name(self):
+        call = FunctionCall("https://x.org/fn", (VariableExpr(Variable("x")),))
+        assert serialize_expression(call) == "<https://x.org/fn>(?x)"
+
+    def test_programmatic_query_construction(self):
+        """Build the Fig 12 inner sub-select shape by hand and render it."""
+        inner = SelectQuery(
+            select_items=[SelectItem(
+                expression=FunctionCall("sql:UDFS.getNodeClass",
+                                        (ConstantExpr(DBLP["m"]),
+                                         ConstantExpr(DBLP["Publication"]))),
+                alias=Variable("venues_dic"))],
+            where=GroupPattern([]),
+        )
+        outer = SelectQuery(
+            select_items=[SelectItem(VariableExpr(Variable("title")))],
+            where=GroupPattern([SubSelectPattern(inner)]),
+            prefixes={"dblp": DBLP.base},
+        )
+        rendered = serialize_select(outer)
+        assert "venues_dic" in rendered
+        # The rendered text must parse back.
+        parse_query(rendered)
+
+    def test_ask_serialization(self):
+        query = parse_query(PREFIXES + "ASK { ?s a dblp:Publication . }")
+        rendered = serialize_query(query)
+        assert rendered.strip().splitlines()[-1].startswith("ASK") or "ASK" in rendered
+
+    def test_construct_serialization(self):
+        query = parse_query(PREFIXES +
+                            "CONSTRUCT { ?s dblp:label ?t } WHERE { ?s dblp:title ?t . }")
+        rendered = serialize_query(query)
+        assert "CONSTRUCT" in rendered

@@ -1,0 +1,138 @@
+"""Unit tests for SPARQL UPDATE execution and the endpoint facade."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.rdf import DBLP, Graph, IRI, Literal, Triple, RDF_TYPE
+from repro.sparql import SPARQLEndpoint
+
+PREFIXES = "PREFIX dblp: <https://www.dblp.org/>\nPREFIX kgnet: <https://www.kgnet.com/>\n"
+
+
+class TestUpdates:
+    def test_insert_data(self, endpoint):
+        before = len(endpoint.graph)
+        affected = endpoint.update(PREFIXES + """
+            INSERT DATA { dblp:paper/3 a dblp:Publication .
+                          dblp:paper/3 dblp:title "Third" . }""")
+        assert affected == 2
+        assert len(endpoint.graph) == before + 2
+
+    def test_insert_data_is_idempotent_on_duplicates(self, endpoint):
+        update = PREFIXES + "INSERT DATA { dblp:paper/1 a dblp:Publication . }"
+        assert endpoint.update(update) == 0
+
+    def test_delete_data(self, endpoint):
+        affected = endpoint.update(PREFIXES + """
+            DELETE DATA { dblp:paper/1 dblp:publishedIn dblp:venue/ICDE . }""")
+        assert affected == 1
+        assert endpoint.graph.value(DBLP["paper/1"], DBLP["publishedIn"]) is None
+
+    def test_delete_where_pattern(self, endpoint):
+        affected = endpoint.update(PREFIXES + "DELETE WHERE { ?s dblp:title ?t . }")
+        assert affected == 2
+        assert endpoint.graph.count(None, DBLP["title"], None) == 0
+
+    def test_delete_insert_where(self, endpoint):
+        endpoint.update(PREFIXES + """
+            DELETE { ?p dblp:publishedIn ?v } INSERT { ?p dblp:presentedAt ?v }
+            WHERE { ?p dblp:publishedIn ?v . }""")
+        assert endpoint.graph.count(None, DBLP["publishedIn"], None) == 0
+        assert endpoint.graph.count(None, DBLP["presentedAt"], None) == 1
+
+    def test_insert_where_derives_new_triples(self, endpoint):
+        endpoint.update(PREFIXES + """
+            INSERT { ?a dblp:wrote ?p } WHERE { ?p dblp:authoredBy ?a . }""")
+        assert endpoint.graph.count(None, DBLP["wrote"], None) == 2
+
+    def test_insert_into_named_graph(self, endpoint):
+        endpoint.update(PREFIXES + """
+            INSERT INTO <https://www.kgnet.com/KGMeta> { ?p a kgnet:Example }
+            WHERE { ?p a dblp:Publication . }""")
+        meta = endpoint.named_graph("https://www.kgnet.com/KGMeta")
+        assert len(meta) == 2
+        # The default graph is untouched.
+        assert endpoint.graph.count(None, RDF_TYPE, IRI("https://www.kgnet.com/Example")) == 0
+
+    def test_clear_graph(self, endpoint):
+        endpoint.update(PREFIXES + """
+            INSERT DATA { GRAPH <https://x.org/g> { dblp:a dblp:p dblp:b . } }""")
+        assert len(endpoint.named_graph("https://x.org/g")) == 1
+        endpoint.update("CLEAR GRAPH <https://x.org/g>")
+        assert len(endpoint.named_graph("https://x.org/g")) == 0
+
+    def test_update_statistics_recorded(self, endpoint):
+        endpoint.update(PREFIXES + "INSERT DATA { dblp:x dblp:p dblp:y . }")
+        assert endpoint.last_statistics().kind == "UPDATE"
+
+
+class TestEndpoint:
+    def test_load_counts_triples(self, tiny_graph):
+        endpoint = SPARQLEndpoint()
+        assert endpoint.load(tiny_graph) == len(tiny_graph)
+
+    def test_load_into_named_graph(self, tiny_graph):
+        endpoint = SPARQLEndpoint()
+        endpoint.load(tiny_graph, graph_iri="https://x.org/data")
+        assert len(endpoint.graph) == 0
+        assert len(endpoint.named_graph("https://x.org/data")) == len(tiny_graph)
+
+    def test_query_over_union_of_graphs(self, tiny_graph):
+        """KGMeta triples and data triples can be matched in one query."""
+        endpoint = SPARQLEndpoint()
+        endpoint.load(tiny_graph)
+        endpoint.named_graph("https://www.kgnet.com/KGMeta").add(
+            IRI("https://www.kgnet.com/model/1"), RDF_TYPE,
+            IRI("https://www.kgnet.com/NodeClassifier"))
+        result = endpoint.select(PREFIXES + """
+            SELECT ?m ?p WHERE { ?m a kgnet:NodeClassifier .
+                                 ?p a dblp:Publication . }""")
+        assert len(result) == 2
+
+    def test_from_clause_selects_named_graph(self, tiny_graph):
+        endpoint = SPARQLEndpoint()
+        endpoint.load(tiny_graph, graph_iri="https://x.org/data")
+        result = endpoint.select(PREFIXES + """
+            SELECT ?p FROM <https://x.org/data> WHERE { ?p a dblp:Publication . }""")
+        assert len(result) == 2
+
+    def test_select_raises_on_ask(self, endpoint):
+        with pytest.raises(QueryError):
+            endpoint.select(PREFIXES + "ASK { ?s ?p ?o . }")
+
+    def test_ask_raises_on_select(self, endpoint):
+        with pytest.raises(QueryError):
+            endpoint.ask("SELECT ?s WHERE { ?s ?p ?o . }")
+
+    def test_history_and_reset(self, endpoint):
+        endpoint.select("SELECT ?s WHERE { ?s ?p ?o . }")
+        assert endpoint.last_statistics().kind == "SELECT"
+        assert endpoint.last_statistics().num_results == len(endpoint.graph)
+        endpoint.reset_counters()
+        assert endpoint.last_statistics() is None
+
+    def test_udf_call_counting(self, endpoint):
+        endpoint.register_udf("sql:UDFS.constant", lambda *_: "x")
+        endpoint.select(PREFIXES + """
+            SELECT ?p sql:UDFS.constant(?p) as ?c WHERE { ?p a dblp:Publication . }""")
+        assert endpoint.total_udf_calls("sql:UDFS.constant") == 2
+        assert endpoint.last_statistics().udf_calls == 2
+
+    def test_result_set_helpers(self, endpoint):
+        result = endpoint.select(PREFIXES +
+                                 "SELECT ?p ?t WHERE { ?p dblp:title ?t . } ORDER BY ?t")
+        assert len(result.rows()) == 2
+        assert len(result.column("t")) == 2
+        assert len(result.distinct_values("t")) == 2
+        table = result.to_table()
+        assert "?t" in table and "Graph Machine Learning" in table
+        python_rows = result.to_python()
+        assert python_rows[0]["t"] == "Graph Machine Learning"
+
+    def test_to_table_truncation(self, endpoint):
+        result = endpoint.select("SELECT ?s WHERE { ?s ?p ?o . }")
+        table = result.to_table(max_rows=2)
+        assert "more rows" in table
+
+    def test_repr_mentions_sizes(self, endpoint):
+        assert "triples" in repr(endpoint)
