@@ -1,0 +1,134 @@
+"""API dispatch overhead and batched-inference throughput.
+
+The API redesign routes every platform operation through versioned JSON
+envelopes (``repro.kgnet.api``).  This benchmark quantifies what that surface
+costs and what batching buys:
+
+1. **Envelope overhead per call** — the same no-op operation (``ping``) and a
+   cheap real operation (``list_models``) dispatched (a) straight through the
+   router with rich envelopes, and (b) through :class:`APIClient`, i.e. with a
+   full JSON serialise -> route -> deserialise round trip per call.
+2. **Batched vs single inference** — classifying every publication through
+   one ``infer_node_class`` call per node versus a single ``infer_batch``
+   call, reporting HTTP calls and throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from harness import save_report
+from repro.datasets import dblp_paper_venue_task
+from repro.kgnet.api import APIRequest
+from repro.rdf import DBLP, RDF_TYPE
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module")
+def platform_with_nc_model(dblp_platform):
+    existing = [m for m in dblp_platform.list_models()
+                if m.task_type == "node_classification"]
+    if not existing:
+        dblp_platform.train_task(dblp_paper_venue_task(), method="graph_saint")
+    return dblp_platform
+
+
+def _per_call_us(total_seconds: float, calls: int) -> float:
+    return round(total_seconds / calls * 1e6, 1)
+
+
+@pytest.mark.benchmark(group="api-dispatch")
+@pytest.mark.parametrize("op", ["ping", "list_models"])
+def test_envelope_overhead_per_call(benchmark, platform_with_nc_model, op):
+    """Router dispatch vs full JSON round trip for one cheap operation."""
+    platform = platform_with_nc_model
+    calls = 200
+
+    def run_router():
+        for _ in range(calls):
+            platform.api.dispatch(APIRequest(op=op)).raise_for_error()
+
+    started = time.perf_counter()
+    run_router()
+    router_seconds = time.perf_counter() - started
+
+    def run_client():
+        for _ in range(calls):
+            platform.client.call(op)
+
+    benchmark.pedantic(run_client, rounds=1, iterations=1)
+    started = time.perf_counter()
+    run_client()
+    client_seconds = time.perf_counter() - started
+
+    _ROWS.append({
+        "workload": f"{op} (router, rich envelopes)",
+        "calls": calls,
+        "http_calls": 0,
+        "per_call_us": _per_call_us(router_seconds, calls),
+        "items_per_s": round(calls / router_seconds),
+    })
+    _ROWS.append({
+        "workload": f"{op} (client, JSON round trip)",
+        "calls": calls,
+        "http_calls": 0,
+        "per_call_us": _per_call_us(client_seconds, calls),
+        "items_per_s": round(calls / client_seconds),
+    })
+    benchmark.extra_info["per_call_us_json"] = _per_call_us(client_seconds, calls)
+
+
+@pytest.mark.benchmark(group="api-dispatch")
+def test_batched_vs_single_inference(benchmark, platform_with_nc_model):
+    """One infer_batch call vs one infer_node_class call per target node."""
+    platform = platform_with_nc_model
+    model = next(m for m in platform.list_models()
+                 if m.task_type == "node_classification")
+    papers = [s.value for s in platform.graph.subjects(
+        RDF_TYPE, DBLP["Publication"])]
+
+    before = platform.http_calls
+    started = time.perf_counter()
+    for paper in papers:
+        platform.predict_node_class(model.uri, paper)
+    single_seconds = time.perf_counter() - started
+    single_calls = platform.http_calls - before
+
+    def run_batch():
+        return platform.client.infer_batch(model.uri.value, papers)
+
+    batch_result = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    started = time.perf_counter()
+    batch_result = run_batch()
+    batch_seconds = time.perf_counter() - started
+
+    assert batch_result["total"] == len(papers)
+    assert batch_result["http_calls"] == 1
+
+    _ROWS.append({
+        "workload": "infer single (1 call per node)",
+        "calls": len(papers),
+        "http_calls": single_calls,
+        "per_call_us": _per_call_us(single_seconds, len(papers)),
+        "items_per_s": round(len(papers) / single_seconds),
+    })
+    _ROWS.append({
+        "workload": "infer_batch (1 call, JSON round trip)",
+        "calls": 1,
+        "http_calls": batch_result["http_calls"],
+        "per_call_us": _per_call_us(batch_seconds, len(papers)),
+        "items_per_s": round(len(papers) / batch_seconds),
+    })
+    save_report(
+        "api_dispatch",
+        "Service API: envelope dispatch overhead and batched inference throughput",
+        _ROWS,
+        notes=[
+            "per_call_us amortises total wall-clock over logical items "
+            "(calls for ping/list_models, nodes for inference).",
+            "The JSON rows pay serialise -> route -> deserialise on every "
+            "call; batching amortises it across the whole input list.",
+        ])

@@ -1,19 +1,20 @@
-"""Quickstart: load a KG, train a model with SPARQL-ML, query it.
+"""Quickstart: drive the whole KGNet platform through the service API.
 
-This walks through the KGNet loop of the paper in ~60 lines:
+This walks the KGNet loop of the paper, but the way the paper deploys it —
+as a *service*: every step below travels through a versioned JSON envelope
+(`repro.kgnet.api`), exactly what a remote HTTP client would send:
 
 1. load a knowledge graph into the platform's RDF endpoint,
-2. train a node-classification model with a SPARQL-ML INSERT (paper Fig 8) —
-   the platform meta-samples a task-specific subgraph, picks a GML method
-   within the budget, trains it and registers the model in KGMeta,
+2. train a node-classification model with a SPARQL-ML INSERT (paper Fig 8),
 3. query the KG *and* the model with a SPARQL-ML SELECT (paper Fig 2),
-4. inspect KGMeta and drop the model with a SPARQL-ML DELETE (paper Fig 9).
+4. run batched inference (one amortised call for many nodes),
+5. inspect KGMeta and drop the model with a SPARQL-ML DELETE (paper Fig 9).
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from repro.datasets import DBLPConfig, generate_dblp_kg
-from repro.kgnet import KGNet
+from repro.kgnet import APIClient
 
 TRAIN_QUERY = """
 prefix dblp:<https://www.dblp.org/>
@@ -52,36 +53,56 @@ where {
 
 
 def main() -> None:
-    # 1. Stand up the platform and load a DBLP-like knowledge graph.
-    platform = KGNet()
+    # 1. Stand up a platform behind a JSON-only API client and load a KG.
+    client = APIClient.in_process()
     graph = generate_dblp_kg(DBLPConfig(scale=0.3, seed=7))
-    platform.load_graph(graph)
-    print(f"Loaded KG with {len(platform.graph)} triples")
+    loaded = client.load_graph(graph)
+    print(f"Loaded KG with {loaded['total_triples']} triples")
 
-    # 2. Train a paper-venue classifier via SPARQL-ML INSERT.
-    report = platform.train_sparqlml(TRAIN_QUERY)
-    print(f"\nTrained model {report.model_uri}")
-    print(f"  method           : {report.method} (picked automatically)")
-    print(f"  accuracy         : {report.metrics['accuracy']:.2%}")
-    print(f"  KG' triples      : {report.meta_sampling['num_subgraph_triples']} "
-          f"of {report.meta_sampling['num_kg_triples']} "
-          f"({report.meta_sampling['config']} meta-sampling)")
-    print(f"  training time    : {report.training['elapsed_seconds']:.2f} s")
+    # 2. Train a paper-venue classifier via SPARQL-ML INSERT.  The response
+    #    is the plain-JSON projection of the training report.
+    report = client.train(query=TRAIN_QUERY)
+    print(f"\nTrained model {report['model_uri']}")
+    print(f"  method           : {report['method']} (picked automatically)")
+    print(f"  accuracy         : {report['metrics']['accuracy']:.2%}")
+    print(f"  KG' triples      : {report['meta_sampling']['num_subgraph_triples']} "
+          f"of {report['meta_sampling']['num_kg_triples']} "
+          f"({report['meta_sampling']['config']} meta-sampling)")
+    print(f"  training time    : {report['training']['elapsed_seconds']:.2f} s")
 
     # 3. Ask for every paper's (predicted) venue with a SPARQL-ML SELECT.
-    answers = platform.query(SELECT_QUERY)
-    print(f"\nSPARQL-ML SELECT returned {len(answers.results)} rows "
-          f"using plan '{answers.plans[0].plan}' ({answers.http_calls} HTTP call(s))")
-    print(answers.results.to_table(max_rows=5))
+    #    Large result sets page through server-side cursors.
+    answers = client.query(SELECT_QUERY, page_size=5)
+    print(f"\nSPARQL-ML SELECT returned {answers['num_results']} rows "
+          f"using plan '{answers['plans'][0]['plan']}' "
+          f"({answers['http_calls']} HTTP call(s))")
+    for row in answers["rows"]:
+        print(f"  {row['title']!r:42} -> {row['venue']}")
+    fetched = sum(1 for _ in client.iter_pages(answers, "rows"))
+    print(f"  ... followed cursors through the remaining "
+          f"{fetched - len(answers['rows'])} rows ({fetched} total)")
 
-    # 4. KGMeta knows about the model; DELETE removes it again.
+    # 4. Batched inference: classify many papers with ONE amortised call.
+    papers = [row["s"] for row in client.sparql(
+        "SELECT ?s WHERE { ?s a <https://www.dblp.org/Publication> }")["rows"]]
+    batch = client.infer_batch(report["model_uri"], papers[:10])
+    print(f"\ninfer_batch classified {batch['total']} papers "
+          f"in {batch['http_calls']} HTTP call(s)")
+
+    # 5. KGMeta knows about the model; DELETE removes it again.
     print("\nModels registered in KGMeta:")
-    for model in platform.list_models():
-        print(f"  {model.uri.value}  accuracy={model.accuracy:.2f} "
-              f"inference={model.inference_seconds * 1000:.1f} ms")
-    deletion = platform.delete_models(DELETE_QUERY)
-    print(f"\nDeleted {len(deletion.deleted_models)} model(s); "
-          f"KGMeta now holds {len(platform.list_models())} model(s)")
+    for model in client.list_models():
+        print(f"  {model['uri']}  accuracy={model['accuracy']:.2f} "
+              f"inference={model['inference_seconds'] * 1000:.1f} ms")
+    deletion = client.delete_models(DELETE_QUERY)
+    print(f"\nDeleted {len(deletion['deleted_models'])} model(s); "
+          f"KGMeta now holds {len(client.list_models())} model(s)")
+
+    # Every call above crossed a JSON boundary; the router kept score.
+    metrics = client.metrics()
+    print("\nPer-route API metrics:")
+    for op, row in metrics.items():
+        print(f"  {op:15} calls={row['calls']:3}  mean={row['mean_seconds'] * 1e3:7.2f} ms")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,36 @@ Reproduction of "Towards a GML-Enabled Knowledge Graph Platform"
   and task definitions.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["__version__"]
+from repro.gml.tasks import TaskSpec, TaskType
+from repro.gml.train.budget import TaskBudget
+from repro.kgnet.api import (
+    API_VERSION,
+    APIClient,
+    APIRequest,
+    APIResponse,
+    APIRouter,
+)
+from repro.kgnet.kgmeta.governor import ModelMetadata
+from repro.kgnet.meta_sampler import MetaSamplingConfig
+from repro.kgnet.platform import KGNet
+from repro.kgnet.sparqlml.service import DeleteReport, SelectReport, TrainReport
+
+__all__ = [
+    "__version__",
+    "API_VERSION",
+    "APIClient",
+    "APIRequest",
+    "APIResponse",
+    "APIRouter",
+    "DeleteReport",
+    "KGNet",
+    "MetaSamplingConfig",
+    "ModelMetadata",
+    "SelectReport",
+    "TaskBudget",
+    "TaskSpec",
+    "TaskType",
+    "TrainReport",
+]

@@ -134,3 +134,24 @@ class KGMetaError(PlatformError):
 
 class SPARQLMLError(PlatformError):
     """A SPARQL-ML query is malformed or cannot be rewritten."""
+
+
+# ---------------------------------------------------------------------------
+# Service API errors
+# ---------------------------------------------------------------------------
+
+
+class APIError(KGNetError):
+    """Base class for errors raised by the versioned service API."""
+
+
+class BadRequestError(APIError):
+    """An API request envelope is malformed or misses required parameters."""
+
+
+class UnknownOperationError(APIError):
+    """The requested operation is not registered with the API router."""
+
+
+class CursorError(APIError):
+    """A pagination cursor is unknown, expired, or already consumed."""

@@ -93,3 +93,26 @@ class TaskSpec:
             "target_predicate": iri(self.target_predicate),
             "entity_node_type": iri(self.entity_node_type),
         }
+
+    _IRI_FIELDS = ("target_node_type", "label_predicate", "source_node_type",
+                   "destination_node_type", "target_predicate", "entity_node_type")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TaskSpec":
+        """Inverse of :meth:`as_dict`; IRI fields arrive as plain strings."""
+        if "task_type" not in payload:
+            raise DatasetError("task payload misses 'task_type'")
+        kwargs: Dict[str, object] = {
+            "task_type": payload["task_type"],
+            "name": str(payload.get("name") or ""),
+        }
+        for name in cls._IRI_FIELDS:
+            value = payload.get(name)
+            if isinstance(value, IRI):
+                kwargs[name] = value
+            elif value is not None:
+                kwargs[name] = IRI(str(value))
+        extra = payload.get("extra")
+        if isinstance(extra, dict):
+            kwargs["extra"] = dict(extra)
+        return cls(**kwargs)

@@ -70,9 +70,11 @@ class TaskBudget:
         """Build from a TrainGML-style JSON object (case-insensitive keys)."""
         normalised = {str(key).lower().replace("_", "").replace(" ", ""): value
                       for key, value in payload.items()}
+        memory = normalised.get("maxmemory", normalised.get("maxmemorybytes"))
+        seconds = normalised.get("maxtime", normalised.get("maxtimeseconds"))
         return cls(
-            max_memory_bytes=_parse_size(normalised.get("maxmemory")),
-            max_time_seconds=_parse_time(normalised.get("maxtime")),
+            max_memory_bytes=_parse_size(memory),
+            max_time_seconds=_parse_time(seconds),
             priority=str(normalised.get("priority", "ModelScore")),
         )
 

@@ -1,0 +1,125 @@
+"""Stable error codes for the versioned service API.
+
+Every exception class in :mod:`repro.exceptions` maps to one stable,
+transport-safe error code.  The codes are part of the API contract: clients
+match on ``error["code"]`` strings, never on Python class names, so the table
+below must only ever grow — renaming or removing a code is a breaking change.
+
+The mapping is bidirectional: :func:`error_payload` turns a raised exception
+into the JSON ``error`` object of an :class:`~repro.kgnet.api.envelopes.APIResponse`,
+and :func:`exception_from_payload` reconstructs the most specific exception
+class on the client side so ``raise_for_error()`` surfaces the same type the
+server raised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro import exceptions as X
+
+__all__ = [
+    "ERROR_CODES",
+    "INTERNAL_ERROR",
+    "error_code",
+    "error_payload",
+    "exception_from_payload",
+]
+
+#: Exception class -> stable error code.  Append-only.
+ERROR_CODES: Dict[Type[BaseException], str] = {
+    X.KGNetError: "KGNET_ERROR",
+    # RDF / SPARQL substrate
+    X.RDFError: "RDF_ERROR",
+    X.TermError: "TERM_ERROR",
+    X.ParseError: "PARSE_ERROR",
+    X.SPARQLError: "SPARQL_ERROR",
+    X.QueryError: "QUERY_ERROR",
+    X.UpdateError: "UPDATE_ERROR",
+    X.UnsupportedFeatureError: "UNSUPPORTED_FEATURE",
+    X.UDFError: "UDF_ERROR",
+    # GML framework
+    X.GMLError: "GML_ERROR",
+    X.AutogradError: "AUTOGRAD_ERROR",
+    X.ShapeError: "SHAPE_ERROR",
+    X.TrainingError: "TRAINING_ERROR",
+    X.BudgetExceededError: "BUDGET_EXCEEDED",
+    X.SamplingError: "SAMPLING_ERROR",
+    X.DatasetError: "DATASET_ERROR",
+    # KGNet platform
+    X.PlatformError: "PLATFORM_ERROR",
+    X.MetaSamplingError: "META_SAMPLING_ERROR",
+    X.ModelNotFoundError: "MODEL_NOT_FOUND",
+    X.ModelSelectionError: "MODEL_SELECTION_ERROR",
+    X.InferenceError: "INFERENCE_ERROR",
+    X.KGMetaError: "KGMETA_ERROR",
+    X.SPARQLMLError: "SPARQLML_ERROR",
+    # Service API
+    X.APIError: "API_ERROR",
+    X.BadRequestError: "BAD_REQUEST",
+    X.UnknownOperationError: "UNKNOWN_OPERATION",
+    X.CursorError: "CURSOR_ERROR",
+}
+
+#: Code reported for exceptions outside the KGNet hierarchy (bugs, OS errors).
+INTERNAL_ERROR = "INTERNAL_ERROR"
+
+_CLASS_BY_CODE: Dict[str, Type[BaseException]] = {
+    code: cls for cls, code in ERROR_CODES.items()
+}
+
+
+def error_code(error: object) -> str:
+    """The stable code for an exception instance or class.
+
+    Walks the MRO so subclasses added without a registry entry inherit the
+    nearest registered ancestor's code instead of leaking class names.
+    """
+    cls = error if isinstance(error, type) else type(error)
+    for base in cls.__mro__:
+        if base in ERROR_CODES:
+            return ERROR_CODES[base]
+    return INTERNAL_ERROR
+
+
+def error_payload(error: BaseException) -> Dict[str, object]:
+    """Serialise an exception into the envelope's JSON ``error`` object."""
+    payload: Dict[str, object] = {
+        "code": error_code(error),
+        "message": str(error),
+        "type": type(error).__name__,
+    }
+    details: Dict[str, object] = {}
+    if isinstance(error, X.ParseError):
+        details["message"] = error.message
+        details["line"] = error.line
+        details["column"] = error.column
+    if isinstance(error, X.BudgetExceededError):
+        details["elapsed_seconds"] = error.elapsed_seconds
+        details["peak_memory_bytes"] = error.peak_memory_bytes
+    if details:
+        payload["details"] = details
+    return payload
+
+
+def exception_from_payload(payload: Optional[Dict[str, object]]) -> BaseException:
+    """Rebuild the most specific exception an ``error`` payload describes."""
+    if not payload:
+        return X.KGNetError("unknown API error (empty error payload)")
+    code = str(payload.get("code", INTERNAL_ERROR))
+    message = str(payload.get("message", code))
+    cls = _CLASS_BY_CODE.get(code)
+    details = payload.get("details")
+    details = details if isinstance(details, dict) else {}
+    if cls is X.ParseError:
+        return X.ParseError(str(details.get("message", message)),
+                            line=int(details.get("line", 0)),
+                            column=int(details.get("column", 0)))
+    if cls is X.BudgetExceededError:
+        return X.BudgetExceededError(
+            message,
+            elapsed_seconds=float(details.get("elapsed_seconds", 0.0)),
+            peak_memory_bytes=int(details.get("peak_memory_bytes", 0)))
+    if cls is not None:
+        return cls(message)
+    return X.KGNetError(f"[{code}] {message}")

@@ -1,0 +1,482 @@
+"""The API router: one dispatch surface for every platform operation.
+
+The router receives :class:`~repro.kgnet.api.envelopes.APIRequest` envelopes
+(or plain JSON dicts), routes them to the SPARQL endpoint, the SPARQL-ML
+service and GMLaaS, and always answers with an
+:class:`~repro.kgnet.api.envelopes.APIResponse`:
+
+* every :mod:`repro.exceptions` type is mapped to a uniform error envelope
+  with a stable code — the router never lets platform errors escape,
+* every route records latency/throughput counters (``metrics()``),
+* large results page through server-side cursors (``next_page``), and
+  ``infer_batch`` amortises dispatch overhead over many inference inputs.
+
+The legacy :class:`~repro.kgnet.platform.KGNet` facade dispatches through a
+router in-process (rich results ride along as ``response.attachment``);
+:class:`~repro.kgnet.api.client.APIClient` talks to the same router through
+pure JSON, proving the contract is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import BadRequestError, CursorError, UnknownOperationError
+from repro.gml.tasks import TaskSpec
+from repro.gml.train.budget import TaskBudget
+from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
+from repro.kgnet.gmlaas.service import GMLaaS
+from repro.kgnet.kgmeta.governor import KGMetaGovernor
+from repro.kgnet.meta_sampler import MetaSamplingConfig
+from repro.kgnet.sparqlml.optimizer import ModelSelectionObjective
+from repro.kgnet.sparqlml.parser import TrainGMLRequest
+from repro.kgnet.sparqlml.service import SelectReport, SPARQLMLService
+from repro.rdf.graph import Graph
+from repro.rdf.io import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import IRI
+from repro.sparql.endpoint import SPARQLEndpoint
+from repro.sparql.results import ResultSet
+
+__all__ = ["RouteMetrics", "APIRouter"]
+
+#: Oldest cursors are dropped beyond this many live result pages.
+MAX_LIVE_CURSORS = 64
+
+
+@dataclass
+class RouteMetrics:
+    """Latency / throughput counters for one route."""
+
+    calls: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def record(self, elapsed: float, ok: bool) -> None:
+        self.calls += 1
+        if not ok:
+            self.errors += 1
+        self.total_seconds += elapsed
+        self.max_seconds = max(self.max_seconds, elapsed)
+
+    def as_dict(self) -> Dict[str, object]:
+        mean = self.total_seconds / self.calls if self.calls else 0.0
+        return {
+            "calls": self.calls,
+            "errors": self.errors,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": round(mean, 6),
+            "max_seconds": round(self.max_seconds, 6),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Parameter normalisation: JSON payloads and rich in-process objects both work
+# ---------------------------------------------------------------------------
+
+
+def _require(params: Dict[str, object], name: str) -> object:
+    if name not in params or params[name] is None:
+        raise BadRequestError(f"missing required parameter {name!r}")
+    return params[name]
+
+
+def _as_task(value: object) -> TaskSpec:
+    if isinstance(value, TaskSpec):
+        return value
+    if isinstance(value, dict):
+        return TaskSpec.from_dict(value)
+    raise BadRequestError("'task' must be a TaskSpec or its JSON object")
+
+
+def _as_budget(value: object) -> Optional[TaskBudget]:
+    if value is None or isinstance(value, TaskBudget):
+        return value
+    if isinstance(value, dict):
+        return TaskBudget.from_json(value)
+    raise BadRequestError("'budget' must be a TaskBudget or its JSON object")
+
+
+def _as_meta_sampling(value: object) -> Optional[MetaSamplingConfig]:
+    if value is None or isinstance(value, MetaSamplingConfig):
+        return value
+    if isinstance(value, str):
+        return MetaSamplingConfig.from_label(value)
+    if isinstance(value, dict):
+        return MetaSamplingConfig(**value)
+    raise BadRequestError("'meta_sampling' must be a label like 'd1h1' or a JSON object")
+
+
+def _as_objective(value: object) -> Optional[ModelSelectionObjective]:
+    if value is None or isinstance(value, ModelSelectionObjective):
+        return value
+    if isinstance(value, dict):
+        return ModelSelectionObjective(**value)
+    raise BadRequestError("'objective' must be a ModelSelectionObjective or its JSON object")
+
+
+def _as_iri_text(value: object, name: str) -> str:
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, str) and value:
+        return value
+    raise BadRequestError(f"{name!r} must be an IRI string")
+
+
+class APIRouter:
+    """Dispatches versioned envelopes to the platform's services."""
+
+    def __init__(self, endpoint: SPARQLEndpoint, gmlaas: GMLaaS,
+                 governor: KGMetaGovernor, sparqlml: SPARQLMLService) -> None:
+        self.endpoint = endpoint
+        self.gmlaas = gmlaas
+        self.governor = governor
+        self.sparqlml = sparqlml
+        self._metrics: Dict[str, RouteMetrics] = {}
+        self._cursors: "OrderedDict[str, List[object]]" = OrderedDict()
+        self._cursor_ids = itertools.count(1)
+        #: op name -> handler(params) -> (json_result_or_thunk, attachment);
+        #: a zero-arg callable result is projected lazily on first read.
+        self._routes: Dict[str, Callable[[Dict[str, object]],
+                                         Tuple[object, object]]] = {
+            "ping": self._handle_ping,
+            "load": self._handle_load,
+            "sparql": self._handle_sparql,
+            "sparqlml": self._handle_sparqlml,
+            "sparqlml_select": self._handle_sparqlml_select,
+            "train": self._handle_train,
+            "infer_node_class": self._handle_infer_node_class,
+            "infer_links": self._handle_infer_links,
+            "infer_similar": self._handle_infer_similar,
+            "infer_batch": self._handle_infer_batch,
+            "next_page": self._handle_next_page,
+            "list_models": self._handle_list_models,
+            "describe_model": self._handle_describe_model,
+            "delete_models": self._handle_delete_models,
+            "stats": self._handle_stats,
+            "metrics": self._handle_metrics,
+        }
+        #: Accepted param keys per op; anything else is rejected so typo'd
+        #: options fail loudly instead of being silently ignored.
+        self._allowed_params: Dict[str, frozenset] = {
+            "ping": frozenset(),
+            "load": frozenset({"triples", "ntriples", "graph_iri"}),
+            "sparql": frozenset({"query", "page_size"}),
+            "sparqlml": frozenset({"query", "page_size", "method",
+                                   "meta_sampling", "use_meta_sampling",
+                                   "objective", "force_plan"}),
+            "sparqlml_select": frozenset({"query", "objective", "force_plan",
+                                          "page_size"}),
+            "train": frozenset({"query", "task", "budget", "method",
+                                "meta_sampling", "use_meta_sampling", "name"}),
+            "infer_node_class": frozenset({"model_uri", "node"}),
+            "infer_links": frozenset({"model_uri", "source", "k"}),
+            "infer_similar": frozenset({"model_uri", "entity", "k"}),
+            "infer_batch": frozenset({"model_uri", "inputs", "k", "mode",
+                                      "page_size"}),
+            "next_page": frozenset({"cursor", "page_size"}),
+            "list_models": frozenset(),
+            "describe_model": frozenset({"model_uri"}),
+            "delete_models": frozenset({"query"}),
+            "stats": frozenset(),
+            "metrics": frozenset(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def operations(self) -> List[str]:
+        return sorted(self._routes)
+
+    def dispatch(self, request: Union[APIRequest, Dict[str, object]]) -> APIResponse:
+        """Route one envelope; always returns an envelope, never raises."""
+        started = time.perf_counter()
+        if not isinstance(request, APIRequest):
+            raw = request
+            try:
+                request = APIRequest.from_dict(raw)
+            except BadRequestError as exc:
+                op = raw.get("op") if isinstance(raw, dict) else None
+                pseudo = APIRequest(op=str(op or "?"))
+                return self._finish(pseudo, APIResponse.failure(pseudo, exc), started)
+        handler = self._routes.get(request.op)
+        if handler is None:
+            error = UnknownOperationError(
+                f"unknown operation {request.op!r}; supported: {', '.join(self.operations())}")
+            return self._finish(request, APIResponse.failure(request, error), started)
+        try:
+            unknown = set(request.params) - self._allowed_params[request.op]
+            if unknown:
+                raise BadRequestError(
+                    f"unknown parameter(s) for {request.op!r}: "
+                    f"{', '.join(sorted(map(str, unknown)))}")
+            result, attachment = handler(request.params)
+            response = APIResponse.success(request, result, attachment=attachment)
+        except Exception as exc:  # noqa: BLE001 — every error becomes an envelope
+            response = APIResponse.failure(request, exc)
+        return self._finish(request, response, started)
+
+    def dispatch_dict(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Dict-in / dict-out dispatch: the in-process 'HTTP' transport."""
+        return self.dispatch(payload).to_dict()
+
+    def _finish(self, request: APIRequest, response: APIResponse,
+                started: float) -> APIResponse:
+        elapsed = time.perf_counter() - started
+        response.meta.setdefault("elapsed_seconds", round(elapsed, 9))
+        response.meta.setdefault("api_version", API_VERSION)
+        # Client-supplied op strings must not grow the metrics table without
+        # bound: anything unrouted is accounted under one sentinel key.
+        key = request.op if request.op in self._routes else "<unknown>"
+        self._metrics.setdefault(key, RouteMetrics()).record(elapsed, response.ok)
+        return response
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """Per-route latency/throughput counters since start-up."""
+        return {op: m.as_dict() for op, m in sorted(self._metrics.items())}
+
+    # ------------------------------------------------------------------
+    # Pagination cursors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_page_size(page_size: object) -> Optional[int]:
+        """Validate an optional ``page_size`` parameter (None = no paging)."""
+        if page_size is None:
+            return None
+        try:
+            size = int(page_size)
+        except (TypeError, ValueError):
+            raise BadRequestError(f"'page_size' must be an integer, got {page_size!r}")
+        if size <= 0:
+            raise BadRequestError("'page_size' must be positive")
+        return size
+
+    def _paginate(self, items: List[object],
+                  page_size: object) -> Tuple[List[object], Optional[str]]:
+        size = self._coerce_page_size(page_size)
+        if size is None:
+            return items, None
+        page, rest = items[:size], items[size:]
+        if not rest:
+            return page, None
+        cursor = f"cur-{next(self._cursor_ids)}-p{size}"
+        self._cursors[cursor] = rest
+        while len(self._cursors) > MAX_LIVE_CURSORS:
+            self._cursors.popitem(last=False)
+        return page, cursor
+
+    def _handle_next_page(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        cursor = str(_require(params, "cursor"))
+        if cursor not in self._cursors:
+            raise CursorError(f"unknown or expired cursor {cursor!r}")
+        # Validate before consuming the cursor: a bad page_size must not
+        # destroy the remaining pages.
+        size = self._coerce_page_size(params.get("page_size"))
+        if size is None:
+            try:
+                size = int(cursor.rsplit("-p", 1)[1])
+            except (IndexError, ValueError):
+                size = len(self._cursors[cursor])
+        remaining = self._cursors.pop(cursor)
+        page, next_cursor = self._paginate(remaining, size)
+        result = {"items": page, "next_cursor": next_cursor,
+                  "remaining": max(0, len(remaining) - len(page))}
+        return result, page
+
+    # ------------------------------------------------------------------
+    # Result projection
+    # ------------------------------------------------------------------
+    def _project_query_result(self, value: object,
+                              page_size: object) -> Dict[str, object]:
+        if isinstance(value, ResultSet):
+            rows = value.to_python()
+            page, cursor = self._paginate(rows, page_size)
+            return {"kind": "SELECT",
+                    "variables": [v.name for v in value.variables],
+                    "total_rows": len(rows), "rows": page, "next_cursor": cursor}
+        if isinstance(value, bool):
+            return {"kind": "ASK", "answer": value}
+        if isinstance(value, Graph):
+            return {"kind": "CONSTRUCT", "num_triples": len(value),
+                    "ntriples": serialize_ntriples(value)}
+        if isinstance(value, int):
+            return {"kind": "UPDATE", "affected_triples": value}
+        raise BadRequestError(f"unprojectable query result {type(value).__name__}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_ping(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        return {"status": "ok", "api_version": API_VERSION,
+                "operations": self.operations()}, None
+
+    def _handle_load(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        graph_iri = params.get("graph_iri")
+        triples = params.get("triples")
+        if triples is None:
+            text = _require(params, "ntriples")
+            if not isinstance(text, str):
+                raise BadRequestError("'ntriples' must be an N-Triples string")
+            triples = parse_ntriples(text)
+        loaded = self.endpoint.load(triples, graph_iri=graph_iri)
+        return {"triples_loaded": loaded,
+                "total_triples": len(self.endpoint.graph)}, loaded
+
+    def _handle_sparql(self, params: Dict[str, object]) -> Tuple[object, object]:
+        query = str(_require(params, "query"))
+        page_size = self._coerce_page_size(params.get("page_size"))
+        value = self.endpoint.execute(query)
+        # The JSON projection (row conversion, graph serialisation) is built
+        # lazily: in-process callers consume the attachment and skip it.
+        return (lambda: self._project_query_result(value, page_size)), value
+
+    def _sparqlml_kwargs(self, params: Dict[str, object]) -> Dict[str, object]:
+        kwargs: Dict[str, object] = {}
+        if "method" in params:
+            kwargs["method"] = params["method"]
+        if "meta_sampling" in params:
+            kwargs["meta_sampling"] = _as_meta_sampling(params["meta_sampling"])
+        if "use_meta_sampling" in params:
+            kwargs["use_meta_sampling"] = bool(params["use_meta_sampling"])
+        if "objective" in params:
+            kwargs["objective"] = _as_objective(params["objective"])
+        if "force_plan" in params:
+            kwargs["force_plan"] = params["force_plan"]
+        return kwargs
+
+    def _project_report(self, report: object,
+                        page_size: object) -> Dict[str, object]:
+        if isinstance(report, SelectReport):
+            payload = report.as_payload()
+            rows = payload.pop("rows")
+            page, cursor = self._paginate(rows, page_size)
+            payload.update({"kind": "SELECT_REPORT", "rows": page,
+                            "next_cursor": cursor})
+            return payload
+        if hasattr(report, "as_dict"):
+            kind = type(report).__name__.replace("Report", "_report").upper()
+            payload = dict(report.as_dict())
+            payload["kind"] = kind
+            return payload
+        return self._project_query_result(report, page_size)
+
+    def _handle_sparqlml(self, params: Dict[str, object]) -> Tuple[object, object]:
+        query = str(_require(params, "query"))
+        page_size = self._coerce_page_size(params.get("page_size"))
+        kwargs = self._sparqlml_kwargs(params)
+        kind = self.sparqlml.parser.classify(query)
+        if kind == "select":
+            kwargs.pop("method", None)
+            kwargs.pop("meta_sampling", None)
+            kwargs.pop("use_meta_sampling", None)
+        elif kind in ("train", "delete"):
+            kwargs.pop("objective", None)
+            kwargs.pop("force_plan", None)
+        report = self.sparqlml.execute(query, **kwargs)
+        return (lambda: self._project_report(report, page_size)), report
+
+    def _handle_sparqlml_select(self, params: Dict[str, object]) -> Tuple[object, object]:
+        query = str(_require(params, "query"))
+        page_size = self._coerce_page_size(params.get("page_size"))
+        report = self.sparqlml.execute_select(
+            query,
+            objective=_as_objective(params.get("objective")),
+            force_plan=params.get("force_plan"))
+        return (lambda: self._project_report(report, page_size)), report
+
+    def _handle_train(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        meta_sampling = _as_meta_sampling(params.get("meta_sampling"))
+        use_meta_sampling = bool(params.get("use_meta_sampling", True))
+        method = params.get("method")
+        if "query" in params and params["query"] is not None:
+            report = self.sparqlml.execute_train(
+                str(params["query"]), meta_sampling=meta_sampling,
+                use_meta_sampling=use_meta_sampling, method=method)
+        else:
+            task = _as_task(_require(params, "task"))
+            request = TrainGMLRequest(
+                name=str(params.get("name") or task.name), task=task,
+                budget=_as_budget(params.get("budget")) or TaskBudget(),
+                method=method)
+            report = self.sparqlml.train_request(
+                request, meta_sampling=meta_sampling,
+                use_meta_sampling=use_meta_sampling, method=method)
+        payload = dict(report.as_dict())
+        payload["kind"] = "TRAIN_REPORT"
+        return payload, report
+
+    def _handle_infer_node_class(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
+        node = _as_iri_text(_require(params, "node"), "node")
+        predicted = self.gmlaas.infer_node_class(model_uri, node)
+        return {"model_uri": model_uri, "node": node, "output": predicted}, predicted
+
+    def _handle_infer_links(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
+        source = _as_iri_text(_require(params, "source"), "source")
+        k = int(params.get("k", 10))
+        links = self.gmlaas.infer_links(model_uri, source, k=k)
+        return {"model_uri": model_uri, "source": source, "k": k,
+                "output": links}, links
+
+    def _handle_infer_similar(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
+        entity = _as_iri_text(_require(params, "entity"), "entity")
+        k = int(params.get("k", 10))
+        similar = self.gmlaas.infer_similar_entities(model_uri, entity, k=k)
+        return {"model_uri": model_uri, "entity": entity, "k": k,
+                "output": similar}, similar
+
+    def _handle_infer_batch(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
+        inputs = _require(params, "inputs")
+        if not isinstance(inputs, (list, tuple)):
+            raise BadRequestError("'inputs' must be a list of IRI strings")
+        inputs = [_as_iri_text(item, "inputs[]") for item in inputs]
+        k = int(params.get("k", 10))
+        mode = params.get("mode")
+        calls_before = self.gmlaas.http_calls
+        predictions = self.gmlaas.infer_batch(model_uri, inputs, k=k,
+                                              mode=mode if mode is None else str(mode))
+        http_calls = self.gmlaas.http_calls - calls_before
+        page, cursor = self._paginate(predictions, params.get("page_size"))
+        result = {"model_uri": model_uri, "total": len(predictions),
+                  "predictions": page, "next_cursor": cursor,
+                  "http_calls": http_calls}
+        return result, predictions
+
+    def _handle_list_models(self, params: Dict[str, object]) -> Tuple[object, object]:
+        models = self.governor.list_models()
+        return (lambda: {"models": [m.as_dict() for m in models],
+                         "count": len(models)}), models
+
+    def _handle_describe_model(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
+        description = self.governor.describe(IRI(model_uri)).as_dict()
+        return {"model": description}, description
+
+    def _handle_delete_models(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        query = str(_require(params, "query"))
+        report = self.sparqlml.execute_delete(query)
+        payload = dict(report.as_dict())
+        payload["kind"] = "DELETE_REPORT"
+        return payload, report
+
+    def _handle_stats(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        from repro.rdf.stats import compute_statistics
+        stats: Dict[str, object] = {
+            "kg": compute_statistics(self.endpoint.graph).as_dict(),
+            "kgmeta_models": len(self.governor),
+            "stored_models": len(self.gmlaas.model_store),
+            "http_calls": self.gmlaas.http_calls,
+            "api": self.metrics(),
+        }
+        return stats, stats
+
+    def _handle_metrics(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        metrics = self.metrics()
+        return {"routes": metrics}, metrics

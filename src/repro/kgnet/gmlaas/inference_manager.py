@@ -89,6 +89,23 @@ class GMLInferenceManager:
         key = model_uri.value if isinstance(model_uri, IRI) else str(model_uri)
         self._record_call(key)
         stored = self._stored(model_uri)
+        return self._links_for(stored, key, source_iri, k)
+
+    def get_predicted_links_batch(self, model_uri, source_iris,
+                                  k: int = 10) -> Dict[str, List[Dict[str, object]]]:
+        """Top-k predicted links for many source nodes in *one* HTTP call.
+
+        The batched route amortises the per-call dispatch overhead: the model
+        artefacts are fetched once and the whole batch is scored against them.
+        """
+        key = model_uri.value if isinstance(model_uri, IRI) else str(model_uri)
+        self._record_call(key)
+        stored = self._stored(model_uri)
+        return {str(source): self._links_for(stored, key, source, k)
+                for source in source_iris}
+
+    def _links_for(self, stored: StoredModel, key: str, source_iri,
+                   k: int) -> List[Dict[str, object]]:
         if stored.task_type != TaskType.LINK_PREDICTION:
             raise InferenceError(f"model {key!r} is not a link predictor")
         entity_index: Dict[str, int] = stored.artifact("entity_index", {})
@@ -143,7 +160,18 @@ class GMLInferenceManager:
         """Top-k most similar entities by embedding cosine similarity."""
         key = model_uri.value if isinstance(model_uri, IRI) else str(model_uri)
         self._record_call(key)
-        collection = key
+        return self._similar_for(model_uri, key, entity_iri, k)
+
+    def get_similar_entities_batch(self, model_uri, entity_iris,
+                                   k: int = 10) -> Dict[str, List[Dict[str, object]]]:
+        """Similarity search for many entities in *one* HTTP call."""
+        key = model_uri.value if isinstance(model_uri, IRI) else str(model_uri)
+        self._record_call(key)
+        return {str(entity): self._similar_for(model_uri, key, entity, k)
+                for entity in entity_iris}
+
+    def _similar_for(self, model_uri, collection: str, entity_iri,
+                     k: int) -> List[Dict[str, object]]:
         if not self.embedding_store.has_collection(collection):
             self.index_embeddings(model_uri, collection)
         entity_key = entity_iri.value if isinstance(entity_iri, IRI) else str(entity_iri)

@@ -5,7 +5,16 @@
 * an in-process SPARQL endpoint hosting the data KG and the KGMeta graph,
 * GML-as-a-Service (training manager, model/embedding stores, inference),
 * the KGMeta governor,
-* the SPARQL-ML service (parser, optimizer, rewriter, UDFs).
+* the SPARQL-ML service (parser, optimizer, rewriter, UDFs),
+* the versioned service API (:class:`~repro.kgnet.api.router.APIRouter` and
+  :class:`~repro.kgnet.api.client.APIClient`).
+
+Since the API redesign the facade is a thin backwards-compatible wrapper:
+every method builds an :class:`~repro.kgnet.api.envelopes.APIRequest`,
+dispatches it through :attr:`KGNet.api`, and unwraps the rich in-process
+result (re-raising the original exception on error envelopes).  The same
+router answers :attr:`KGNet.client` — an :class:`APIClient` speaking pure
+JSON — so programmatic callers and remote transports share one contract.
 
 Typical usage::
 
@@ -20,15 +29,17 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Union
 
-from repro.gml.tasks import TaskSpec, TaskType
+from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
+from repro.kgnet.api.client import APIClient
+from repro.kgnet.api.envelopes import APIRequest, APIResponse
+from repro.kgnet.api.router import APIRouter
 from repro.kgnet.gmlaas.service import GMLaaS
 from repro.kgnet.gmlaas.training_manager import TrainingManagerConfig
 from repro.kgnet.kgmeta.governor import KGMetaGovernor, ModelMetadata
 from repro.kgnet.meta_sampler import MetaSampler, MetaSamplingConfig
-from repro.kgnet.sparqlml.parser import TrainGMLRequest
 from repro.kgnet.sparqlml.optimizer import ModelSelectionObjective
 from repro.kgnet.sparqlml.service import (
     DeleteReport,
@@ -39,7 +50,6 @@ from repro.kgnet.sparqlml.service import (
 from repro.rdf.graph import Graph
 from repro.rdf.terms import IRI, Triple
 from repro.sparql.endpoint import SPARQLEndpoint
-from repro.sparql.results import ResultSet
 
 __all__ = ["KGNet"]
 
@@ -55,6 +65,20 @@ class KGNet:
         self.governor = KGMetaGovernor(self.endpoint)
         self.sparqlml = SPARQLMLService(self.endpoint, self.gmlaas, self.governor)
         self.meta_sampler = MetaSampler()
+        #: The versioned service API every facade method dispatches through.
+        self.api = APIRouter(self.endpoint, self.gmlaas, self.governor,
+                             self.sparqlml)
+        #: A JSON-only client bound to the same router (transport-agnostic).
+        self.client = APIClient.for_router(self.api)
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: str, **params) -> APIResponse:
+        """Route one operation through the API, unwrapping error envelopes."""
+        response = self.api.dispatch(APIRequest(op=op, params=params))
+        response.raise_for_error()
+        return response
 
     # ------------------------------------------------------------------
     # Data loading
@@ -62,7 +86,8 @@ class KGNet:
     def load_graph(self, triples: Union[Graph, Iterable[Triple]],
                    graph_iri: Optional[Union[str, IRI]] = None) -> int:
         """Load a knowledge graph into the endpoint (default graph by default)."""
-        return self.endpoint.load(triples, graph_iri=graph_iri)
+        return self._dispatch("load", triples=triples,
+                              graph_iri=graph_iri).attachment
 
     @property
     def graph(self) -> Graph:
@@ -72,24 +97,20 @@ class KGNet:
     # SPARQL / SPARQL-ML execution
     # ------------------------------------------------------------------
     def sparql(self, query_text: str):
-        """Run a plain SPARQL query / update against the endpoint."""
-        import re
-        body = re.sub(r"(?i)prefix\s+\S+\s*<[^>]*>", " ", query_text)
-        body = re.sub(r"(?i)base\s*<[^>]*>", " ", body).lstrip().lower()
-        if body.startswith(("insert", "delete", "clear", "drop", "with")):
-            return self.endpoint.update(query_text)
-        return self.endpoint.query(query_text)
+        """Run a plain SPARQL query / update; the parser routes the kind."""
+        return self._dispatch("sparql", query=query_text).attachment
 
     def execute(self, query_text: str, **kwargs):
         """Run a SPARQL-ML request (SELECT / INSERT-TrainGML / DELETE)."""
-        return self.sparqlml.execute(query_text, **kwargs)
+        return self._dispatch("sparqlml", query=query_text, **kwargs).attachment
 
     def query(self, query_text: str,
               objective: Optional[ModelSelectionObjective] = None,
               force_plan: Optional[str] = None) -> SelectReport:
         """Run a SPARQL-ML SELECT query and return results + execution report."""
-        return self.sparqlml.execute_select(query_text, objective=objective,
-                                            force_plan=force_plan)
+        return self._dispatch("sparqlml_select", query=query_text,
+                              objective=objective,
+                              force_plan=force_plan).attachment
 
     # ------------------------------------------------------------------
     # Training
@@ -100,47 +121,51 @@ class KGNet:
                    use_meta_sampling: bool = True,
                    name: Optional[str] = None) -> TrainReport:
         """Train a GML model for ``task`` (programmatic TrainGML)."""
-        if isinstance(meta_sampling, str):
-            meta_sampling = MetaSamplingConfig.from_label(meta_sampling)
-        request = TrainGMLRequest(name=name or task.name, task=task,
-                                  budget=budget or TaskBudget(), method=method)
-        return self.sparqlml.train_request(request, meta_sampling=meta_sampling,
-                                           use_meta_sampling=use_meta_sampling,
-                                           method=method)
+        return self._dispatch("train", task=task, budget=budget, method=method,
+                              meta_sampling=meta_sampling,
+                              use_meta_sampling=use_meta_sampling,
+                              name=name).attachment
 
     def train_sparqlml(self, insert_query: str, **kwargs) -> TrainReport:
         """Train from a SPARQL-ML INSERT query (paper Fig 8)."""
-        return self.sparqlml.execute_train(insert_query, **kwargs)
+        return self._dispatch("train", query=insert_query, **kwargs).attachment
 
     # ------------------------------------------------------------------
     # Model management / inspection
     # ------------------------------------------------------------------
     def list_models(self) -> List[ModelMetadata]:
-        return self.governor.list_models()
+        return self._dispatch("list_models").attachment
 
     def describe_model(self, model_uri: Union[str, IRI]) -> Dict[str, object]:
-        if isinstance(model_uri, str):
-            model_uri = IRI(model_uri)
-        return self.governor.describe(model_uri).as_dict()
+        return self._dispatch("describe_model", model_uri=model_uri).attachment
 
     def delete_models(self, delete_query: str) -> DeleteReport:
         """Delete models via a SPARQL-ML DELETE query (paper Fig 9)."""
-        return self.sparqlml.execute_delete(delete_query)
+        return self._dispatch("delete_models", query=delete_query).attachment
 
     # ------------------------------------------------------------------
     # Direct inference helpers (bypassing SPARQL-ML)
     # ------------------------------------------------------------------
     def predict_node_class(self, model_uri: Union[str, IRI],
                            node_iri: Union[str, IRI]) -> Optional[str]:
-        return self.gmlaas.infer_node_class(model_uri, node_iri)
+        return self._dispatch("infer_node_class", model_uri=model_uri,
+                              node=node_iri).attachment
 
     def predict_links(self, model_uri: Union[str, IRI], source_iri: Union[str, IRI],
                       k: int = 10) -> List[Dict[str, object]]:
-        return self.gmlaas.infer_links(model_uri, source_iri, k=k)
+        return self._dispatch("infer_links", model_uri=model_uri,
+                              source=source_iri, k=k).attachment
 
     def similar_entities(self, model_uri: Union[str, IRI], entity_iri: Union[str, IRI],
                          k: int = 10) -> List[Dict[str, object]]:
-        return self.gmlaas.infer_similar_entities(model_uri, entity_iri, k=k)
+        return self._dispatch("infer_similar", model_uri=model_uri,
+                              entity=entity_iri, k=k).attachment
+
+    def infer_batch(self, model_uri: Union[str, IRI], inputs: List[str],
+                    k: int = 10, mode: Optional[str] = None) -> List[Dict[str, object]]:
+        """Batched inference: one amortised call for many inputs."""
+        return self._dispatch("infer_batch", model_uri=model_uri,
+                              inputs=inputs, k=k, mode=mode).attachment
 
     # ------------------------------------------------------------------
     # Introspection
@@ -151,13 +176,11 @@ class KGNet:
         return self.gmlaas.http_calls
 
     def statistics(self) -> Dict[str, object]:
-        from repro.rdf.stats import compute_statistics
-        return {
-            "kg": compute_statistics(self.endpoint.graph).as_dict(),
-            "kgmeta_models": len(self.governor),
-            "stored_models": len(self.gmlaas.model_store),
-            "http_calls": self.http_calls,
-        }
+        return self._dispatch("stats").attachment
+
+    def api_metrics(self) -> Dict[str, Dict[str, object]]:
+        """Per-route latency/throughput counters of the service API."""
+        return self.api.metrics()
 
     def __repr__(self) -> str:
         return (f"<KGNet kg_triples={len(self.endpoint.graph)} "

@@ -62,6 +62,18 @@ def register_udfs(endpoint: SPARQLEndpoint, gmlaas: GMLaaS) -> None:
         # Not an individual target node: treat as a dictionary request.
         return gmlaas.infer_node_class_dictionary(model_uri)
 
+    def get_node_classes(model, nodes) -> Optional[object]:
+        """``sql:UDFS.getNodeClasses(model, 'iri1,iri2,...')`` — batched route.
+
+        Classifies a comma-separated list of nodes through the batched
+        inference endpoint: one HTTP call for the whole list, returning a
+        node -> class dictionary that ``getKeyValue`` can look up per row.
+        """
+        model_uri = _as_string(model)
+        wanted = [part.strip() for part in _as_string(nodes).split(",") if part.strip()]
+        records = gmlaas.infer_batch(model_uri, wanted, mode="class")
+        return {record["input"]: record["output"] for record in records}
+
     def get_key_value(dictionary, key) -> Optional[str]:
         """``sql:UDFS.getKeyValue(dict, key)`` — local lookup, no HTTP call."""
         if isinstance(dictionary, OpaqueValue):
@@ -96,6 +108,8 @@ def register_udfs(endpoint: SPARQLEndpoint, gmlaas: GMLaaS) -> None:
 
     endpoint.register_udf("sql:UDFS.getNodeClass", get_node_class,
                           aliases=["UDFS.getNodeClass", "getNodeClass"])
+    endpoint.register_udf("sql:UDFS.getNodeClasses", get_node_classes,
+                          aliases=["UDFS.getNodeClasses", "getNodeClasses"])
     endpoint.register_udf("sql:UDFS.getKeyValue", get_key_value,
                           aliases=["UDFS.getKeyValue", "getKeyValue"])
     endpoint.register_udf("sql:UDFS.getLinkPred", get_link_pred,

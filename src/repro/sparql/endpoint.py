@@ -115,6 +115,19 @@ class SPARQLEndpoint:
     def parse(self, text: str):
         return SPARQLParser(text, namespaces=self.namespaces).parse()
 
+    def execute(self, text: str):
+        """Parse once and route a query *or* an update from the AST.
+
+        Unlike :meth:`query` / :meth:`update`, which require the caller to
+        know the request kind up front, ``execute`` lets the parser decide:
+        SELECT / ASK / CONSTRUCT requests return their evaluation result,
+        update requests return the number of affected triples.
+        """
+        parsed = self.parse(text)
+        if isinstance(parsed, list):
+            return self._run_updates(parsed, text)
+        return self._run_query(parsed, text, graph_iri=None)
+
     def query(self, text: str, graph_iri: Optional[Union[str, IRI]] = None):
         """Parse and evaluate a SELECT / ASK / CONSTRUCT query.
 
@@ -122,7 +135,11 @@ class SPARQLEndpoint:
         :class:`Graph` (CONSTRUCT).
         """
         parser = SPARQLParser(text, namespaces=self.namespaces)
-        query = parser.parse_query()
+        return self._run_query(parser.parse_query(), text, graph_iri=graph_iri)
+
+    def _run_query(self, query: Query, text: str,
+                   graph_iri: Optional[Union[str, IRI]] = None):
+        """Evaluate an already-parsed query, recording statistics."""
         if graph_iri is not None:
             graph = self.dataset.graph(graph_iri)
         else:
@@ -164,7 +181,10 @@ class SPARQLEndpoint:
     def update(self, text: str) -> int:
         """Parse and apply a SPARQL UPDATE request; returns affected triples."""
         parser = SPARQLParser(text, namespaces=self.namespaces)
-        updates = parser.parse_update()
+        return self._run_updates(parser.parse_update(), text)
+
+    def _run_updates(self, updates: List[Update], text: str) -> int:
+        """Apply already-parsed updates, recording statistics."""
         started = time.perf_counter()
         affected = 0
         for update in updates:

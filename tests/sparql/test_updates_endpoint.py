@@ -136,3 +136,44 @@ class TestEndpoint:
 
     def test_repr_mentions_sizes(self, endpoint):
         assert "triples" in repr(endpoint)
+
+
+class TestExecuteRouting:
+    """``execute()`` parses once and routes Query vs Update from the AST."""
+
+    def test_execute_routes_select(self, endpoint):
+        result = endpoint.execute(PREFIXES +
+                                  "SELECT ?s WHERE { ?s a dblp:Publication . }")
+        assert len(result) == 2
+        assert endpoint.last_statistics().kind == "SELECT"
+
+    def test_execute_routes_ask(self, endpoint):
+        assert endpoint.execute(PREFIXES +
+                                "ASK { dblp:paper/1 a dblp:Publication . }") is True
+        assert endpoint.last_statistics().kind == "ASK"
+
+    def test_execute_routes_construct(self, endpoint):
+        graph = endpoint.execute(PREFIXES + """
+            CONSTRUCT { ?s a dblp:Work } WHERE { ?s a dblp:Publication . }""")
+        assert isinstance(graph, Graph)
+        assert len(graph) == 2
+
+    def test_execute_routes_insert_data(self, endpoint):
+        before = len(endpoint.graph)
+        affected = endpoint.execute(PREFIXES +
+                                    "INSERT DATA { dblp:paper/9 a dblp:Publication . }")
+        assert affected == 1
+        assert len(endpoint.graph) == before + 1
+        assert endpoint.last_statistics().kind == "UPDATE"
+
+    def test_execute_routes_delete_where(self, endpoint):
+        affected = endpoint.execute(PREFIXES +
+                                    "DELETE WHERE { ?s dblp:title ?t . }")
+        assert affected == 2
+
+    def test_execute_handles_leading_prologue(self, endpoint):
+        """Dispatch comes from the AST, not from sniffing the raw text."""
+        affected = endpoint.execute(
+            "BASE <https://example.org/>\n" + PREFIXES +
+            "DELETE DATA { dblp:paper/1 dblp:publishedIn dblp:venue/ICDE . }")
+        assert affected == 1
