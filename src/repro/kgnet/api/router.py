@@ -55,6 +55,10 @@ class RouteMetrics:
     errors: int = 0
     total_seconds: float = 0.0
     max_seconds: float = 0.0
+    #: Endpoint plan-cache outcomes observed by this route (only the routes
+    #: that execute SPARQL maintain these; elsewhere they stay 0).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, elapsed: float, ok: bool) -> None:
         self.calls += 1
@@ -62,6 +66,12 @@ class RouteMetrics:
             self.errors += 1
         self.total_seconds += elapsed
         self.max_seconds = max(self.max_seconds, elapsed)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
 
     def as_dict(self) -> Dict[str, object]:
         mean = self.total_seconds / self.calls if self.calls else 0.0
@@ -71,6 +81,8 @@ class RouteMetrics:
             "total_seconds": round(self.total_seconds, 6),
             "mean_seconds": round(mean, 6),
             "max_seconds": round(self.max_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -330,6 +342,10 @@ class APIRouter:
         query = str(_require(params, "query"))
         page_size = self._coerce_page_size(params.get("page_size"))
         value = self.endpoint.execute(query)
+        stats = self.endpoint.last_statistics()
+        if stats is not None:
+            self._metrics.setdefault("sparql", RouteMetrics()).record_cache(
+                stats.plan_cache_hit)
         # The JSON projection (row conversion, graph serialisation) is built
         # lazily: in-process callers consume the attachment and skip it.
         return (lambda: self._project_query_result(value, page_size)), value
@@ -473,6 +489,10 @@ class APIRouter:
             "kgmeta_models": len(self.governor),
             "stored_models": len(self.gmlaas.model_store),
             "http_calls": self.gmlaas.http_calls,
+            # Hot-path observability: plan-cache hit/miss counters and total
+            # triple-pattern index lookups, so APIClient users can watch the
+            # query pipeline without reaching into endpoint internals.
+            "query_cache": self.endpoint.cache_info(),
             "api": self.metrics(),
         }
         return stats, stats

@@ -38,6 +38,7 @@ from repro.rdf.namespace import (
     XSD,
     YAGO,
 )
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph, ReadOnlyGraphView
 from repro.rdf.dataset import Dataset
 from repro.rdf.io import (
@@ -72,6 +73,7 @@ __all__ = [
     "YAGO",
     "SCHEMA",
     "DEFAULT_PREFIXES",
+    "TermDictionary",
     "Graph",
     "ReadOnlyGraphView",
     "Dataset",

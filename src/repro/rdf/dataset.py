@@ -7,9 +7,10 @@ the same RDF engine; the :class:`Dataset` models exactly that arrangement
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.exceptions import RDFError
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import NamespaceManager
 from repro.rdf.terms import IRI, Quad, Triple
@@ -18,12 +19,21 @@ __all__ = ["Dataset"]
 
 
 class Dataset:
-    """A collection of named graphs sharing one namespace manager."""
+    """A collection of named graphs sharing one namespace manager.
+
+    All graphs in the dataset also share one :class:`TermDictionary`, so
+    union/merge operations and cross-graph plan caching stay in id space.
+    """
 
     def __init__(self, namespaces: Optional[NamespaceManager] = None) -> None:
         self.namespaces = namespaces or NamespaceManager()
-        self._default = Graph(namespaces=self.namespaces)
+        self._dictionary = TermDictionary()
+        self._default = Graph(namespaces=self.namespaces,
+                              dictionary=self._dictionary)
         self._named: Dict[IRI, Graph] = {}
+        # Bumped whenever the *set* of graphs changes (create/drop), so the
+        # epoch token below cannot collide across structural changes.
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Graph management
@@ -48,7 +58,9 @@ class Dataset:
             if not create:
                 raise RDFError(f"unknown named graph {identifier.value!r}")
             self._named[identifier] = Graph(identifier=identifier,
-                                            namespaces=self.namespaces)
+                                            namespaces=self.namespaces,
+                                            dictionary=self._dictionary)
+            self._generation += 1
         return self._named[identifier]
 
     def has_graph(self, identifier: object) -> bool:
@@ -60,7 +72,19 @@ class Dataset:
         """Remove a named graph entirely; returns True when it existed."""
         if isinstance(identifier, str):
             identifier = IRI(identifier)
-        return self._named.pop(identifier, None) is not None
+        existed = self._named.pop(identifier, None) is not None
+        if existed:
+            self._generation += 1
+        return existed
+
+    def epoch(self) -> Tuple[int, int]:
+        """A cheap staleness token covering every graph in the dataset.
+
+        Changes whenever any graph mutates or the set of graphs changes;
+        the SPARQL endpoint keys its plan cache and cached union graph on it.
+        """
+        return (self._generation,
+                sum(graph.epoch for graph in self.graphs()))
 
     def graphs(self) -> Iterator[Graph]:
         yield self._default
@@ -83,8 +107,13 @@ class Dataset:
                 yield Quad(*triple, graph=identifier)
 
     def union_graph(self) -> Graph:
-        """Materialise the union of the default and all named graphs."""
-        union = Graph(namespaces=self.namespaces.copy())
+        """Materialise the union of the default and all named graphs.
+
+        The union shares the dataset's dictionary, so the merge runs in id
+        space (no term re-validation or re-interning).
+        """
+        union = Graph(namespaces=self.namespaces.copy(),
+                      dictionary=self._dictionary)
         for graph in self.graphs():
             union.add_all(graph)
         return union

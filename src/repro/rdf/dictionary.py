@@ -1,0 +1,78 @@
+"""Dictionary encoding: interning RDF terms as dense integer ids.
+
+Real RDF engines (Virtuoso, the Sage engine, HDT stores) never join on full
+term values; they map every term to a dense integer once at load time and
+run the whole scan/join machinery over machine words.  :class:`TermDictionary`
+is that component for the in-memory substrate: a bidirectional term <-> id
+interning table shared by a :class:`~repro.rdf.graph.Graph`'s SPO/POS/OSP
+indexes and by the SPARQL evaluator's id-space join pipeline.
+
+Ids are allocated densely from 0 and are **never reused or remapped**, even
+when triples are removed.  That append-only discipline is what makes it safe
+for a :class:`~repro.rdf.dataset.Dataset` to share one dictionary across its
+default and named graphs (and their union), and for the endpoint's plan cache
+to keep compiled constant-ids across queries while the graph only grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.terms import Term
+
+__all__ = ["TermDictionary"]
+
+
+class TermDictionary:
+    """A bidirectional, append-only term <-> dense-int-id interning table."""
+
+    __slots__ = ("_term_to_id", "_id_to_term")
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+
+    # -- encoding ------------------------------------------------------------
+    def encode(self, term: Term) -> int:
+        """Return the id for ``term``, interning it on first sight."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+        return term_id
+
+    def encode_triple(self, s: Term, p: Term, o: Term) -> Tuple[int, int, int]:
+        return self.encode(s), self.encode(p), self.encode(o)
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """Return the id for ``term`` without interning; None when unseen.
+
+        This is the read-path entry point: probing for a term that was never
+        stored must not grow the dictionary.
+        """
+        return self._term_to_id.get(term)
+
+    # -- decoding ------------------------------------------------------------
+    def decode(self, term_id: int) -> Term:
+        return self._id_to_term[term_id]
+
+    def decode_many(self, term_ids: Iterable[int]) -> List[Term]:
+        table = self._id_to_term
+        return [table[term_id] for term_id in term_ids]
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._id_to_term)
+
+    def items(self) -> Iterator[Tuple[int, Term]]:
+        return enumerate(self._id_to_term)
+
+    def __repr__(self) -> str:
+        return f"<TermDictionary {len(self)} terms>"

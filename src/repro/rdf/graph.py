@@ -1,18 +1,32 @@
-"""An indexed, in-memory RDF graph.
+"""An indexed, in-memory, dictionary-encoded RDF graph.
 
-The :class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that every
-triple-pattern access path is answered without scanning the whole store.  This
-is the data structure the SPARQL evaluator (``repro.sparql``) runs against and
-it plays the role that OpenLink Virtuoso plays in the paper: the RDF engine
-hosting the knowledge graph and the KGMeta graph.
+The :class:`Graph` interns every term through a
+:class:`~repro.rdf.dictionary.TermDictionary` and keeps three hash indexes
+(SPO, POS, OSP) over dense integer ids, so every triple-pattern access path
+is answered without scanning the whole store and every join the SPARQL
+evaluator performs runs over machine integers instead of full term objects.
+This is the data structure the SPARQL evaluator (``repro.sparql``) runs
+against and it plays the role that OpenLink Virtuoso plays in the paper: the
+RDF engine hosting the knowledge graph and the KGMeta graph.
+
+The public API stays term-based — encoding happens at the mutation boundary
+and ids are decoded lazily on iteration — while the id-space access methods
+(``triples_ids``, ``count_ids``, ``estimate_cardinality_ids``) carry the
+query hot path.  Two pieces of metadata are maintained incrementally for the
+caching/planning layers above:
+
+* ``epoch`` — a counter bumped on every mutation, used by the endpoint's
+  plan cache and cached union graph to detect staleness without diffing,
+* per-predicate / per-subject / per-object cardinality counters, giving the
+  join-order optimizer O(1) estimates instead of per-query index probes.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import RDFError
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.namespace import NamespaceManager
 from repro.rdf.terms import (
     IRI,
@@ -29,6 +43,9 @@ __all__ = ["Graph", "ReadOnlyGraphView"]
 
 _Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
 
+#: Nested index shape: first-component id -> second id -> set of third ids.
+_Index = Dict[int, Dict[int, Set[int]]]
+
 
 def _as_term(value: object, *, allow_none: bool = False) -> Optional[Term]:
     if value is None:
@@ -42,7 +59,7 @@ def _as_term(value: object, *, allow_none: bool = False) -> Optional[Term]:
 
 
 class Graph:
-    """A set of RDF triples with SPO / POS / OSP indexes.
+    """A set of RDF triples with dictionary-encoded SPO / POS / OSP indexes.
 
     Parameters
     ----------
@@ -51,16 +68,52 @@ class Graph:
     namespaces:
         Optional :class:`NamespaceManager`; a default one (with the paper's
         ``dblp:``, ``yago:`` and ``kgnet:`` prefixes) is created otherwise.
+    dictionary:
+        Optional :class:`TermDictionary` to intern terms through.  A
+        :class:`~repro.rdf.dataset.Dataset` passes one shared dictionary to
+        all its graphs so that union/merge operations and cross-graph joins
+        stay in id space.
     """
 
     def __init__(self, identifier: Optional[IRI] = None,
-                 namespaces: Optional[NamespaceManager] = None) -> None:
+                 namespaces: Optional[NamespaceManager] = None,
+                 dictionary: Optional[TermDictionary] = None) -> None:
         self.identifier = identifier
         self.namespaces = namespaces or NamespaceManager()
-        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
         self._size = 0
+        self._epoch = 0
+        # Incrementally maintained cardinality statistics (ids -> triple
+        # counts).  These feed the evaluator's join-order estimates in O(1).
+        self._p_counts: Dict[int, int] = {}
+        self._s_counts: Dict[int, int] = {}
+        self._o_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Dictionary / epoch access
+    # ------------------------------------------------------------------
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term interning table (shared within a dataset)."""
+        return self._dict
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; any change to the triple set bumps it."""
+        return self._epoch
+
+    def decode_id(self, term_id: int) -> Term:
+        return self._dict.decode(term_id)
+
+    def encode_term(self, term: object) -> Optional[int]:
+        """Read-path encoding: the term's id, or None when never stored."""
+        coerced = _as_term(term, allow_none=True)
+        if coerced is None:
+            return None
+        return self._dict.lookup(coerced)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -84,21 +137,53 @@ class Graph:
             raise RDFError("literals cannot be used as subjects")
         if not isinstance(p, IRI):
             raise RDFError("predicates must be IRIs")
-        objects = self._spo[s][p]
-        if o in objects:
+        encode = self._dict.encode
+        return self._add_ids(encode(s), encode(p), encode(o))
+
+    def _add_ids(self, si: int, pi: int, oi: int) -> bool:
+        by_pred = self._spo.get(si)
+        if by_pred is None:
+            by_pred = self._spo[si] = {}
+        objects = by_pred.get(pi)
+        if objects is None:
+            objects = by_pred[pi] = set()
+        elif oi in objects:
             return False
-        objects.add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
+        objects.add(oi)
+        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
+        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
         self._size += 1
+        self._epoch += 1
+        for counts, key in ((self._s_counts, si), (self._p_counts, pi),
+                            (self._o_counts, oi)):
+            counts[key] = counts.get(key, 0) + 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; returns the number of newly inserted triples."""
+        """Add many triples; returns the number of newly inserted triples.
+
+        When ``triples`` is another :class:`Graph` (or read-only view) backed
+        by the *same* dictionary, the merge runs entirely in id space without
+        re-validating or re-interning any term.
+        """
+        other = triples
+        if isinstance(other, ReadOnlyGraphView):
+            other = other._graph
+        if isinstance(other, Graph) and other._dict is self._dict:
+            return self._merge_encoded(other)
         added = 0
         for triple in triples:
             if self.add(triple):
                 added += 1
+        return added
+
+    def _merge_encoded(self, other: "Graph") -> int:
+        added = 0
+        for si, by_pred in other._spo.items():
+            for pi, objects in by_pred.items():
+                for oi in objects:
+                    if self._add_ids(si, pi, oi):
+                        added += 1
         return added
 
     def remove(self, subject: object = None, predicate: object = None,
@@ -109,57 +194,119 @@ class Graph:
         """
         if isinstance(subject, Triple) and predicate is None and obj is None:
             subject, predicate, obj = subject
-        pattern = (
-            _as_term(subject, allow_none=True),
-            _as_term(predicate, allow_none=True),
-            _as_term(obj, allow_none=True),
-        )
-        to_remove = list(self.triples(*pattern))
-        for s, p, o in to_remove:
-            self._spo[s][p].discard(o)
-            if not self._spo[s][p]:
-                del self._spo[s][p]
-            if not self._spo[s]:
-                del self._spo[s]
-            self._pos[p][o].discard(s)
-            if not self._pos[p][o]:
-                del self._pos[p][o]
-            if not self._pos[p]:
-                del self._pos[p]
-            self._osp[o][s].discard(p)
-            if not self._osp[o][s]:
-                del self._osp[o][s]
-            if not self._osp[o]:
-                del self._osp[o]
-            self._size -= 1
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return 0
+        to_remove = list(self.triples_ids(*pattern))
+        for si, pi, oi in to_remove:
+            self._discard_ids(si, pi, oi)
+        if to_remove:
+            self._epoch += 1
         return len(to_remove)
+
+    def _discard_ids(self, si: int, pi: int, oi: int) -> None:
+        by_pred = self._spo[si]
+        by_pred[pi].discard(oi)
+        if not by_pred[pi]:
+            del by_pred[pi]
+        if not by_pred:
+            del self._spo[si]
+        by_obj = self._pos[pi]
+        by_obj[oi].discard(si)
+        if not by_obj[oi]:
+            del by_obj[oi]
+        if not by_obj:
+            del self._pos[pi]
+        by_subj = self._osp[oi]
+        by_subj[si].discard(pi)
+        if not by_subj[si]:
+            del by_subj[si]
+        if not by_subj:
+            del self._osp[oi]
+        self._size -= 1
+        for counts, key in ((self._s_counts, si), (self._p_counts, pi),
+                            (self._o_counts, oi)):
+            remaining = counts[key] - 1
+            if remaining:
+                counts[key] = remaining
+            else:
+                del counts[key]
 
     def clear(self) -> None:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._p_counts.clear()
+        self._s_counts.clear()
+        self._o_counts.clear()
+        if self._size:
+            self._epoch += 1
         self._size = 0
 
     # ------------------------------------------------------------------
-    # Access
+    # Access (term space)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        s, p, o = triple
-        return o in self._spo.get(s, {}).get(p, set())
+        lookup = self._dict.lookup
+        si = lookup(triple[0])
+        if si is None:
+            return False
+        pi = lookup(triple[1])
+        if pi is None:
+            return False
+        oi = lookup(triple[2])
+        if oi is None:
+            return False
+        by_pred = self._spo.get(si)
+        if by_pred is None:
+            return False
+        objects = by_pred.get(pi)
+        return objects is not None and oi in objects
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples(None, None, None)
+
+    def _encode_pattern(self, subject: object, predicate: object, obj: object):
+        """Encode a wildcard pattern to id space; _NO_MATCH when a constant
+        was never interned (and therefore cannot match anything)."""
+        lookup = self._dict.lookup
+        ids = []
+        for value in (subject, predicate, obj):
+            term = _as_term(value, allow_none=True)
+            if term is None:
+                ids.append(None)
+                continue
+            term_id = lookup(term)
+            if term_id is None:
+                return _NO_MATCH
+            ids.append(term_id)
+        return tuple(ids)
 
     def triples(self, subject: Optional[object] = None,
                 predicate: Optional[object] = None,
                 obj: Optional[object] = None) -> Iterator[Triple]:
         """Iterate over triples matching a pattern (``None`` = wildcard)."""
-        s = _as_term(subject, allow_none=True)
-        p = _as_term(predicate, allow_none=True)
-        o = _as_term(obj, allow_none=True)
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return
+        decode = self._dict.decode
+        for si, pi, oi in self.triples_ids(*pattern):
+            yield Triple(decode(si), decode(pi), decode(oi))
+
+    # ------------------------------------------------------------------
+    # Access (id space) — the SPARQL hot path
+    # ------------------------------------------------------------------
+    def triples_ids(self, s: Optional[int] = None, p: Optional[int] = None,
+                    o: Optional[int] = None) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over id-triples matching an id pattern (``None`` = wildcard).
+
+        Chooses the index whose prefix covers the constants, exactly like the
+        term-level :meth:`triples`, but never touches a :class:`Term` object.
+        Misses allocate nothing (plain ``.get`` probes, no auto-vivification).
+        """
         if s is not None:
             by_pred = self._spo.get(s)
             if not by_pred:
@@ -170,93 +317,161 @@ class Graph:
                     return
                 if o is not None:
                     if o in objects:
-                        yield Triple(s, p, o)
+                        yield (s, p, o)
                     return
-                for obj_term in objects:
-                    yield Triple(s, p, obj_term)
+                for oi in objects:
+                    yield (s, p, oi)
                 return
-            for pred, objects in by_pred.items():
+            for pi, objects in by_pred.items():
                 if o is not None:
                     if o in objects:
-                        yield Triple(s, pred, o)
+                        yield (s, pi, o)
                     continue
-                for obj_term in objects:
-                    yield Triple(s, pred, obj_term)
+                for oi in objects:
+                    yield (s, pi, oi)
             return
         if p is not None:
             by_obj = self._pos.get(p)
             if not by_obj:
                 return
             if o is not None:
-                for subj in by_obj.get(o, set()):
-                    yield Triple(subj, p, o)
+                for si in by_obj.get(o, ()):
+                    yield (si, p, o)
                 return
-            for obj_term, subjects in by_obj.items():
-                for subj in subjects:
-                    yield Triple(subj, p, obj_term)
+            for oi, subjects in by_obj.items():
+                for si in subjects:
+                    yield (si, p, oi)
             return
         if o is not None:
             by_subj = self._osp.get(o)
             if not by_subj:
                 return
-            for subj, preds in by_subj.items():
-                for pred in preds:
-                    yield Triple(subj, pred, o)
+            for si, preds in by_subj.items():
+                for pi in preds:
+                    yield (si, pi, o)
             return
-        for subj, by_pred in self._spo.items():
-            for pred, objects in by_pred.items():
-                for obj_term in objects:
-                    yield Triple(subj, pred, obj_term)
+        for si, by_pred in self._spo.items():
+            for pi, objects in by_pred.items():
+                for oi in objects:
+                    yield (si, pi, oi)
+
+    # Direct slot iterators: the set of ids completing a 2/3-bound pattern.
+    # These feed the innermost level of the evaluator's join pipeline, where
+    # per-element tuple allocation would dominate; callers must not mutate
+    # the returned sets.
+    def object_ids(self, s: int, p: int):
+        by_pred = self._spo.get(s)
+        if by_pred is None:
+            return ()
+        return by_pred.get(p, ())
+
+    def subject_ids(self, p: int, o: int):
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return ()
+        return by_obj.get(o, ())
+
+    def predicate_ids(self, s: int, o: int):
+        by_subj = self._osp.get(o)
+        if by_subj is None:
+            return ()
+        return by_subj.get(s, ())
+
+    def count_ids(self, s: Optional[int] = None, p: Optional[int] = None,
+                  o: Optional[int] = None) -> int:
+        """Exact match count for an id pattern, without materialising."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is None and o is None:
+            return self._s_counts.get(s, 0)
+        if p is not None and s is None and o is None:
+            return self._p_counts.get(p, 0)
+        if o is not None and s is None and p is None:
+            return self._o_counts.get(o, 0)
+        if s is not None and p is not None and o is None:
+            by_pred = self._spo.get(s)
+            objects = by_pred.get(p) if by_pred else None
+            return len(objects) if objects else 0
+        if p is not None and o is not None and s is None:
+            by_obj = self._pos.get(p)
+            subjects = by_obj.get(o) if by_obj else None
+            return len(subjects) if subjects else 0
+        if s is not None and o is not None and p is None:
+            by_subj = self._osp.get(o)
+            preds = by_subj.get(s) if by_subj else None
+            return len(preds) if preds else 0
+        by_pred = self._spo.get(s)
+        objects = by_pred.get(p) if by_pred else None
+        return 1 if objects and o in objects else 0
+
+    # ``count_ids`` answers every pattern shape from maintained counters or a
+    # single O(1) index probe, so the estimate *is* the exact count.
+    estimate_cardinality_ids = count_ids
+
+    def predicate_cardinality(self, predicate: object) -> int:
+        """Number of triples using ``predicate`` (maintained incrementally)."""
+        term = _as_term(predicate, allow_none=True)
+        if term is None:
+            return self._size
+        pid = self._dict.lookup(term)
+        return self._p_counts.get(pid, 0) if pid is not None else 0
+
+    def predicate_cardinalities(self) -> Dict[Term, int]:
+        """Triple counts per predicate term (decoded view of the stats)."""
+        decode = self._dict.decode
+        return {decode(pid): count for pid, count in self._p_counts.items()}
 
     def count(self, subject: Optional[object] = None,
               predicate: Optional[object] = None,
               obj: Optional[object] = None) -> int:
         """Count triples matching the pattern without materialising them.
 
-        The common access paths use index sizes directly which is what the
-        SPARQL join-order optimizer relies on for cardinality estimation.
+        Single-constant patterns are answered from the incrementally
+        maintained cardinality counters; two-constant patterns from one O(1)
+        index probe.  This is what the SPARQL join-order optimizer relies on
+        for cardinality estimation.
         """
-        s = _as_term(subject, allow_none=True)
-        p = _as_term(predicate, allow_none=True)
-        o = _as_term(obj, allow_none=True)
-        if s is None and p is None and o is None:
-            return self._size
-        if s is not None and p is None and o is None:
-            return sum(len(objs) for objs in self._spo.get(s, {}).values())
-        if p is not None and s is None and o is None:
-            return sum(len(subjs) for subjs in self._pos.get(p, {}).values())
-        if o is not None and s is None and p is None:
-            return sum(len(preds) for preds in self._osp.get(o, {}).values())
-        if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, set()))
-        if p is not None and o is not None and s is None:
-            return len(self._pos.get(p, {}).get(o, set()))
-        return sum(1 for _ in self.triples(s, p, o))
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return 0
+        return self.count_ids(*pattern)
 
     # -- convenience accessors ------------------------------------------------
     def subjects(self, predicate: Optional[object] = None,
                  obj: Optional[object] = None) -> Iterator[Term]:
-        seen: Set[Term] = set()
-        for s, _, _ in self.triples(None, predicate, obj):
-            if s not in seen:
-                seen.add(s)
-                yield s
+        pattern = self._encode_pattern(None, predicate, obj)
+        if pattern is _NO_MATCH:
+            return
+        seen: Set[int] = set()
+        decode = self._dict.decode
+        for si, _, _ in self.triples_ids(*pattern):
+            if si not in seen:
+                seen.add(si)
+                yield decode(si)
 
     def predicates(self, subject: Optional[object] = None,
                    obj: Optional[object] = None) -> Iterator[Term]:
-        seen: Set[Term] = set()
-        for _, p, _ in self.triples(subject, None, obj):
-            if p not in seen:
-                seen.add(p)
-                yield p
+        pattern = self._encode_pattern(subject, None, obj)
+        if pattern is _NO_MATCH:
+            return
+        seen: Set[int] = set()
+        decode = self._dict.decode
+        for _, pi, _ in self.triples_ids(*pattern):
+            if pi not in seen:
+                seen.add(pi)
+                yield decode(pi)
 
     def objects(self, subject: Optional[object] = None,
                 predicate: Optional[object] = None) -> Iterator[Term]:
-        seen: Set[Term] = set()
-        for _, _, o in self.triples(subject, predicate, None):
-            if o not in seen:
-                seen.add(o)
-                yield o
+        pattern = self._encode_pattern(subject, predicate, None)
+        if pattern is _NO_MATCH:
+            return
+        seen: Set[int] = set()
+        decode = self._dict.decode
+        for _, _, oi in self.triples_ids(*pattern):
+            if oi not in seen:
+                seen.add(oi)
+                yield decode(oi)
 
     def value(self, subject: Optional[object] = None,
               predicate: Optional[object] = None,
@@ -276,22 +491,24 @@ class Graph:
 
     def nodes(self) -> Iterator[Term]:
         """Iterate over every distinct subject or object term."""
-        seen: Set[Term] = set()
-        for s in self._spo:
-            if s not in seen:
-                seen.add(s)
-                yield s
-        for o in self._osp:
-            if o not in seen:
-                seen.add(o)
-                yield o
+        seen: Set[int] = set()
+        decode = self._dict.decode
+        for si in self._spo:
+            if si not in seen:
+                seen.add(si)
+                yield decode(si)
+        for oi in self._osp:
+            if oi not in seen:
+                seen.add(oi)
+                yield decode(oi)
 
     # ------------------------------------------------------------------
     # Set-style operations
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        clone = Graph(identifier=self.identifier, namespaces=self.namespaces.copy())
-        clone.add_all(self)
+        clone = Graph(identifier=self.identifier, namespaces=self.namespaces.copy(),
+                      dictionary=self._dict)
+        clone._merge_encoded(self)
         return clone
 
     def union(self, other: "Graph") -> "Graph":
@@ -316,6 +533,10 @@ class Graph:
     def __repr__(self) -> str:
         name = self.identifier.value if self.identifier else "default"
         return f"<Graph {name!r} with {self._size} triples>"
+
+
+#: Sentinel: a pattern containing a constant the dictionary has never seen.
+_NO_MATCH = object()
 
 
 class ReadOnlyGraphView:
@@ -355,6 +576,10 @@ class ReadOnlyGraphView:
 
     def value(self, *args, **kwargs) -> Optional[Term]:
         return self._graph.value(*args, **kwargs)
+
+    @property
+    def epoch(self) -> int:
+        return self._graph.epoch
 
     @property
     def namespaces(self) -> NamespaceManager:

@@ -103,6 +103,7 @@ class NamespaceManager:
     def __init__(self, bindings: Optional[Dict[str, str]] = None,
                  include_defaults: bool = True) -> None:
         self._prefix_to_ns: Dict[str, str] = {}
+        self._version = 0
         if include_defaults:
             for prefix, base in DEFAULT_PREFIXES.items():
                 self.bind(prefix, base)
@@ -114,7 +115,21 @@ class NamespaceManager:
         """Bind ``prefix`` to ``base``, replacing any previous binding."""
         if isinstance(base, Namespace):
             base = base.base
+        if self._prefix_to_ns.get(prefix) != base:
+            self._version += 1
         self._prefix_to_ns[prefix] = base
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every (re)binding.
+
+        Parsing depends on the prefix table, so caches keyed by query text
+        include this to avoid serving ASTs parsed under old bindings.
+        """
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)
 
     def namespace(self, prefix: str) -> Optional[str]:
         return self._prefix_to_ns.get(prefix)

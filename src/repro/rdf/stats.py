@@ -53,7 +53,12 @@ class GraphStatistics:
 
 
 def compute_statistics(graph: Graph) -> GraphStatistics:
-    """Compute :class:`GraphStatistics` in a single pass over ``graph``."""
+    """Compute :class:`GraphStatistics` in a single pass over ``graph``.
+
+    Per-predicate triple counts come straight from the graph's incrementally
+    maintained cardinality statistics (no counting pass); the remaining
+    figures still require one scan.
+    """
     edge_types: Counter = Counter()
     node_types: Counter = Counter()
     literal_predicates: Counter = Counter()
@@ -61,8 +66,14 @@ def compute_statistics(graph: Graph) -> GraphStatistics:
     nodes = set()
     num_literals = 0
 
+    maintained = getattr(graph, "predicate_cardinalities", None)
+    if maintained is not None:
+        for p, count in maintained().items():
+            edge_types[p.value if isinstance(p, IRI) else p.n3()] = count
+
     for s, p, o in graph:
-        edge_types[p.value if isinstance(p, IRI) else p.n3()] += 1
+        if maintained is None:
+            edge_types[p.value if isinstance(p, IRI) else p.n3()] += 1
         nodes.add(s)
         out_degree[s] += 1
         if isinstance(o, Literal):

@@ -42,9 +42,17 @@ class Term:
 
     Concrete subclasses are :class:`IRI`, :class:`Literal`, :class:`BNode`
     and (for query processing only) :class:`Variable`.
+
+    Terms are immutable value objects used as dictionary keys throughout the
+    triple store and the evaluator, so every concrete class caches its hash
+    in a ``_hash`` slot on first use (the slot stays unset until then).
     """
 
     __slots__ = ()
+
+    def _cache_hash(self, value: int) -> int:
+        object.__setattr__(self, "_hash", value)
+        return value
 
     def n3(self) -> str:
         """Return the N-Triples / SPARQL surface form of the term."""
@@ -61,7 +69,7 @@ class Term:
 class IRI(Term):
     """An IRI reference, e.g. ``https://www.dblp.org/Publication``."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     _sort_rank = 1
 
     def __init__(self, value: str) -> None:
@@ -84,10 +92,13 @@ class IRI(Term):
         return f"IRI({self.value!r})"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, IRI) and other.value == self.value
+        return self is other or (isinstance(other, IRI) and other.value == self.value)
 
     def __hash__(self) -> int:
-        return hash(("IRI", self.value))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cache_hash(hash(("IRI", self.value)))
 
     def __reduce__(self):
         return (IRI, (self.value,))
@@ -137,7 +148,7 @@ _NUMERIC_DATATYPES = {XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE}
 class Literal(Term):
     """An RDF literal with optional datatype or language tag."""
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
     _sort_rank = 2
 
     def __init__(self, lexical: object, datatype: Optional[IRI] = None,
@@ -206,7 +217,7 @@ class Literal(Term):
         return f"Literal({self.lexical!r})"
 
     def __eq__(self, other: object) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Literal)
             and other.lexical == self.lexical
             and other.datatype == self.datatype
@@ -214,7 +225,11 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("Literal", self.lexical, self.datatype.value, self.language))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cache_hash(
+                hash(("Literal", self.lexical, self.datatype.value, self.language)))
 
     def __reduce__(self):
         if self.language is not None:
@@ -231,7 +246,7 @@ class Literal(Term):
 class BNode(Term):
     """A blank node.  Identity is purely the local identifier."""
 
-    __slots__ = ("id",)
+    __slots__ = ("id", "_hash")
     _sort_rank = 0
 
     def __init__(self, node_id: Optional[str] = None) -> None:
@@ -254,10 +269,13 @@ class BNode(Term):
         return f"BNode({self.id!r})"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, BNode) and other.id == self.id
+        return self is other or (isinstance(other, BNode) and other.id == self.id)
 
     def __hash__(self) -> int:
-        return hash(("BNode", self.id))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cache_hash(hash(("BNode", self.id)))
 
     def __reduce__(self):
         return (BNode, (self.id,))
@@ -273,17 +291,33 @@ class Variable(Term):
     """A SPARQL variable such as ``?paper``.
 
     Variables only appear inside queries, never inside stored graphs.
+
+    Instances are interned per name: ``Variable("x") is Variable("?x")``.
+    Equal variables being *identical* lets every binding-dictionary
+    operation on the query hot path take the pointer-comparison fast path
+    instead of calling ``__eq__``.  The intern table grows with the set of
+    distinct variable names seen by the process, which queries keep small.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
     _sort_rank = 3
+    _interned: dict = {}
 
-    def __init__(self, name: str) -> None:
+    def __new__(cls, name: str) -> "Variable":
         if isinstance(name, str) and name.startswith(("?", "$")):
             name = name[1:]
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
         if not isinstance(name, str) or not name:
             raise TermError(f"variable name must be a non-empty string, got {name!r}")
-        object.__setattr__(self, "name", name)
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "name", name)
+        cls._interned[name] = instance
+        return instance
+
+    def __init__(self, name: str) -> None:  # state set in __new__
+        pass
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Variable is immutable")
@@ -298,10 +332,13 @@ class Variable(Term):
         return f"Variable({self.name!r})"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Variable) and other.name == self.name
+        return self is other or (isinstance(other, Variable) and other.name == self.name)
 
     def __hash__(self) -> int:
-        return hash(("Variable", self.name))
+        try:
+            return self._hash
+        except AttributeError:
+            return self._cache_hash(hash(("Variable", self.name)))
 
     def __reduce__(self):
         return (Variable, (self.name,))

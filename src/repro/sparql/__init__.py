@@ -4,9 +4,11 @@ from repro.sparql.tokenizer import Token, tokenize
 from repro.sparql.parser import SPARQLParser, parse, parse_query, parse_update
 from repro.sparql.evaluator import (
     QueryEvaluator,
+    QueryPlan,
     estimate_pattern_cardinality,
     reorder_patterns,
 )
+from repro.sparql.reference import ReferenceQueryEvaluator
 from repro.sparql.functions import (
     EvaluationContext,
     OpaqueValue,
@@ -15,7 +17,7 @@ from repro.sparql.functions import (
     evaluate_expression,
 )
 from repro.sparql.results import ResultSet, Solution
-from repro.sparql.endpoint import QueryStatistics, SPARQLEndpoint
+from repro.sparql.endpoint import PlanCache, QueryStatistics, SPARQLEndpoint
 
 __all__ = [
     "Token",
@@ -25,6 +27,8 @@ __all__ = [
     "parse_query",
     "parse_update",
     "QueryEvaluator",
+    "QueryPlan",
+    "ReferenceQueryEvaluator",
     "estimate_pattern_cardinality",
     "reorder_patterns",
     "EvaluationContext",
@@ -34,6 +38,7 @@ __all__ = [
     "evaluate_expression",
     "ResultSet",
     "Solution",
+    "PlanCache",
     "QueryStatistics",
     "SPARQLEndpoint",
 ]

@@ -8,16 +8,25 @@ registered UDFs that issue HTTP calls to the GML inference manager.  The
 * it owns a :class:`~repro.rdf.dataset.Dataset` (default graph = the data KG,
   named graphs for KGMeta and anything else),
 * it parses and evaluates SPARQL queries and updates,
+* it keeps an LRU *parse + plan* cache (:class:`PlanCache`) keyed by query
+  text: repeated queries skip the parser entirely and reuse their compiled
+  id-space join plans; any graph mutation bumps the dataset epoch, which
+  transparently invalidates cached plans (never cached results — the
+  evaluator always runs against the live graph),
+* it caches the materialised union graph between mutations, so mixed
+  KGMeta + data queries stop paying a full union rebuild per request,
 * it exposes a UDF registry; every UDF invocation is counted so experiments
   can report the number of "HTTP calls" an execution plan makes,
-* it keeps simple per-query execution statistics.
+* it keeps simple per-query execution statistics (including whether the
+  plan cache was hit and how many index lookups the join pipeline made).
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import QueryError
 from repro.rdf.dataset import Dataset
@@ -31,12 +40,12 @@ from repro.sparql.ast import (
     SelectQuery,
     Update,
 )
-from repro.sparql.evaluator import QueryEvaluator
+from repro.sparql.evaluator import QueryEvaluator, QueryPlan
 from repro.sparql.functions import UDFRegistry
 from repro.sparql.parser import SPARQLParser
 from repro.sparql.results import ResultSet
 
-__all__ = ["QueryStatistics", "SPARQLEndpoint"]
+__all__ = ["QueryStatistics", "PlanCache", "SPARQLEndpoint"]
 
 
 @dataclass
@@ -49,6 +58,87 @@ class QueryStatistics:
     num_results: int
     pattern_lookups: int
     udf_calls: int = 0
+    plan_cache_hit: bool = False
+
+
+class _CacheEntry:
+    __slots__ = ("parsed", "plan", "epoch")
+
+    def __init__(self, parsed, plan: Optional[QueryPlan], epoch) -> None:
+        self.parsed = parsed
+        self.plan = plan
+        self.epoch = epoch
+
+
+class PlanCache:
+    """An LRU cache of parsed queries and their compiled join plans.
+
+    Keys are ``(query text, namespace fingerprint)``; values hold the parsed
+    AST plus a :class:`~repro.sparql.evaluator.QueryPlan`.  A lookup whose
+    stored epoch no longer matches the dataset's counts as an *invalidation*:
+    the parse is still reused (parsing does not depend on graph content) but
+    the plan recompiles against the current graph, so a cache hit can never
+    serve stale ids, join orders or results after a mutation.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def lookup(self, key: Tuple, epoch) -> Tuple[Optional[_CacheEntry], bool]:
+        """Return ``(entry, fresh)``; entry is None on a miss.
+
+        ``fresh`` is False when the entry predates the current epoch (its
+        plan will recompile; only the parse is reused).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None, False
+        self._entries.move_to_end(key)
+        if entry.epoch != epoch:
+            entry.epoch = epoch
+            self.invalidations += 1
+            return entry, False
+        self.hits += 1
+        return entry, True
+
+    def store(self, key: Tuple, parsed, plan: Optional[QueryPlan], epoch) -> _CacheEntry:
+        entry = _CacheEntry(parsed, plan, epoch)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        total = self.hits + self.misses + self.invalidations
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hits / total, 6) if total else 0.0,
+        }
 
 
 class SPARQLEndpoint:
@@ -62,6 +152,10 @@ class SPARQLEndpoint:
         self.udfs = UDFRegistry()
         self.optimize_joins = optimize_joins
         self.history: List[QueryStatistics] = []
+        self.plan_cache = PlanCache()
+        #: Total triple-pattern index lookups across all executed queries.
+        self.total_pattern_lookups = 0
+        self._union_cache: Optional[Tuple[Tuple[int, int], Graph]] = None
 
     # ------------------------------------------------------------------
     # Data management
@@ -92,7 +186,9 @@ class SPARQLEndpoint:
 
         ``FROM <g>`` selects a named graph; multiple FROM clauses (or none)
         use the union/default graph, matching how the platform stores KGMeta
-        alongside the data KG.
+        alongside the data KG.  The no-FROM union graph is cached between
+        dataset mutations (keyed by the dataset epoch token) so that the
+        common mixed KGMeta + data query path does not re-materialise it.
         """
         from_graphs = getattr(query, "from_graphs", [])
         if len(from_graphs) == 1 and self.dataset.has_graph(from_graphs[0]):
@@ -103,17 +199,34 @@ class SPARQLEndpoint:
                 if self.dataset.has_graph(graph_iri):
                     union.add_all(self.dataset.graph(graph_iri))
             return union
-        if self.dataset.named_graphs():
+        if any(True for _ in self.dataset.named_graphs()):
             # Default behaviour: query the union of default + named graphs so
             # KGMeta triple patterns and data triple patterns can be mixed in
             # one query (paper Fig 2 relies on this).
-            has_named = any(True for _ in self.dataset.named_graphs())
-            if has_named:
-                return self.dataset.union_graph()
+            token = self.dataset.epoch()
+            if self._union_cache is None or self._union_cache[0] != token:
+                self._union_cache = (token, self.dataset.union_graph())
+            return self._union_cache[1]
         return self.graph
 
     def parse(self, text: str):
         return SPARQLParser(text, namespaces=self.namespaces).parse()
+
+    def _cached_parse(self, text: str):
+        """Parse through the LRU cache.
+
+        Returns ``(parsed, plan, cache_hit)``.  ``plan`` is None for update
+        requests (updates have no reusable join plan).
+        """
+        epoch = self.dataset.epoch()
+        key = (text, self.namespaces.version)
+        entry, fresh = self.plan_cache.lookup(key, epoch)
+        if entry is not None:
+            return entry.parsed, entry.plan, fresh
+        parsed = self.parse(text)
+        plan = None if isinstance(parsed, list) else QueryPlan()
+        self.plan_cache.store(key, parsed, plan, epoch)
+        return parsed, plan, False
 
     def execute(self, text: str):
         """Parse once and route a query *or* an update from the AST.
@@ -123,10 +236,11 @@ class SPARQLEndpoint:
         SELECT / ASK / CONSTRUCT requests return their evaluation result,
         update requests return the number of affected triples.
         """
-        parsed = self.parse(text)
+        parsed, plan, cache_hit = self._cached_parse(text)
         if isinstance(parsed, list):
-            return self._run_updates(parsed, text)
-        return self._run_query(parsed, text, graph_iri=None)
+            return self._run_updates(parsed, text, cache_hit=cache_hit)
+        return self._run_query(parsed, text, graph_iri=None, plan=plan,
+                               cache_hit=cache_hit)
 
     def query(self, text: str, graph_iri: Optional[Union[str, IRI]] = None):
         """Parse and evaluate a SELECT / ASK / CONSTRUCT query.
@@ -134,18 +248,26 @@ class SPARQLEndpoint:
         Returns a :class:`ResultSet` (SELECT), ``bool`` (ASK) or
         :class:`Graph` (CONSTRUCT).
         """
-        parser = SPARQLParser(text, namespaces=self.namespaces)
-        return self._run_query(parser.parse_query(), text, graph_iri=graph_iri)
+        parsed, plan, cache_hit = self._cached_parse(text)
+        if isinstance(parsed, list):
+            # The request is an update; surface the canonical parser error.
+            SPARQLParser(text, namespaces=self.namespaces).parse_query()
+            raise QueryError("update request passed to query()")
+        return self._run_query(parsed, text, graph_iri=graph_iri, plan=plan,
+                               cache_hit=cache_hit)
 
     def _run_query(self, query: Query, text: str,
-                   graph_iri: Optional[Union[str, IRI]] = None):
+                   graph_iri: Optional[Union[str, IRI]] = None,
+                   plan: Optional[QueryPlan] = None,
+                   cache_hit: bool = False):
         """Evaluate an already-parsed query, recording statistics."""
         if graph_iri is not None:
             graph = self.dataset.graph(graph_iri)
         else:
             graph = self._evaluation_graph(query)
         evaluator = QueryEvaluator(graph, udfs=self.udfs,
-                                   optimize_joins=self.optimize_joins)
+                                   optimize_joins=self.optimize_joins,
+                                   plan=plan)
         udf_calls_before = self.udfs.total_calls()
         started = time.perf_counter()
         result = evaluator.evaluate(query)
@@ -159,10 +281,12 @@ class SPARQLEndpoint:
         else:
             count = int(bool(result))
             kind = "ASK"
+        self.total_pattern_lookups += evaluator.pattern_lookups
         self.history.append(QueryStatistics(
             query=text, kind=kind, elapsed_seconds=elapsed, num_results=count,
             pattern_lookups=evaluator.pattern_lookups,
             udf_calls=self.udfs.total_calls() - udf_calls_before,
+            plan_cache_hit=cache_hit,
         ))
         return result
 
@@ -180,10 +304,15 @@ class SPARQLEndpoint:
 
     def update(self, text: str) -> int:
         """Parse and apply a SPARQL UPDATE request; returns affected triples."""
-        parser = SPARQLParser(text, namespaces=self.namespaces)
-        return self._run_updates(parser.parse_update(), text)
+        parsed, _, cache_hit = self._cached_parse(text)
+        if not isinstance(parsed, list):
+            # The request is a query; surface the canonical parser error.
+            SPARQLParser(text, namespaces=self.namespaces).parse_update()
+            raise QueryError("query request passed to update()")
+        return self._run_updates(parsed, text, cache_hit=cache_hit)
 
-    def _run_updates(self, updates: List[Update], text: str) -> int:
+    def _run_updates(self, updates: List[Update], text: str,
+                     cache_hit: bool = False) -> int:
         """Apply already-parsed updates, recording statistics."""
         started = time.perf_counter()
         affected = 0
@@ -193,6 +322,7 @@ class SPARQLEndpoint:
         self.history.append(QueryStatistics(
             query=text, kind="UPDATE", elapsed_seconds=elapsed,
             num_results=affected, pattern_lookups=0,
+            plan_cache_hit=cache_hit,
         ))
         return affected
 
@@ -210,9 +340,17 @@ class SPARQLEndpoint:
     def total_udf_calls(self, name: Optional[str] = None) -> int:
         return self.udfs.total_calls(name)
 
+    def cache_info(self) -> Dict[str, object]:
+        """Plan-cache and hot-path counters for monitoring/benchmarks."""
+        info = dict(self.plan_cache.stats())
+        info["pattern_lookups"] = self.total_pattern_lookups
+        return info
+
     def reset_counters(self) -> None:
         self.udfs.reset_counts()
         self.history.clear()
+        self.plan_cache.reset_counters()
+        self.total_pattern_lookups = 0
 
     def __repr__(self) -> str:
         return (f"<SPARQLEndpoint default={len(self.graph)} triples, "

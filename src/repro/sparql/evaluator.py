@@ -1,18 +1,30 @@
 """SPARQL query and update evaluation over :class:`repro.rdf.graph.Graph`.
 
-The evaluator implements the classic nested-loop BGP join with greedy,
-cardinality-based triple-pattern reordering (see :func:`reorder_patterns`),
-plus OPTIONAL / UNION / MINUS / BIND / VALUES / sub-SELECT, FILTER
-expressions, GROUP BY aggregation and the solution modifiers.
+The evaluator runs basic graph patterns as a *streaming, dictionary-encoded
+pipeline*: every BGP is compiled once (constants interned to integer ids,
+variables assigned dense slots, patterns greedily reordered by maintained
+cardinality statistics) and then evaluated as a chain of index-nested-loop
+scan/join generators over id-space bindings — the shape of the Sage engine's
+``ScanIterator`` / ``IndexJoinIterator`` pipeline.  Ids are decoded back to
+:class:`~repro.rdf.terms.Term` objects only when a fully-joined row leaves
+the BGP, so intermediate results are integer slot arrays instead of per-row
+``Solution`` dictionaries.
 
-It is deliberately a straightforward interpreter: the reproduction needs a
-correct, observable engine (numbers of UDF calls, join orders) rather than a
-fast one.
+Group-level operators (FILTER / OPTIONAL / UNION / MINUS / BIND / VALUES /
+sub-SELECT) are lazy generators as well, which lets LIMIT, ASK and EXISTS
+stop consuming the pipeline as soon as they have what they need.  Grouping
+and ORDER BY materialize, as they must.
+
+Compiled BGPs can be cached across executions through a :class:`QueryPlan`
+(the endpoint's plan cache stores one per query text); a plan transparently
+recompiles itself when the graph object or its mutation epoch changes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import weakref
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import QueryError, UpdateError
 from repro.rdf.dataset import Dataset
@@ -60,7 +72,8 @@ from repro.sparql.functions import (
 )
 from repro.sparql.results import ResultSet, Solution
 
-__all__ = ["QueryEvaluator", "reorder_patterns", "estimate_pattern_cardinality"]
+__all__ = ["QueryEvaluator", "QueryPlan", "reorder_patterns",
+           "estimate_pattern_cardinality"]
 
 
 # ---------------------------------------------------------------------------
@@ -71,9 +84,10 @@ def estimate_pattern_cardinality(graph: Graph, pattern: TriplePattern,
                                  bound: Optional[set] = None) -> float:
     """Estimate how many solutions ``pattern`` produces.
 
-    Constants use the exact index counts; variables already bound by earlier
-    patterns in the join order divide the estimate (they act as additional
-    selections once the join is underway).
+    Constant components are answered from the graph's incrementally
+    maintained cardinality counters (O(1), no index walking); variables
+    already bound by earlier patterns in the join order divide the estimate
+    (they act as additional selections once the join is underway).
     """
     bound = bound or set()
     s = pattern.subject if not isinstance(pattern.subject, Variable) else None
@@ -121,6 +135,60 @@ def reorder_patterns(graph: Graph,
 
 
 # ---------------------------------------------------------------------------
+# Compiled BGPs and cached plans
+# ---------------------------------------------------------------------------
+
+class _CompiledBGP:
+    """A BGP compiled to id space.
+
+    ``specs`` holds one ``((s_const, s_slot), (p_const, p_slot),
+    (o_const, o_slot))`` entry per (reordered) triple pattern, where exactly
+    one of ``const`` (an interned term id) and ``slot`` (a variable slot
+    index) is set per component.  ``empty`` marks a BGP containing a constant
+    the dictionary has never interned — it cannot match anything.
+    """
+
+    __slots__ = ("specs", "var_slots", "slot_vars", "num_slots", "empty")
+
+    def __init__(self, specs, var_slots: Dict[Variable, int], empty: bool) -> None:
+        self.specs = specs
+        self.var_slots = var_slots
+        self.slot_vars = tuple(var_slots)  # slot index -> Variable
+        self.num_slots = len(var_slots)
+        self.empty = empty
+
+
+class QueryPlan:
+    """Reusable compilation state for one parsed query.
+
+    Maps BGP nodes (by identity — the plan lives next to its AST in the
+    endpoint's cache) to their compiled form.  :meth:`ensure` drops every
+    compiled BGP when the target graph (held via weakref, so a recycled
+    ``id()`` can never alias a dead graph), its mutation epoch, or the
+    join-optimization flag changed; a cached plan can never serve ids or
+    join orders compiled under different conditions.
+    """
+
+    __slots__ = ("_graph_ref", "_epoch", "_optimize_joins", "compiled")
+
+    def __init__(self) -> None:
+        self._graph_ref = None
+        self._epoch: Optional[int] = None
+        self._optimize_joins: Optional[bool] = None
+        self.compiled: Dict[int, _CompiledBGP] = {}
+
+    def ensure(self, graph: Graph, optimize_joins: bool) -> None:
+        held = self._graph_ref() if self._graph_ref is not None else None
+        if (held is graph and self._epoch == graph.epoch
+                and self._optimize_joins == optimize_joins):
+            return
+        self.compiled.clear()
+        self._graph_ref = weakref.ref(graph)
+        self._epoch = graph.epoch
+        self._optimize_joins = optimize_joins
+
+
+# ---------------------------------------------------------------------------
 # The evaluator
 # ---------------------------------------------------------------------------
 
@@ -128,10 +196,12 @@ class QueryEvaluator:
     """Evaluates parsed SPARQL queries against a graph (or dataset)."""
 
     def __init__(self, graph: Graph, udfs: Optional[UDFRegistry] = None,
-                 optimize_joins: bool = True) -> None:
+                 optimize_joins: bool = True,
+                 plan: Optional[QueryPlan] = None) -> None:
         self.graph = graph
         self.udfs = udfs or UDFRegistry()
         self.optimize_joins = optimize_joins
+        self.plan = plan
         self.context = EvaluationContext(udfs=self.udfs,
                                          exists_evaluator=self._evaluate_exists)
         #: Number of triple-pattern index lookups performed (for benchmarks).
@@ -148,23 +218,53 @@ class QueryEvaluator:
         raise QueryError(f"unsupported query type {type(query).__name__}")
 
     def evaluate_select(self, query: SelectQuery) -> ResultSet:
-        solutions = self._evaluate_group(query.where, [Solution()])
+        project_hint = self._projection_hint(query)
+        if project_hint is not None:
+            # Single-BGP bare-variable SELECT: the join emits rows that
+            # already carry exactly the projected variables, so the
+            # projection step below reduces to an identity pass.
+            solutions: Iterable[Solution] = self._stream_bgp(
+                query.where.elements[0], iter((Solution(),)),
+                project=project_hint)
+        else:
+            solutions = self._evaluate_group(query.where, iter((Solution(),)))
         solutions = self._apply_grouping(query, solutions)
         solutions = self._apply_order(query, solutions)
         variables, solutions = self._apply_projection(query, solutions)
         if query.distinct or query.reduced:
-            solutions = self._distinct(solutions)
+            solutions = self._distinct(solutions, variables)
         solutions = self._apply_slice(query, solutions)
         return ResultSet(variables, solutions)
 
+    @staticmethod
+    def _projection_hint(query: SelectQuery) -> Optional[frozenset]:
+        """The set of variables a single-BGP bare SELECT actually needs.
+
+        Safe only when nothing downstream of the BGP (ORDER BY, GROUP BY,
+        HAVING, other group elements, expression projections) could read a
+        variable the projection drops.
+        """
+        if (query.select_all or query.order_by or query.group_by
+                or query.having):
+            return None
+        if len(query.where.elements) != 1 or not isinstance(
+                query.where.elements[0], BGP):
+            return None
+        for item in query.select_items:
+            if not isinstance(item.expression, VariableExpr) or item.alias is not None:
+                return None
+        return frozenset(item.expression.variable for item in query.select_items)
+
     def evaluate_ask(self, query: AskQuery) -> bool:
-        solutions = self._evaluate_group(query.where, [Solution()])
-        return bool(solutions)
+        # Consume a single solution from the pipeline, then stop.
+        for _ in self._evaluate_group(query.where, iter((Solution(),))):
+            return True
+        return False
 
     def evaluate_construct(self, query: ConstructQuery) -> Graph:
-        solutions = self._evaluate_group(query.where, [Solution()])
+        solutions = self._evaluate_group(query.where, iter((Solution(),)))
         if query.limit is not None:
-            solutions = solutions[: query.limit]
+            solutions = islice(solutions, query.limit)
         result = Graph(namespaces=self.graph.namespaces.copy())
         for solution in solutions:
             for template in query.template:
@@ -175,104 +275,323 @@ class QueryEvaluator:
 
     # -- group pattern evaluation -------------------------------------------
     def _evaluate_group(self, group: GroupPattern,
-                        solutions: List[Solution]) -> List[Solution]:
+                        solutions: Iterator[Solution]) -> Iterator[Solution]:
+        """Chain one lazy operator per group element over ``solutions``."""
+        stream = solutions
         for element in group.elements:
             if isinstance(element, BGP):
-                solutions = self._evaluate_bgp(element, solutions)
+                stream = self._stream_bgp(element, stream)
             elif isinstance(element, FilterPattern):
-                solutions = [
-                    sol for sol in solutions
-                    if effective_boolean_value(
-                        evaluate_expression(element.expression, sol, self.context))
-                ]
+                stream = self._stream_filter(element.expression, stream)
             elif isinstance(element, OptionalPattern):
-                solutions = self._evaluate_optional(element, solutions)
+                stream = self._stream_optional(element, stream)
             elif isinstance(element, UnionPattern):
-                merged: List[Solution] = []
-                for alternative in element.alternatives:
-                    merged.extend(self._evaluate_group(alternative, list(solutions)))
-                solutions = merged
+                stream = self._stream_union(element, stream)
             elif isinstance(element, MinusPattern):
-                solutions = self._evaluate_minus(element, solutions)
+                stream = self._stream_minus(element, stream)
             elif isinstance(element, BindPattern):
-                new_solutions = []
-                for sol in solutions:
-                    value = evaluate_expression(element.expression, sol, self.context)
-                    extended = Solution(sol)
-                    if value is not None:
-                        if element.variable in extended and extended[element.variable] != value:
-                            continue
-                        extended[element.variable] = value
-                    new_solutions.append(extended)
-                solutions = new_solutions
+                stream = self._stream_bind(element, stream)
             elif isinstance(element, ValuesPattern):
-                solutions = self._evaluate_values(element, solutions)
+                stream = self._stream_values(element, stream)
             elif isinstance(element, SubSelectPattern):
-                sub_result = self.evaluate_select(element.query)
-                joined: List[Solution] = []
-                for sol in solutions:
-                    for sub_sol in sub_result.solutions:
-                        merged_sol = sol.merged(sub_sol)
-                        if merged_sol is not None:
-                            joined.append(merged_sol)
-                solutions = joined
+                stream = self._stream_subselect(element, stream)
             else:  # pragma: no cover - defensive
                 raise QueryError(f"unsupported pattern element {type(element).__name__}")
-            if not solutions:
-                return []
-        return solutions
+        return stream
 
-    def _evaluate_bgp(self, bgp: BGP, solutions: List[Solution]) -> List[Solution]:
+    # -- BGP compilation ----------------------------------------------------
+    def _compiled_bgp(self, bgp: BGP) -> _CompiledBGP:
+        plan = self.plan
+        if plan is not None:
+            plan.ensure(self.graph, self.optimize_joins)
+            compiled = plan.compiled.get(id(bgp))
+            if compiled is not None:
+                return compiled
+        compiled = self._compile_bgp(bgp)
+        if plan is not None:
+            plan.compiled[id(bgp)] = compiled
+        return compiled
+
+    def _compile_bgp(self, bgp: BGP) -> _CompiledBGP:
+        graph = self.graph
         patterns = list(bgp.triples)
-        if self.optimize_joins:
-            patterns = reorder_patterns(self.graph, patterns)
+        if self.optimize_joins and len(patterns) > 1:
+            patterns = reorder_patterns(graph, patterns)
+        lookup = graph.dictionary.lookup
+        var_slots: Dict[Variable, int] = {}
+        specs = []
+        empty = False
         for pattern in patterns:
-            solutions = self._join_pattern(pattern, solutions)
-            if not solutions:
-                break
-        return solutions
+            spec = []
+            for term in pattern:
+                if isinstance(term, Variable):
+                    slot = var_slots.setdefault(term, len(var_slots))
+                    spec.append((None, slot))
+                else:
+                    term_id = lookup(term)
+                    if term_id is None:
+                        # Constant never stored: the whole BGP is empty.
+                        empty = True
+                    spec.append((term_id, None))
+            specs.append(tuple(spec))
+        return _CompiledBGP(tuple(specs), var_slots, empty)
 
-    def _join_pattern(self, pattern: TriplePattern,
-                      solutions: List[Solution]) -> List[Solution]:
-        results: List[Solution] = []
-        for solution in solutions:
-            s = _resolve(pattern.subject, solution)
-            p = _resolve(pattern.predicate, solution)
-            o = _resolve(pattern.object, solution)
-            self.pattern_lookups += 1
-            for triple in self.graph.triples(s, p, o):
-                extended = _bind(pattern, triple, solution)
-                if extended is not None:
-                    results.append(extended)
-        return results
+    # -- streaming operators -------------------------------------------------
+    def _stream_bgp(self, bgp: BGP, solutions: Iterator[Solution],
+                    project: Optional[frozenset] = None) -> Iterator[Solution]:
+        compiled = self._compiled_bgp(bgp)
+        if compiled.empty:
+            return
+        graph = self.graph
+        dictionary = graph.dictionary
+        lookup = dictionary.lookup
+        decode = dictionary.decode
+        triples_ids = graph.triples_ids
+        specs = compiled.specs
+        num_patterns = len(specs)
+        last_level = num_patterns - 1
+        seed_items = tuple(compiled.var_slots.items())
+        # Emitted rows carry every BGP variable unless a projection hint
+        # restricts them (single-BGP SELECT fast path).
+        slot_items = seed_items if project is None else tuple(
+            item for item in seed_items if item[0] in project)
+        slot_vars = compiled.slot_vars
+        lookups = 0
 
-    def _evaluate_optional(self, element: OptionalPattern,
-                           solutions: List[Solution]) -> List[Solution]:
-        results: List[Solution] = []
-        for solution in solutions:
-            extended = self._evaluate_group(element.pattern, [solution])
-            if extended:
-                results.extend(extended)
-            else:
-                results.append(solution)
-        return results
+        # Iterative index-nested-loop join (one frame, no recursion): per
+        # level we keep the running scan, the slots that were unbound when
+        # the scan started, and the slots bound by the scan element being
+        # explored.  The per-level state and the closures below are shared
+        # across input solutions; the backtracking loop leaves every
+        # `pending` entry cleared on exit, so no reset between solutions is
+        # needed beyond re-seeding `env`.
+        env: List[Optional[int]] = [None] * compiled.num_slots
+        scans = [None] * num_patterns
+        unbound = [()] * num_patterns
+        pending = [()] * num_patterns
+        # For levels with exactly one unbound slot the scan iterates the
+        # completing index set directly (ids, no triple tuples);
+        # single_slot[level] records which slot those ids bind.
+        single_slot = [None] * num_patterns
 
-    def _evaluate_minus(self, element: MinusPattern,
-                        solutions: List[Solution]) -> List[Solution]:
-        excluded = self._evaluate_group(element.pattern, [Solution()])
-        kept: List[Solution] = []
+        def resolve(level: int):
+            """Resolve pattern ``level`` under ``env``: (s, p, o, unbound)."""
+            (s_const, s_slot), (p_const, p_slot), (o_const, o_slot) = specs[level]
+            s = s_const if s_slot is None else env[s_slot]
+            p = p_const if p_slot is None else env[p_slot]
+            o = o_const if o_slot is None else env[o_slot]
+            unb = []
+            if s_slot is not None and s is None:
+                unb.append((0, s_slot))
+            if p_slot is not None and p is None:
+                unb.append((1, p_slot))
+            if o_slot is not None and o is None:
+                unb.append((2, o_slot))
+            return s, p, o, unb
+
+        def direct_values(s, p, o, position: int):
+            """The index set completing a pattern with one unbound position."""
+            if position == 2:
+                return graph.object_ids(s, p)
+            if position == 0:
+                return graph.subject_ids(p, o)
+            return graph.predicate_ids(s, o)
+
+        def start_scan(level: int) -> None:
+            s, p, o, unb = resolve(level)
+            if len(unb) == 1:
+                position, slot = unb[0]
+                single_slot[level] = slot
+                scans[level] = iter(direct_values(s, p, o, position))
+                return
+            single_slot[level] = None
+            unbound[level] = unb
+            scans[level] = triples_ids(s, p, o)
+
+        def emit_leaf(solution: Solution) -> Iterator[Solution]:
+            """Resolve the innermost pattern under ``env`` and emit one
+            decoded row per match.
+
+            With a single unbound slot the completing ids come straight off
+            an index set (no triple tuples), and the invariant part of each
+            row is prebuilt once — the per-id work is one dict copy (which
+            reuses cached key hashes) plus one insert.
+            """
+            s, p, o, unb = resolve(last_level)
+            if len(unb) == 1:
+                position, leaf_slot = unb[0]
+                values = direct_values(s, p, o, position)
+                if not values:
+                    return
+                base = Solution(solution)
+                for var, slot in slot_items:
+                    if slot != leaf_slot:
+                        base[var] = decode(env[slot])
+                leaf_var = slot_vars[leaf_slot]
+                if project is not None and leaf_var not in project:
+                    # Projection drops the leaf variable: emit one
+                    # (duplicate) row per match, multiset semantics.
+                    yield base
+                    for _ in range(len(values) - 1):
+                        yield Solution(base)
+                    return
+                if len(values) == 1:
+                    # base is not reused: bind in place, skip the copy.
+                    for value in values:
+                        base[leaf_var] = decode(value)
+                    yield base
+                    return
+                for value in values:
+                    row = Solution(base)
+                    row[leaf_var] = decode(value)
+                    yield row
+                return
+            # Zero unbound slots (containment probe) or two/three unbound
+            # slots (possibly a repeated variable): generic scan, binding
+            # and undoing slots per element.
+            for triple_ids_row in triples_ids(s, p, o):
+                bound_here = []
+                compatible = True
+                for position, slot in unb:
+                    value = triple_ids_row[position]
+                    current = env[slot]
+                    if current is None:
+                        env[slot] = value
+                        bound_here.append(slot)
+                    elif current != value:
+                        compatible = False
+                        break
+                if compatible:
+                    row = Solution(solution)
+                    for var, slot in slot_items:
+                        row[var] = decode(env[slot])
+                    yield row
+                for slot in bound_here:
+                    env[slot] = None
+
+        try:
+            for solution in solutions:
+                for index in range(compiled.num_slots):
+                    env[index] = None
+                dead = False
+                for var, slot in seed_items:
+                    term = solution.get(var)
+                    if term is not None:
+                        term_id = lookup(term)
+                        if term_id is None:
+                            # Bound to a term the store has never seen: the
+                            # conjunction cannot match for this solution.
+                            dead = True
+                            break
+                        env[slot] = term_id
+                if dead:
+                    continue
+                if num_patterns == 0:
+                    yield Solution(solution)
+                    continue
+                if num_patterns == 1:
+                    lookups += 1
+                    yield from emit_leaf(solution)
+                    continue
+
+                lookups += 1
+                start_scan(0)
+                level = 0
+                while level >= 0:
+                    # Undo bindings from the element previously explored at
+                    # this level before pulling the next one.
+                    for slot in pending[level]:
+                        env[slot] = None
+                    pending[level] = ()
+                    item = next(scans[level], None)
+                    if item is None:
+                        level -= 1
+                        continue
+                    slot = single_slot[level]
+                    if slot is not None:
+                        # Direct index-set scan: item is the completing id.
+                        env[slot] = item
+                        pending[level] = (slot,)
+                    else:
+                        compatible = True
+                        unb = unbound[level]
+                        if unb:
+                            bound_here = []
+                            for position, bind_slot in unb:
+                                value = item[position]
+                                current = env[bind_slot]
+                                if current is None:
+                                    env[bind_slot] = value
+                                    bound_here.append(bind_slot)
+                                elif current != value:
+                                    # Same variable twice in one pattern bound
+                                    # to two different values by this triple.
+                                    compatible = False
+                                    break
+                            pending[level] = bound_here
+                        if not compatible:
+                            continue
+                    lookups += 1
+                    if level == last_level - 1:
+                        yield from emit_leaf(solution)
+                    else:
+                        level += 1
+                        start_scan(level)
+        finally:
+            self.pattern_lookups += lookups
+
+    def _stream_filter(self, expression: Expression,
+                       solutions: Iterator[Solution]) -> Iterator[Solution]:
         for solution in solutions:
+            if effective_boolean_value(
+                    evaluate_expression(expression, solution, self.context)):
+                yield solution
+
+    def _stream_optional(self, element: OptionalPattern,
+                         solutions: Iterator[Solution]) -> Iterator[Solution]:
+        for solution in solutions:
+            matched = False
+            for extended in self._evaluate_group(element.pattern, iter((solution,))):
+                matched = True
+                yield extended
+            if not matched:
+                yield solution
+
+    def _stream_union(self, element: UnionPattern,
+                      solutions: Iterator[Solution]) -> Iterator[Solution]:
+        base = list(solutions)
+        for alternative in element.alternatives:
+            yield from self._evaluate_group(alternative, iter(base))
+
+    def _stream_minus(self, element: MinusPattern,
+                      solutions: Iterator[Solution]) -> Iterator[Solution]:
+        excluded = None
+        for solution in solutions:
+            if excluded is None:
+                excluded = list(self._evaluate_group(element.pattern,
+                                                     iter((Solution(),))))
             remove = False
             for other in excluded:
                 shared = set(solution) & set(other)
                 if shared and all(solution[v] == other[v] for v in shared):
                     remove = True
                     break
-            kept.append(solution) if not remove else None
-        return kept
+            if not remove:
+                yield solution
 
-    def _evaluate_values(self, element: ValuesPattern,
-                         solutions: List[Solution]) -> List[Solution]:
+    def _stream_bind(self, element: BindPattern,
+                     solutions: Iterator[Solution]) -> Iterator[Solution]:
+        for solution in solutions:
+            value = evaluate_expression(element.expression, solution, self.context)
+            extended = Solution(solution)
+            if value is not None:
+                if element.variable in extended and extended[element.variable] != value:
+                    continue
+                extended[element.variable] = value
+            yield extended
+
+    def _stream_values(self, element: ValuesPattern,
+                       solutions: Iterator[Solution]) -> Iterator[Solution]:
         value_solutions: List[Solution] = []
         for row in element.rows:
             sol = Solution()
@@ -280,33 +599,47 @@ class QueryEvaluator:
                 if term is not None:
                     sol[var] = term
             value_solutions.append(sol)
-        joined: List[Solution] = []
         for solution in solutions:
             for value_sol in value_solutions:
                 merged = solution.merged(value_sol)
                 if merged is not None:
-                    joined.append(merged)
-        return joined
+                    yield merged
+
+    def _stream_subselect(self, element: SubSelectPattern,
+                          solutions: Iterator[Solution]) -> Iterator[Solution]:
+        sub_result = None
+        for solution in solutions:
+            if sub_result is None:
+                sub_result = self.evaluate_select(element.query)
+            for sub_sol in sub_result.solutions:
+                merged_sol = solution.merged(sub_sol)
+                if merged_sol is not None:
+                    yield merged_sol
 
     def _evaluate_exists(self, pattern: GroupPattern, solution: Solution) -> bool:
-        return bool(self._evaluate_group(pattern, [Solution(solution)]))
+        # Stop at the first witness instead of materialising every match.
+        for _ in self._evaluate_group(pattern, iter((Solution(solution),))):
+            return True
+        return False
 
     # -- grouping / aggregation ----------------------------------------------
     def _apply_grouping(self, query: SelectQuery,
-                        solutions: List[Solution]) -> List[Solution]:
+                        solutions: Iterable[Solution]) -> Iterable[Solution]:
         has_aggregate = any(
             isinstance(item.expression, Aggregate) for item in query.select_items
         )
         if not query.group_by and not has_aggregate:
-            return solutions
+            return solutions  # passthrough: keep the pipeline lazy
         groups: Dict[Tuple, List[Solution]] = {}
+        empty = True
         for solution in solutions:
+            empty = False
             key = tuple(
                 evaluate_expression(expr, solution, self.context)
                 for expr in query.group_by
             )
             groups.setdefault(key, []).append(solution)
-        if not solutions and not query.group_by:
+        if empty and not query.group_by:
             groups[()] = []
         aggregated: List[Solution] = []
         for key, members in groups.items():
@@ -373,16 +706,18 @@ class QueryEvaluator:
 
     # -- projection / modifiers ----------------------------------------------
     def _apply_projection(self, query: SelectQuery,
-                          solutions: List[Solution]) -> Tuple[List[Variable], List[Solution]]:
+                          solutions: Iterable[Solution]) -> Tuple[List[Variable], Iterable[Solution]]:
         if query.select_all:
+            # Variable discovery needs every solution; materialise.
+            materialized = list(solutions)
             variables: List[Variable] = []
-            for solution in solutions:
+            for solution in materialized:
                 for var in solution:
                     if var not in variables:
                         variables.append(var)
             if not variables:
                 variables = query.projected_variables()
-            return variables, solutions
+            return variables, materialized
         has_aggregate = any(isinstance(item.expression, Aggregate)
                             for item in query.select_items)
         variables = []
@@ -391,74 +726,112 @@ class QueryEvaluator:
                 variables.append(item.output_variable)
             except ValueError:
                 variables.append(Variable(f"expr{len(variables)}"))
-        projected: List[Solution] = []
+        if has_aggregate:
+            # Aggregate queries were materialised during grouping already.
+            projected = [self._project_row(variables, query.select_items, solution)
+                         for solution in solutions]
+            if not query.group_by and not projected:
+                projected = [Solution()]
+            return variables, projected
+        if all(isinstance(item.expression, VariableExpr) and item.alias is None
+               for item in query.select_items):
+            # Bare-variable projection (the hot case): plain binding copies,
+            # no per-row expression dispatch.
+            sources = [item.expression.variable for item in query.select_items]
+            return variables, self._project_bare(variables, sources, solutions)
+        return variables, (
+            self._project_row(variables, query.select_items, solution)
+            for solution in solutions)
+
+    @staticmethod
+    def _project_bare(variables: List[Variable], sources: List[Variable],
+                      solutions: Iterable[Solution]) -> Iterator[Solution]:
+        pairs = list(zip(variables, sources))
+        unique = set(variables)
+        width = len(unique)
         for solution in solutions:
+            if len(solution) == width and unique.issubset(solution):
+                # The solution binds exactly the projected variables:
+                # projection is the identity, skip the row rebuild.
+                yield solution
+                continue
             row = Solution()
-            for variable, item in zip(variables, query.select_items):
-                if isinstance(item.expression, Aggregate):
-                    # Aggregates were already folded in during grouping.
-                    if variable in solution:
-                        row[variable] = solution[variable]
-                    continue
-                if isinstance(item.expression, VariableExpr) and item.alias is None:
-                    value = solution.get(item.expression.variable)
-                else:
-                    value = evaluate_expression(item.expression, solution, self.context)
+            for variable, source in pairs:
+                value = solution.get(source)
                 if value is not None:
                     row[variable] = value
-            projected.append(row)
-        if has_aggregate and not query.group_by and not projected:
-            projected = [Solution()]
-        return variables, projected
+            yield row
+
+    def _project_row(self, variables: List[Variable],
+                     select_items: List[SelectItem],
+                     solution: Solution) -> Solution:
+        row = Solution()
+        for variable, item in zip(variables, select_items):
+            if isinstance(item.expression, Aggregate):
+                # Aggregates were already folded in during grouping.
+                if variable in solution:
+                    row[variable] = solution[variable]
+                continue
+            if isinstance(item.expression, VariableExpr) and item.alias is None:
+                value = solution.get(item.expression.variable)
+            else:
+                value = evaluate_expression(item.expression, solution, self.context)
+            if value is not None:
+                row[variable] = value
+        return row
 
     def _apply_order(self, query: SelectQuery,
-                     solutions: List[Solution]) -> List[Solution]:
+                     solutions: Iterable[Solution]) -> Iterable[Solution]:
         if not query.order_by:
             return solutions
 
-        def sort_key(solution: Solution):
-            keys = []
-            for condition in query.order_by:
-                value = evaluate_expression(condition.expression, solution, self.context)
-                if value is None:
-                    key: Tuple = (0, "")
-                elif isinstance(value, Literal) and value.is_numeric():
-                    key = (1, float(value.lexical))
-                else:
-                    key = (2, value.n3())
-                keys.append(key)
-            return tuple(keys)
+        def order_key(condition, solution: Solution) -> Tuple:
+            value = evaluate_expression(condition.expression, solution, self.context)
+            if value is None:
+                return (0, "")
+            if isinstance(value, Literal) and value.is_numeric():
+                return (1, float(value.lexical))
+            return (2, value.n3())
 
-        ordered = sorted(solutions, key=sort_key)
-        # Apply descending conditions one at a time (stable sorts compose).
+        # Decorate-sort-undecorate: every sort key is computed exactly once
+        # per solution, then stable sorts compose from the last condition to
+        # the first (each with its own direction).
+        decorated = [
+            ([order_key(condition, solution) for condition in query.order_by],
+             solution)
+            for solution in solutions
+        ]
         for index in reversed(range(len(query.order_by))):
-            condition = query.order_by[index]
-            if condition.descending:
-                def single_key(solution: Solution, _c=condition):
-                    value = evaluate_expression(_c.expression, solution, self.context)
-                    if value is None:
-                        return (0, "")
-                    if isinstance(value, Literal) and value.is_numeric():
-                        return (1, float(value.lexical))
-                    return (2, value.n3())
-                ordered = sorted(ordered, key=single_key, reverse=True)
-        return ordered
+            descending = query.order_by[index].descending
+            decorated.sort(key=lambda entry: entry[0][index], reverse=descending)
+        return [solution for _, solution in decorated]
 
-    def _distinct(self, solutions: List[Solution]) -> List[Solution]:
+    def _distinct(self, solutions: Iterable[Solution],
+                  variables: Optional[List[Variable]] = None) -> Iterator[Solution]:
+        """Lazy hash-based dedup over tuples of projected bindings."""
         seen = set()
-        unique: List[Solution] = []
-        for solution in solutions:
-            key = frozenset(solution.items())
-            if key not in seen:
-                seen.add(key)
-                unique.append(solution)
-        return unique
+        if variables:
+            for solution in solutions:
+                key = tuple(solution.get(var) for var in variables)
+                if key not in seen:
+                    seen.add(key)
+                    yield solution
+        else:
+            for solution in solutions:
+                key = frozenset(solution.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield solution
 
     def _apply_slice(self, query: SelectQuery,
-                     solutions: List[Solution]) -> List[Solution]:
+                     solutions: Iterable[Solution]) -> Iterable[Solution]:
         start = query.offset or 0
+        if query.limit is None and not start:
+            return solutions
         end = start + query.limit if query.limit is not None else None
-        return solutions[start:end]
+        # islice stops pulling from the pipeline once the page is full, so
+        # LIMIT short-circuits the whole scan/join chain upstream.
+        return islice(iter(solutions), start, end)
 
     # -- updates --------------------------------------------------------------
     def apply_update(self, update: Update, dataset: Optional[Dataset] = None) -> int:
@@ -488,7 +861,10 @@ class QueryEvaluator:
             graph.clear()
             return count
         if isinstance(update, ModifyUpdate):
-            solutions = self._evaluate_group(update.where, [Solution()])
+            # Materialise the WHERE solutions *before* mutating: the lazy
+            # pipeline must not keep scanning indexes we are rewriting.
+            solutions = list(self._evaluate_group(update.where,
+                                                  iter((Solution(),))))
             graph = target(update.graph)
             affected = 0
             for solution in solutions:
@@ -508,28 +884,6 @@ class QueryEvaluator:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
-
-def _resolve(term: Term, solution: Solution) -> Optional[Term]:
-    """Return the concrete term for pattern matching (None = wildcard)."""
-    if isinstance(term, Variable):
-        return solution.get(term)
-    return term
-
-
-def _bind(pattern: TriplePattern, triple: Triple,
-          solution: Solution) -> Optional[Solution]:
-    """Extend ``solution`` with the bindings implied by matching ``triple``."""
-    extended = Solution(solution)
-    for pattern_term, value in zip(pattern, triple):
-        if isinstance(pattern_term, Variable):
-            existing = extended.get(pattern_term)
-            if existing is not None and existing != value:
-                return None
-            extended[pattern_term] = value
-        elif pattern_term != value:
-            return None
-    return extended
-
 
 def _instantiate(pattern: TriplePattern, solution: Solution) -> Optional[Triple]:
     """Substitute bindings into a triple template; None when a var is unbound."""

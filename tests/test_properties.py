@@ -6,6 +6,8 @@ round-trips, split partitioning, metric ranges, autograd linearity, embedding
 search ordering and the plan-choice cost model.
 """
 
+from collections import Counter
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -16,8 +18,20 @@ from repro.gml.splits import SplitFractions, random_split, split_masks
 from repro.gml.train.metrics import accuracy, f1_score, hits_at_k, mean_reciprocal_rank
 from repro.kgnet.gmlaas.embedding_store import FlatIndex
 from repro.kgnet.sparqlml.optimizer import SPARQLMLOptimizer
-from repro.rdf import Graph, IRI, Literal, Triple, parse_ntriples, serialize_ntriples
-from repro.sparql import SPARQLEndpoint
+from repro.rdf import Graph, IRI, Literal, Triple, Variable, parse_ntriples, serialize_ntriples
+from repro.sparql import QueryEvaluator, ReferenceQueryEvaluator, SPARQLEndpoint
+from repro.sparql.ast import (
+    BGP,
+    BinaryOp,
+    ConstantExpr,
+    FilterPattern,
+    GroupPattern,
+    OptionalPattern,
+    SelectItem,
+    SelectQuery,
+    TriplePattern,
+    VariableExpr,
+)
 
 SETTINGS = settings(max_examples=30, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
@@ -106,6 +120,112 @@ class TestGraphProperties:
         endpoint.load(graph)
         result = endpoint.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o . }")
         assert len(result) == len(graph)
+
+
+# ---------------------------------------------------------------------------
+# Streaming evaluator vs seed evaluator equivalence
+# ---------------------------------------------------------------------------
+
+_QUERY_VARIABLES = (Variable("v0"), Variable("v1"), Variable("v2"))
+
+
+def _solution_multiset(result) -> Counter:
+    return Counter(frozenset(sol.items()) for sol in result)
+
+
+@st.composite
+def graphs_with_queries(draw):
+    """A random graph plus a random BGP/OPTIONAL/FILTER/LIMIT SELECT over it.
+
+    Patterns are seeded from the graph's own triples so joins actually hit;
+    each component is kept as its concrete term or replaced by a variable.
+    """
+    triple_list = draw(st.lists(triples(), min_size=1, max_size=20))
+
+    def random_pattern():
+        base = draw(st.sampled_from(triple_list))
+        components = []
+        for term in base:
+            if draw(st.booleans()):
+                components.append(draw(st.sampled_from(_QUERY_VARIABLES)))
+            else:
+                components.append(term)
+        return TriplePattern(*components)
+
+    elements = [BGP([random_pattern()
+                     for _ in range(draw(st.integers(1, 3)))])]
+    if draw(st.booleans()):
+        elements.append(OptionalPattern(GroupPattern([BGP([random_pattern()])])))
+    if draw(st.booleans()):
+        variable = draw(st.sampled_from(_QUERY_VARIABLES))
+        constant = draw(st.sampled_from(triple_list)).object
+        elements.append(FilterPattern(
+            BinaryOp("=", VariableExpr(variable), ConstantExpr(constant))))
+    if draw(st.booleans()):
+        select_items, select_all = [], True
+    else:
+        chosen = draw(st.lists(st.sampled_from(_QUERY_VARIABLES),
+                               min_size=1, max_size=3, unique=True))
+        select_items, select_all = [SelectItem(expression=VariableExpr(v))
+                                    for v in chosen], False
+    query = SelectQuery(
+        select_items=select_items,
+        where=GroupPattern(elements),
+        select_all=select_all,
+        distinct=draw(st.booleans()),
+        limit=draw(st.one_of(st.none(), st.integers(0, 8))),
+    )
+    return triple_list, query
+
+
+class TestEvaluatorEquivalence:
+    """The streaming id-space evaluator must match the frozen seed evaluator."""
+
+    @SETTINGS
+    @given(graphs_with_queries())
+    def test_streaming_matches_seed_solution_multisets(self, case):
+        triple_list, query = case
+        graph = Graph()
+        graph.add_all(triple_list)
+        streaming = QueryEvaluator(graph).evaluate(query)
+        seed = ReferenceQueryEvaluator(graph).evaluate(query)
+        if query.limit is None:
+            assert _solution_multiset(streaming) == _solution_multiset(seed)
+        else:
+            # With LIMIT both engines may pick different rows; sizes must
+            # agree and every streamed row must be a valid unlimited row.
+            assert len(streaming) == len(seed)
+            unlimited = SelectQuery(
+                select_items=query.select_items, where=query.where,
+                select_all=query.select_all, distinct=query.distinct)
+            full = _solution_multiset(ReferenceQueryEvaluator(graph).evaluate(unlimited))
+            assert all(key in full for key in _solution_multiset(streaming))
+
+    @SETTINGS
+    @given(st.lists(triples(), min_size=1, max_size=20), triples(),
+           st.integers(0, 19))
+    def test_plan_cache_hits_never_serve_stale_results(self, triple_list,
+                                                       extra, index):
+        endpoint = SPARQLEndpoint()
+        endpoint.load(triple_list)
+        predicate = triple_list[index % len(triple_list)].predicate
+        text = f"SELECT ?s ?o WHERE {{ ?s {predicate.n3()} ?o . }}"
+        first = endpoint.select(text)
+        assert not endpoint.history[-1].plan_cache_hit
+        # Warm hit on the unchanged graph.
+        endpoint.select(text)
+        assert endpoint.history[-1].plan_cache_hit
+        assert endpoint.plan_cache.stats()["hits"] > 0
+        # Mutate, then re-issue the same text: the cached plan must
+        # recompile and the answer must match a fresh evaluation.
+        endpoint.graph.add(extra)
+        victim = triple_list[index % len(triple_list)]
+        endpoint.graph.remove(*victim)
+        again = endpoint.select(text)
+        fresh = ReferenceQueryEvaluator(endpoint.graph).evaluate(
+            endpoint.parse(text))
+        assert _solution_multiset(again) == _solution_multiset(fresh)
+        assert len(first.variables) == len(again.variables)
 
 
 # ---------------------------------------------------------------------------
