@@ -1,0 +1,290 @@
+"""Concurrent serving benchmark: snapshot-isolated readers, coalesced inference.
+
+Drives the platform's serving surface (:meth:`APIRouter.serve_concurrent
+<repro.kgnet.api.router.APIRouter.serve_concurrent>`) with a closed-loop
+mixed workload — plan-cache-friendly SPARQL reads plus single-node inference
+calls — and compares:
+
+* **baseline** — one thread dispatching the whole workload sequentially,
+* **concurrent** — the same workload through the bounded worker pool at
+  N reader threads, with in-flight inference coalescing active,
+* **reader/writer mix** — the concurrent run again while writer threads
+  commit batched inserts the whole time (snapshot isolation keeps readers
+  consistent; the run also reports writer throughput).
+
+Inference calls carry a small simulated network latency
+(``--call-latency``, default 2 ms) because that is the paper's deployment:
+every UDF/inference call is an HTTP round-trip between the RDF engine and
+GMLaaS.  The concurrent gain is exactly the gain of overlapping and
+coalescing those round-trips — pure-CPU SPARQL evaluation stays GIL-bound
+and is reported separately so nobody mistakes it for a parallel win.
+
+Usage (from the ``benchmarks/`` directory)::
+
+    PYTHONPATH=../src python bench_concurrent_load.py            # full run
+    PYTHONPATH=../src python bench_concurrent_load.py --smoke    # CI-sized
+
+Each run appends one record to ``BENCH_concurrent_load.json`` next to this
+script and refreshes the human-readable table in
+``results/bench_concurrent_load.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import save_report  # noqa: E402
+from repro.datasets import DBLPConfig, generate_dblp_kg  # noqa: E402
+from repro.gml.tasks import TaskType  # noqa: E402
+from repro.kgnet import KGNet  # noqa: E402
+from repro.kgnet.api.envelopes import APIRequest  # noqa: E402
+from repro.concurrency import AtomicCounter  # noqa: E402
+from repro.kgnet.gmlaas.model_store import StoredModel  # noqa: E402
+from repro.rdf import IRI, Literal, Triple  # noqa: E402
+
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_concurrent_load.json")
+
+PREFIX = "PREFIX dblp: <https://www.dblp.org/>\n"
+
+#: A small pool of query templates so the plan cache is exercised the way a
+#: real serving workload exercises it (few shapes, many executions).
+QUERY_POOL = [
+    PREFIX + "SELECT ?p ?a WHERE { ?p dblp:authoredBy ?a . }",
+    PREFIX + "SELECT ?p ?v WHERE { ?p dblp:publishedIn ?v . }",
+    PREFIX + ("SELECT ?p ?a ?v WHERE { ?p dblp:authoredBy ?a . "
+              "?p dblp:publishedIn ?v . }"),
+    PREFIX + ("SELECT ?p ?t WHERE { ?p dblp:title ?t . "
+              "?p dblp:yearOfPublication ?y . } LIMIT 50"),
+]
+
+MODEL_URI = "https://www.kgnet.com/model/bench/venue-clf"
+EX = "http://example.org/bench/"
+
+
+def build_platform(scale: float) -> KGNet:
+    platform = KGNet()
+    graph = generate_dblp_kg(DBLPConfig(scale=scale, seed=7))
+    platform.load_graph(graph)
+    # A synthetic stored classifier (no training run): inference serving is
+    # what this benchmark measures, not the trainer.
+    subjects = [term.value for term in graph.subjects(IRI(
+        "https://www.dblp.org/title"), None)]
+    if not subjects:
+        subjects = [term.value for term, *_ in zip(graph.nodes(), range(500))]
+    prediction_map = {node: f"venue{index % 7}"
+                      for index, node in enumerate(subjects)}
+    platform.gmlaas.model_store.add(StoredModel(
+        uri=IRI(MODEL_URI), task_type=TaskType.NODE_CLASSIFICATION,
+        method="mlp", model=None,
+        artifacts={"prediction_map": prediction_map}))
+    return platform, sorted(prediction_map)
+
+
+def build_workload(nodes: List[str], operations: int, infer_share: float,
+                   seed: int = 13) -> List[APIRequest]:
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(operations):
+        if rng.random() < infer_share:
+            requests.append(APIRequest(op="infer_node_class", params={
+                "model_uri": MODEL_URI, "node": rng.choice(nodes)}))
+        else:
+            requests.append(APIRequest(op="sparql", params={
+                "query": rng.choice(QUERY_POOL)}))
+    return requests
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_stats(responses) -> Dict[str, float]:
+    latencies = [response.meta.get("elapsed_seconds", 0.0)
+                 for response in responses]
+    return {
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def run_baseline(platform: KGNet, requests: List[APIRequest]) -> Dict[str, object]:
+    started = time.perf_counter()
+    responses = [platform.api.dispatch(request) for request in requests]
+    elapsed = time.perf_counter() - started
+    assert all(response.ok for response in responses)
+    result = {"metric": "baseline_1thread", "operations": len(requests),
+              "seconds": round(elapsed, 6),
+              "qps": round(len(requests) / elapsed, 1)}
+    result.update(_latency_stats(responses))
+    return result
+
+
+def run_concurrent(platform: KGNet, requests: List[APIRequest],
+                   threads: int) -> Dict[str, object]:
+    calls_before = platform.gmlaas.http_calls
+    started = time.perf_counter()
+    responses = platform.api.serve_concurrent(requests, max_workers=threads)
+    elapsed = time.perf_counter() - started
+    assert all(response.ok for response in responses)
+    coalescing = platform.api.coalescing_stats()
+    result = {"metric": f"concurrent_{threads}threads",
+              "operations": len(requests),
+              "seconds": round(elapsed, 6),
+              "qps": round(len(requests) / elapsed, 1),
+              "inference_http_calls": platform.gmlaas.http_calls - calls_before,
+              "coalescing_calls_saved": coalescing["calls_saved"]}
+    result.update(_latency_stats(responses))
+    return result
+
+
+def run_reader_writer_mix(platform: KGNet, requests: List[APIRequest],
+                          threads: int, writers: int) -> Dict[str, object]:
+    stop = threading.Event()
+    batches = AtomicCounter()
+    errors: List[BaseException] = []
+
+    def writer(seed: int) -> None:
+        # Paced update stream (a few hundred batch commits per second per
+        # writer), the shape of a real ingest feed.  An unthrottled spin
+        # loop would mostly measure writers queueing on their own write
+        # lock rather than reader/writer interaction.
+        rng = random.Random(seed)
+        graph = platform.endpoint.graph
+        try:
+            while not stop.is_set():
+                graph.add_all([Triple(IRI(EX + f"s{rng.randrange(5000)}"),
+                                      IRI(EX + "p"),
+                                      Literal(rng.randrange(10_000)))
+                               for _ in range(20)])
+                batches.increment()
+                time.sleep(0.003)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    writer_threads = [threading.Thread(target=writer, args=(seed,), daemon=True)
+                      for seed in range(writers)]
+    for thread in writer_threads:
+        thread.start()
+    started = time.perf_counter()
+    responses = platform.api.serve_concurrent(requests, max_workers=threads)
+    elapsed = time.perf_counter() - started
+    stop.set()
+    for thread in writer_threads:
+        thread.join(timeout=30)
+    if errors:
+        raise errors[0]
+    assert all(response.ok for response in responses)
+    result = {"metric": f"readers{threads}_writers{writers}",
+              "operations": len(requests),
+              "seconds": round(elapsed, 6),
+              "qps": round(len(requests) / elapsed, 1),
+              "writer_batches_committed": batches.value}
+    result.update(_latency_stats(responses))
+    return result
+
+
+def run(scale: float, operations: int, threads: int, writers: int,
+        infer_share: float, call_latency: float) -> Dict[str, object]:
+    platform, nodes = build_platform(scale)
+    platform.gmlaas.inference_manager.call_latency_seconds = call_latency
+    requests = build_workload(nodes, operations, infer_share)
+
+    # Warm the plan cache the way a steady-state server is warm.
+    for query in QUERY_POOL:
+        platform.api.dispatch(APIRequest(op="sparql", params={"query": query}))
+
+    baseline = run_baseline(platform, requests)
+    concurrent = run_concurrent(platform, requests, threads)
+    mixed = run_reader_writer_mix(platform, requests, threads, writers)
+    speedup = round(concurrent["qps"] / baseline["qps"], 3) if baseline["qps"] else 0.0
+    concurrent["speedup_vs_baseline"] = speedup
+    mixed["speedup_vs_baseline"] = (round(mixed["qps"] / baseline["qps"], 3)
+                                    if baseline["qps"] else 0.0)
+    return {
+        "benchmark": "concurrent_load",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "scale": scale,
+        "operations": operations,
+        "reader_threads": threads,
+        "writer_threads": writers,
+        "infer_share": infer_share,
+        "call_latency_seconds": call_latency,
+        "kg_triples": len(platform.endpoint.graph),
+        "results": [baseline, concurrent, mixed],
+    }
+
+
+def append_trajectory(record: Dict[str, object]) -> None:
+    trajectory: List[Dict[str, object]] = []
+    if os.path.exists(TRAJECTORY_PATH):
+        try:
+            with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+                trajectory = json.load(handle)
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small KG, fewer operations")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="KG scale factor (default 0.4, smoke 0.15)")
+    parser.add_argument("--operations", type=int, default=None,
+                        help="workload size (default 600, smoke 150)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="reader threads for the concurrent runs")
+    parser.add_argument("--writers", type=int, default=2,
+                        help="writer threads for the mixed run")
+    parser.add_argument("--infer-share", type=float, default=0.3,
+                        help="fraction of operations that are inference calls")
+    parser.add_argument("--call-latency", type=float, default=0.002,
+                        help="simulated GMLaaS HTTP round-trip latency (s)")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (0.15 if args.smoke else 0.4)
+    operations = args.operations if args.operations is not None else (
+        150 if args.smoke else 600)
+
+    record = run(scale, operations, args.threads, args.writers,
+                 args.infer_share, args.call_latency)
+    append_trajectory(record)
+
+    rows: List[Dict[str, object]] = []
+    headers: List[str] = ["metric"]
+    for result in record["results"]:
+        rows.append(dict(result))
+        for key in result:
+            if key not in headers:
+                headers.append(key)
+    save_report("bench_concurrent_load",
+                f"Concurrent serving benchmark (scale={scale}, "
+                f"ops={operations}, threads={args.threads})",
+                rows, headers=headers)
+    print(f"trajectory appended to {TRAJECTORY_PATH}")
+    speedup = record["results"][1]["speedup_vs_baseline"]
+    print(f"aggregate QPS at {args.threads} reader threads: "
+          f"{speedup}x the single-threaded loop")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,16 @@ Reproduction of "Towards a GML-Enabled Knowledge Graph Platform"
   trainers, metrics and cost estimators,
 * :mod:`repro.kgnet` -- the paper's contribution: meta-sampler, GMLaaS,
   KGMeta governor, SPARQL-ML service, and the KGNet facade,
+* :mod:`repro.concurrency` -- serving-layer primitives: atomic counters,
+  a bounded worker pool, and in-flight inference batching (snapshot
+  isolation itself lives on :class:`repro.rdf.Graph` / ``Dataset``),
 * :mod:`repro.datasets` -- synthetic DBLP-like and YAGO4-like KG generators
   and task definitions.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
+from repro.concurrency import AtomicCounter, InflightBatcher, WorkerPool
 from repro.gml.tasks import TaskSpec, TaskType
 from repro.gml.train.budget import TaskBudget
 from repro.kgnet.api import (
@@ -37,7 +41,9 @@ __all__ = [
     "APIRequest",
     "APIResponse",
     "APIRouter",
+    "AtomicCounter",
     "DeleteReport",
+    "InflightBatcher",
     "KGNet",
     "MetaSamplingConfig",
     "ModelMetadata",
@@ -46,4 +52,5 @@ __all__ = [
     "TaskSpec",
     "TaskType",
     "TrainReport",
+    "WorkerPool",
 ]

@@ -1,0 +1,23 @@
+"""Concurrency primitives for the KGNet serving layer.
+
+KGNet is pitched as a *service*: SPARQL and SPARQL-ML queries arriving from
+many clients at once while training jobs and update requests mutate the
+hosted graphs.  This package holds the building blocks that make that safe
+and fast:
+
+* :class:`AtomicCounter` — lost-update-free statistics counters,
+* :class:`WorkerPool` — a bounded thread pool with back-pressure,
+* :class:`InflightBatcher` — coalesces concurrent single-item inference
+  calls into one batched "HTTP" call.
+
+The snapshot-isolation machinery itself lives with the data structures it
+protects (:meth:`repro.rdf.graph.Graph.snapshot`,
+:meth:`repro.rdf.dataset.Dataset.snapshot`); this package provides the
+generic pieces the serving layer composes on top.
+"""
+
+from repro.concurrency.atomic import AtomicCounter
+from repro.concurrency.batching import InflightBatcher
+from repro.concurrency.pool import WorkerPool
+
+__all__ = ["AtomicCounter", "InflightBatcher", "WorkerPool"]

@@ -1,0 +1,56 @@
+"""Atomic counters for cross-thread statistics.
+
+CPython's GIL makes single bytecodes atomic, but ``x += 1`` is a
+read-modify-write sequence (LOAD / ADD / STORE) and two threads interleaving
+it lose updates.  Every hot counter in the serving path (endpoint pattern
+lookups, route metrics, inference HTTP-call counts) either goes through an
+:class:`AtomicCounter` or takes an explicit lock; the contention tests in
+``tests/concurrency`` hammer both and fail on any lost update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AtomicCounter"]
+
+
+class AtomicCounter:
+    """A lock-protected integer counter.
+
+    Read it via :attr:`value` or ``int(counter)``.  Deliberately *not* an
+    int look-alike beyond that: defining ``__eq__`` against plain ints
+    while hashing by identity would break the eq-implies-equal-hash
+    contract the moment a counter landed in a set or dict key.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = initial
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` and return the new value."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    add = increment
+
+    def reset(self, value: int = 0) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"AtomicCounter({self._value})"

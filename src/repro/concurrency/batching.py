@@ -1,0 +1,133 @@
+"""In-flight request batching (coalescing) for inference calls.
+
+The paper's cost model charges one HTTP round-trip per GMLaaS call, which is
+why the dictionary plan (Fig 12) and the ``infer_batch`` route exist.  Under
+a *concurrent* serving load there is a third lever: many clients asking the
+same model for single predictions at the same time.  :class:`InflightBatcher`
+coalesces those — the first arrival for a key becomes the *leader*, waits a
+tiny window for followers (or until the batch is full), issues **one** batched
+call, and hands every member its own slice of the result.
+
+The pattern is the classic group-commit / request-coalescing used by serving
+systems; here it turns N concurrent ``infer`` envelopes into one
+``infer_batch`` HTTP call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, List, Sequence
+
+from repro.concurrency.atomic import AtomicCounter
+
+__all__ = ["InflightBatcher"]
+
+
+class _PendingBatch:
+    """One open batch: the leader executes it, followers wait on ``done``."""
+
+    __slots__ = ("items", "closed", "full", "done", "results", "error")
+
+    def __init__(self) -> None:
+        self.items: List[object] = []
+        self.closed = False
+        #: Set by the follower that fills the batch, releasing the leader early.
+        self.full = threading.Event()
+        self.done = threading.Event()
+        self.results: List[object] = []
+        self.error: BaseException = None
+
+
+class InflightBatcher:
+    """Coalesces concurrent single-item calls into one batched call per key.
+
+    Parameters
+    ----------
+    batch_fn:
+        ``batch_fn(key, items) -> results`` where ``results`` aligns with
+        ``items`` (one output per input, in order).
+    max_batch:
+        Close a batch once this many items are waiting.
+    max_wait:
+        Seconds the leader waits for followers before executing.  This is a
+        latency/amortisation trade-off: the leader's own request pays up to
+        ``max_wait`` extra latency to save whole round-trips.
+    """
+
+    def __init__(self, batch_fn: Callable[[Hashable, Sequence[object]], Sequence[object]],
+                 max_batch: int = 64, max_wait: float = 0.002) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.batch_fn = batch_fn
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._lock = threading.Lock()
+        self._pending: Dict[Hashable, _PendingBatch] = {}
+        #: Batched executions vs items served: ``items - batches`` round-trips
+        #: were saved by coalescing.
+        self.batches_executed = AtomicCounter()
+        self.items_coalesced = AtomicCounter()
+
+    # ------------------------------------------------------------------
+    def submit(self, key: Hashable, item: object) -> object:
+        """Run ``item`` through the batch for ``key``; returns its result.
+
+        Blocks until the batch executes.  Raises whatever ``batch_fn`` raised
+        (every member of a failed batch sees the same exception).
+        """
+        with self._lock:
+            batch = self._pending.get(key)
+            leader = batch is None or batch.closed
+            if leader:
+                batch = _PendingBatch()
+                self._pending[key] = batch
+            index = len(batch.items)
+            batch.items.append(item)
+            if len(batch.items) >= self.max_batch:
+                batch.closed = True
+                if self._pending.get(key) is batch:
+                    del self._pending[key]
+                batch.full.set()
+        if leader:
+            self._run_batch(key, batch)
+        else:
+            batch.done.wait()
+        if batch.error is not None:
+            raise batch.error
+        return batch.results[index]
+
+    def _run_batch(self, key: Hashable, batch: _PendingBatch) -> None:
+        # Give followers a short window to join unless the batch filled first.
+        if not batch.full.is_set() and self.max_wait > 0:
+            batch.full.wait(self.max_wait)
+        with self._lock:
+            batch.closed = True
+            if self._pending.get(key) is batch:
+                del self._pending[key]
+        try:
+            results = list(self.batch_fn(key, batch.items))
+            if len(results) != len(batch.items):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(batch.items)} items")
+            batch.results = results
+        except BaseException as exc:  # noqa: BLE001 — re-raised in every waiter
+            batch.error = exc
+        finally:
+            self.batches_executed.increment()
+            self.items_coalesced.increment(len(batch.items))
+            batch.done.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        batches = self.batches_executed.value
+        items = self.items_coalesced.value
+        return {
+            "batches_executed": batches,
+            "items_coalesced": items,
+            "calls_saved": max(0, items - batches),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<InflightBatcher max_batch={self.max_batch} "
+                f"max_wait={self.max_wait} {self.stats()}>")

@@ -1,0 +1,117 @@
+"""A bounded worker pool for the concurrent serving path.
+
+:class:`WorkerPool` is a small fixed-size thread pool with a *bounded* task
+queue: ``submit`` blocks once ``max_pending`` tasks are waiting, so a burst
+of clients exerts back-pressure instead of growing an unbounded queue (the
+failure mode of naive ``Thread``-per-request serving).  Results travel as
+:class:`concurrent.futures.Future` objects, and :meth:`map_ordered` preserves
+input order — :meth:`APIRouter.serve_concurrent
+<repro.kgnet.api.router.APIRouter.serve_concurrent>` relies on that to return
+responses aligned with the request list.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, Iterable, List, Optional, Sequence
+
+__all__ = ["WorkerPool"]
+
+#: Sentinel telling a worker thread to exit.
+_STOP = object()
+
+
+class WorkerPool:
+    """Fixed-size thread pool with a bounded task queue.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker threads (the concurrency limit).
+    max_pending:
+        Maximum queued-but-unstarted tasks before ``submit`` blocks;
+        defaults to ``4 * max_workers``.
+    name:
+        Thread-name prefix (useful in stack dumps of stuck servers).
+    """
+
+    def __init__(self, max_workers: int = 8, max_pending: Optional[int] = None,
+                 name: str = "kgnet-worker") -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.max_pending = max_pending if max_pending is not None else 4 * max_workers
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.max_pending)
+        self._shutdown = False
+        self._shutdown_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{index}", daemon=True)
+            for index in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            future, fn, args, kwargs = item
+            if future.set_running_or_notify_cancel():
+                try:
+                    future.set_result(fn(*args, **kwargs))
+                except BaseException as exc:  # noqa: BLE001 — delivered via the future
+                    future.set_exception(exc)
+            self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args, **kwargs) -> "Future":
+        """Schedule ``fn(*args, **kwargs)``; blocks when the queue is full.
+
+        The enqueue happens under the shutdown lock: otherwise a task could
+        slip in *behind* the ``_STOP`` sentinels a concurrent ``shutdown``
+        enqueued, leaving a future no worker will ever complete.  Shutdown
+        therefore waits for any in-flight submit; back-pressure still works
+        because the workers keep draining while a submitter blocks here.
+        """
+        with self._shutdown_lock:
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down WorkerPool")
+            future: Future = Future()
+            self._queue.put((future, fn, args, kwargs))
+        return future
+
+    def map_ordered(self, fn: Callable, items: Sequence) -> List[object]:
+        """Apply ``fn`` to every item concurrently; results in input order.
+
+        Exceptions propagate: the first failing item re-raises after all
+        tasks have been scheduled (submission itself never loses tasks).
+        """
+        futures = [self.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._shutdown_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (f"<WorkerPool workers={self.max_workers} "
+                f"pending={self._queue.qsize()}/{self.max_pending}>")

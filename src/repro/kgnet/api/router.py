@@ -20,11 +20,13 @@ pure JSON, proving the contract is transport-agnostic.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.concurrency import InflightBatcher, WorkerPool
 from repro.exceptions import BadRequestError, CursorError, UnknownOperationError
 from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
@@ -49,7 +51,13 @@ MAX_LIVE_CURSORS = 64
 
 @dataclass
 class RouteMetrics:
-    """Latency / throughput counters for one route."""
+    """Latency / throughput counters for one route.
+
+    All increments are read-modify-write sequences, so every recording
+    method takes the per-route lock — serving threads hammering one route
+    must never lose an update (``tests/concurrency/test_contention.py``
+    fails on any drift).
+    """
 
     calls: int = 0
     errors: int = 0
@@ -59,31 +67,36 @@ class RouteMetrics:
     #: that execute SPARQL maintain these; elsewhere they stay 0).
     cache_hits: int = 0
     cache_misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
 
     def record(self, elapsed: float, ok: bool) -> None:
-        self.calls += 1
-        if not ok:
-            self.errors += 1
-        self.total_seconds += elapsed
-        self.max_seconds = max(self.max_seconds, elapsed)
+        with self._lock:
+            self.calls += 1
+            if not ok:
+                self.errors += 1
+            self.total_seconds += elapsed
+            self.max_seconds = max(self.max_seconds, elapsed)
 
     def record_cache(self, hit: bool) -> None:
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
 
     def as_dict(self) -> Dict[str, object]:
-        mean = self.total_seconds / self.calls if self.calls else 0.0
-        return {
-            "calls": self.calls,
-            "errors": self.errors,
-            "total_seconds": round(self.total_seconds, 6),
-            "mean_seconds": round(mean, 6),
-            "max_seconds": round(self.max_seconds, 6),
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-        }
+        with self._lock:
+            mean = self.total_seconds / self.calls if self.calls else 0.0
+            return {
+                "calls": self.calls,
+                "errors": self.errors,
+                "total_seconds": round(self.total_seconds, 6),
+                "mean_seconds": round(mean, 6),
+                "max_seconds": round(self.max_seconds, 6),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            }
 
 
 # ---------------------------------------------------------------------------
@@ -149,8 +162,18 @@ class APIRouter:
         self.governor = governor
         self.sparqlml = sparqlml
         self._metrics: Dict[str, RouteMetrics] = {}
+        self._metrics_lock = threading.Lock()
         self._cursors: "OrderedDict[str, List[object]]" = OrderedDict()
+        self._cursors_lock = threading.Lock()
         self._cursor_ids = itertools.count(1)
+        #: Coalesces concurrent single-input infer calls into one
+        #: ``infer_batch`` HTTP call.  Participation is *thread-local*: only
+        #: worker threads of a :meth:`serve_concurrent` drive that opted in
+        #: route through it — a plain ``dispatch`` from any other thread
+        #: never pays the coalescing window or its batch semantics, even
+        #: while drives are active.
+        self._infer_batcher = InflightBatcher(self._execute_infer_batch)
+        self._coalesce_local = threading.local()
         #: op name -> handler(params) -> (json_result_or_thunk, attachment);
         #: a zero-arg callable result is projected lazily on first read.
         self._routes: Dict[str, Callable[[Dict[str, object]],
@@ -244,12 +267,82 @@ class APIRouter:
         # Client-supplied op strings must not grow the metrics table without
         # bound: anything unrouted is accounted under one sentinel key.
         key = request.op if request.op in self._routes else "<unknown>"
-        self._metrics.setdefault(key, RouteMetrics()).record(elapsed, response.ok)
+        self._route_metrics(key).record(elapsed, response.ok)
         return response
+
+    def _route_metrics(self, key: str) -> RouteMetrics:
+        with self._metrics_lock:
+            metrics = self._metrics.get(key)
+            if metrics is None:
+                metrics = self._metrics[key] = RouteMetrics()
+            return metrics
 
     def metrics(self) -> Dict[str, Dict[str, object]]:
         """Per-route latency/throughput counters since start-up."""
-        return {op: m.as_dict() for op, m in sorted(self._metrics.items())}
+        with self._metrics_lock:
+            items = sorted(self._metrics.items())
+        return {op: m.as_dict() for op, m in items}
+
+    def coalescing_stats(self) -> Dict[str, int]:
+        """In-flight inference batching counters (round-trips saved)."""
+        return dict(self._infer_batcher.stats())
+
+    # ------------------------------------------------------------------
+    # Concurrent serving
+    # ------------------------------------------------------------------
+    def serve_concurrent(self, requests: Iterable[Union[APIRequest, Dict[str, object]]],
+                         max_workers: int = 8,
+                         coalesce_inference: bool = True) -> List[APIResponse]:
+        """Dispatch many envelopes through a bounded worker pool.
+
+        Responses come back aligned with the request order.  While the drive
+        is active, single-input ``infer_*`` envelopes for the same
+        ``(model_uri, mode, k)`` coalesce through the in-flight batcher into
+        one ``infer_batch`` GMLaaS call, so N concurrent clients asking the
+        same model cost ~1 HTTP round-trip instead of N.  Every response is
+        still an envelope — per-request failures ride back as error
+        envelopes exactly as with :meth:`dispatch`.
+
+        Safe to call from several threads at once (each call brings its own
+        pool; the coalescing batcher is shared, so overlapping opted-in
+        drives batch across each other, which is the point).  One semantic
+        caveat of coalescing: a batched similarity lookup returns an empty
+        result for an unknown entity instead of the error envelope the
+        sequential path produces (one client's bad input must not fail its
+        batch neighbours); pass ``coalesce_inference=False`` to keep exact
+        sequential semantics.
+        """
+        request_list = list(requests)
+        if not request_list:
+            return []
+        worker = self._dispatch_coalescing if coalesce_inference else self.dispatch
+        with WorkerPool(max_workers=max_workers,
+                        max_pending=max(len(request_list), max_workers)) as pool:
+            return pool.map_ordered(worker, request_list)
+
+    def _dispatch_coalescing(self, request) -> APIResponse:
+        """Dispatch with in-flight inference coalescing enabled (this thread)."""
+        self._coalesce_local.active = True
+        try:
+            return self.dispatch(request)
+        finally:
+            self._coalesce_local.active = False
+
+    def _infer_one(self, model_uri: str, value: str, mode: str, k: int):
+        """One single-input inference, coalesced while serving concurrently."""
+        if getattr(self._coalesce_local, "active", False):
+            return self._infer_batcher.submit((model_uri, mode, k), value)
+        if mode == "class":
+            return self.gmlaas.infer_node_class(model_uri, value)
+        if mode == "links":
+            return self.gmlaas.infer_links(model_uri, value, k=k)
+        return self.gmlaas.infer_similar_entities(model_uri, value, k=k)
+
+    def _execute_infer_batch(self, key: Tuple[str, str, int],
+                             inputs: Sequence[str]) -> List[object]:
+        model_uri, mode, k = key
+        records = self.gmlaas.infer_batch(model_uri, list(inputs), k=k, mode=mode)
+        return [record["output"] for record in records]
 
     # ------------------------------------------------------------------
     # Pagination cursors
@@ -276,24 +369,26 @@ class APIRouter:
         if not rest:
             return page, None
         cursor = f"cur-{next(self._cursor_ids)}-p{size}"
-        self._cursors[cursor] = rest
-        while len(self._cursors) > MAX_LIVE_CURSORS:
-            self._cursors.popitem(last=False)
+        with self._cursors_lock:
+            self._cursors[cursor] = rest
+            while len(self._cursors) > MAX_LIVE_CURSORS:
+                self._cursors.popitem(last=False)
         return page, cursor
 
     def _handle_next_page(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         cursor = str(_require(params, "cursor"))
-        if cursor not in self._cursors:
-            raise CursorError(f"unknown or expired cursor {cursor!r}")
         # Validate before consuming the cursor: a bad page_size must not
         # destroy the remaining pages.
         size = self._coerce_page_size(params.get("page_size"))
-        if size is None:
-            try:
-                size = int(cursor.rsplit("-p", 1)[1])
-            except (IndexError, ValueError):
-                size = len(self._cursors[cursor])
-        remaining = self._cursors.pop(cursor)
+        with self._cursors_lock:
+            if cursor not in self._cursors:
+                raise CursorError(f"unknown or expired cursor {cursor!r}")
+            if size is None:
+                try:
+                    size = int(cursor.rsplit("-p", 1)[1])
+                except (IndexError, ValueError):
+                    size = len(self._cursors[cursor])
+            remaining = self._cursors.pop(cursor)
         page, next_cursor = self._paginate(remaining, size)
         result = {"items": page, "next_cursor": next_cursor,
                   "remaining": max(0, len(remaining) - len(page))}
@@ -342,10 +437,11 @@ class APIRouter:
         query = str(_require(params, "query"))
         page_size = self._coerce_page_size(params.get("page_size"))
         value = self.endpoint.execute(query)
-        stats = self.endpoint.last_statistics()
+        # thread_statistics() is this thread's own request record, so the
+        # hit/miss split stays exact under concurrent serving.
+        stats = self.endpoint.thread_statistics()
         if stats is not None:
-            self._metrics.setdefault("sparql", RouteMetrics()).record_cache(
-                stats.plan_cache_hit)
+            self._route_metrics("sparql").record_cache(stats.plan_cache_hit)
         # The JSON projection (row conversion, graph serialisation) is built
         # lazily: in-process callers consume the attachment and skip it.
         return (lambda: self._project_query_result(value, page_size)), value
@@ -428,14 +524,14 @@ class APIRouter:
     def _handle_infer_node_class(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
         node = _as_iri_text(_require(params, "node"), "node")
-        predicted = self.gmlaas.infer_node_class(model_uri, node)
+        predicted = self._infer_one(model_uri, node, "class", 1)
         return {"model_uri": model_uri, "node": node, "output": predicted}, predicted
 
     def _handle_infer_links(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
         source = _as_iri_text(_require(params, "source"), "source")
         k = int(params.get("k", 10))
-        links = self.gmlaas.infer_links(model_uri, source, k=k)
+        links = self._infer_one(model_uri, source, "links", k)
         return {"model_uri": model_uri, "source": source, "k": k,
                 "output": links}, links
 
@@ -443,7 +539,7 @@ class APIRouter:
         model_uri = _as_iri_text(_require(params, "model_uri"), "model_uri")
         entity = _as_iri_text(_require(params, "entity"), "entity")
         k = int(params.get("k", 10))
-        similar = self.gmlaas.infer_similar_entities(model_uri, entity, k=k)
+        similar = self._infer_one(model_uri, entity, "similar", k)
         return {"model_uri": model_uri, "entity": entity, "k": k,
                 "output": similar}, similar
 
@@ -494,9 +590,11 @@ class APIRouter:
             # query pipeline without reaching into endpoint internals.
             "query_cache": self.endpoint.cache_info(),
             "api": self.metrics(),
+            "inference_coalescing": self.coalescing_stats(),
         }
         return stats, stats
 
     def _handle_metrics(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         metrics = self.metrics()
-        return {"routes": metrics}, metrics
+        return {"routes": metrics,
+                "inference_coalescing": self.coalescing_stats()}, metrics

@@ -39,8 +39,8 @@ from repro.rdf.namespace import (
     YAGO,
 )
 from repro.rdf.dictionary import TermDictionary
-from repro.rdf.graph import Graph, ReadOnlyGraphView
-from repro.rdf.dataset import Dataset
+from repro.rdf.graph import Graph, GraphSnapshot, ReadOnlyGraphView
+from repro.rdf.dataset import Dataset, DatasetSnapshot
 from repro.rdf.io import (
     dump_graph,
     load_graph,
@@ -75,8 +75,10 @@ __all__ = [
     "DEFAULT_PREFIXES",
     "TermDictionary",
     "Graph",
+    "GraphSnapshot",
     "ReadOnlyGraphView",
     "Dataset",
+    "DatasetSnapshot",
     "parse_turtle",
     "parse_ntriples",
     "serialize_turtle",

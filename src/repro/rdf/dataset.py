@@ -3,37 +3,294 @@
 KGNet stores the data knowledge graph and the KGMeta graph side by side in
 the same RDF engine; the :class:`Dataset` models exactly that arrangement
 (paper §IV-B.1: "KGMeta ... is stored alongside associated KGs").
+
+Concurrency: every graph in the dataset shares one re-entrant write lock,
+so a writer touching several graphs (a SPARQL UPDATE with ``GRAPH`` blocks,
+a KGMeta registration next to a data load) advances all epochs atomically.
+:meth:`Dataset.snapshot` pins a consistent point-in-time view across *all*
+graphs under that lock; the SPARQL endpoint evaluates every query against
+such a snapshot, giving readers snapshot isolation for the union-graph case
+exactly as :meth:`Graph.snapshot <repro.rdf.graph.Graph.snapshot>` does for
+a single graph.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.exceptions import RDFError
 from repro.rdf.dictionary import TermDictionary
-from repro.rdf.graph import Graph
+from repro.rdf.graph import Graph, GraphSnapshot, _NO_MATCH
 from repro.rdf.namespace import NamespaceManager
-from repro.rdf.terms import IRI, Quad, Triple
+from repro.rdf.terms import IRI, Quad, Term, Triple
 
-__all__ = ["Dataset"]
+__all__ = ["Dataset", "DatasetSnapshot", "UnionGraphView"]
+
+
+class UnionGraphView:
+    """A read-only *logical* union of pinned graph snapshots.
+
+    Earlier the endpoint materialised the union of default + named graphs
+    (O(total triples)) on every dataset epoch — fine for a read-mostly
+    workload, ruinous under a live writer feed, where every commit forced a
+    full rebuild before the next query could run.  This view answers the
+    whole id-space read API the query pipeline uses by *iterating the member
+    snapshots and deduplicating on the fly*: a triple yielded by a later
+    member is suppressed when an earlier member already holds it (an O(1)
+    index probe, since all members share one term dictionary).
+
+    The view is immutable by construction (its members are pinned
+    snapshots), identity-stable per dataset epoch (cached on the
+    :class:`DatasetSnapshot`), and exposes ``epoch`` as the dataset token —
+    so compiled query plans key and reuse exactly as they do for a plain
+    :class:`~repro.rdf.graph.Graph`.
+    """
+
+    __slots__ = ("_members", "namespaces", "_dict", "_epoch", "_size",
+                 "__weakref__")
+
+    def __init__(self, members, namespaces: NamespaceManager,
+                 dictionary: TermDictionary, epoch) -> None:
+        self._members: Tuple[GraphSnapshot, ...] = tuple(members)
+        if not self._members:
+            raise RDFError("UnionGraphView needs at least one member snapshot")
+        self.namespaces = namespaces
+        self._dict = dictionary
+        self._epoch = epoch
+        self._size: Optional[int] = None
+
+    # -- identity / dictionary --------------------------------------------
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dict
+
+    @property
+    def epoch(self):
+        """The dataset epoch token this view pins (plan-cache key)."""
+        return self._epoch
+
+    def decode_id(self, term_id: int) -> Term:
+        return self._dict.decode(term_id)
+
+    def encode_term(self, term: object) -> Optional[int]:
+        return self._members[0].encode_term(term)
+
+    def snapshot(self) -> "UnionGraphView":
+        """Already pinned; the view is its own snapshot."""
+        return self
+
+    # -- id-space access (the query pipeline) ------------------------------
+    def contains_ids(self, si: int, pi: int, oi: int) -> bool:
+        return any(member.contains_ids(si, pi, oi) for member in self._members)
+
+    def triples_ids(self, s: Optional[int] = None, p: Optional[int] = None,
+                    o: Optional[int] = None) -> Iterator[Tuple[int, int, int]]:
+        members = self._members
+        yield from members[0].triples_ids(s, p, o)
+        for index in range(1, len(members)):
+            earlier = members[:index]
+            for triple in members[index].triples_ids(s, p, o):
+                if not any(graph.contains_ids(*triple) for graph in earlier):
+                    yield triple
+
+    def _union_slot(self, getter):
+        """Union of per-member id-sets without mutating any member's set."""
+        first = None
+        merged = None
+        for member in self._members:
+            ids = getter(member)
+            if not ids:
+                continue
+            if first is None:
+                first = ids
+            else:
+                if merged is None:
+                    merged = set(first)
+                merged.update(ids)
+        if merged is not None:
+            return merged
+        return first if first is not None else ()
+
+    def object_ids(self, s: int, p: int):
+        return self._union_slot(lambda member: member.object_ids(s, p))
+
+    def subject_ids(self, p: int, o: int):
+        return self._union_slot(lambda member: member.subject_ids(p, o))
+
+    def predicate_ids(self, s: int, o: int):
+        return self._union_slot(lambda member: member.predicate_ids(s, o))
+
+    def count_ids(self, s: Optional[int] = None, p: Optional[int] = None,
+                  o: Optional[int] = None) -> int:
+        """Exact (deduplicated) match count for an id pattern.
+
+        O(1) on the first member plus O(matches) over the remaining members
+        — named graphs (KGMeta) are small next to the data KG, so this stays
+        cheap where it runs hot.
+        """
+        members = self._members
+        total = members[0].count_ids(s, p, o)
+        for index in range(1, len(members)):
+            earlier = members[:index]
+            for triple in members[index].triples_ids(s, p, o):
+                if not any(graph.contains_ids(*triple) for graph in earlier):
+                    total += 1
+        return total
+
+    def estimate_cardinality_ids(self, s: Optional[int] = None,
+                                 p: Optional[int] = None,
+                                 o: Optional[int] = None) -> int:
+        """Planning estimate: the cheap non-deduplicated upper bound."""
+        return sum(member.count_ids(s, p, o) for member in self._members)
+
+    # -- term-space access (reference evaluator, UDFs) ----------------------
+    def _encode_pattern(self, subject, predicate, obj):
+        return self._members[0]._encode_pattern(subject, predicate, obj)
+
+    def triples(self, subject=None, predicate=None, obj=None) -> Iterator[Triple]:
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return
+        decode = self._dict.decode
+        for si, pi, oi in self.triples_ids(*pattern):
+            yield Triple(decode(si), decode(pi), decode(oi))
+
+    def count(self, subject=None, predicate=None, obj=None) -> int:
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return 0
+        return self.count_ids(*pattern)
+
+    def estimate_cardinality(self, subject=None, predicate=None, obj=None) -> int:
+        """Planning estimate: per-member O(1) counts, no deduplication.
+
+        The join-order optimizer calls this once per pattern per plan
+        compile; the exact :meth:`count` would enumerate every non-first
+        member's matches, which is wrong to pay on the planning path.
+        """
+        pattern = self._encode_pattern(subject, predicate, obj)
+        if pattern is _NO_MATCH:
+            return 0
+        return self.estimate_cardinality_ids(*pattern)
+
+    def __len__(self) -> int:
+        if self._size is None:
+            self._size = self.count_ids(None, None, None)
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples(None, None, None)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return any(triple in member for member in self._members)
+
+    def __repr__(self) -> str:
+        return (f"<UnionGraphView of {len(self._members)} snapshots, "
+                f"epoch={self._epoch}>")
+
+
+class DatasetSnapshot:
+    """A consistent point-in-time view over every graph in a dataset.
+
+    Holds one :class:`~repro.rdf.graph.GraphSnapshot` per graph, all pinned
+    under the dataset's write lock (no writer can interleave between pins).
+    ``token`` is the dataset epoch token the view corresponds to; the
+    endpoint keys its plan cache on it.  :meth:`union` materialises the
+    union graph lazily and caches it, so repeated no-``FROM`` queries at the
+    same epoch share one union (and therefore one set of compiled plans).
+    """
+
+    __slots__ = ("token", "default", "named", "_namespaces", "_dictionary",
+                 "_union", "_union_lock")
+
+    def __init__(self, token: Tuple[int, int], default: GraphSnapshot,
+                 named: Dict[IRI, GraphSnapshot],
+                 namespaces: NamespaceManager,
+                 dictionary: TermDictionary) -> None:
+        self.token = token
+        self.default = default
+        self.named = named
+        self._namespaces = namespaces
+        self._dictionary = dictionary
+        self._union: Optional[Graph] = None
+        self._union_lock = threading.Lock()
+
+    def graphs(self) -> Iterator[GraphSnapshot]:
+        yield self.default
+        yield from self.named.values()
+
+    def has_graph(self, identifier: object) -> bool:
+        if isinstance(identifier, str):
+            identifier = IRI(identifier)
+        return identifier in self.named
+
+    def graph(self, identifier: Optional[object] = None) -> GraphSnapshot:
+        """The pinned snapshot of one graph (default when no identifier)."""
+        if identifier is None:
+            return self.default
+        if isinstance(identifier, str):
+            identifier = IRI(identifier)
+        try:
+            return self.named[identifier]
+        except KeyError:
+            raise RDFError(f"unknown named graph {identifier!r} in snapshot")
+
+    def union(self):
+        """The union of all pinned graphs — a *logical* view, never a copy.
+
+        When only one member graph holds triples (the common case until
+        KGMeta fills up) that member's snapshot is returned directly;
+        otherwise a :class:`UnionGraphView` deduplicates across members on
+        the fly.  Either way the result is immutable, costs O(1) to produce
+        (no materialisation — this runs once per dataset epoch, i.e. after
+        every write commit), and is identity-stable for the snapshot's
+        lifetime, which keeps compiled query plans reusable across readers
+        at the same epoch.
+        """
+        union = self._union
+        if union is not None:
+            return union
+        with self._union_lock:
+            if self._union is None:
+                populated = [graph for graph in self.graphs() if len(graph)]
+                if len(populated) == 1:
+                    self._union = populated[0]
+                elif not populated:
+                    self._union = self.default
+                else:
+                    self._union = UnionGraphView(
+                        populated, namespaces=self._namespaces,
+                        dictionary=self._dictionary, epoch=self.token)
+            return self._union
+
+    def __len__(self) -> int:
+        return sum(len(graph) for graph in self.graphs())
+
+    def __repr__(self) -> str:
+        return (f"<DatasetSnapshot token={self.token} "
+                f"{len(self.named)} named graphs, total={len(self)}>")
 
 
 class Dataset:
     """A collection of named graphs sharing one namespace manager.
 
     All graphs in the dataset also share one :class:`TermDictionary`, so
-    union/merge operations and cross-graph plan caching stay in id space.
+    union/merge operations and cross-graph plan caching stay in id space —
+    and one write lock, so dataset-wide mutations commit atomically.
     """
 
     def __init__(self, namespaces: Optional[NamespaceManager] = None) -> None:
         self.namespaces = namespaces or NamespaceManager()
         self._dictionary = TermDictionary()
+        self._lock = threading.RLock()
         self._default = Graph(namespaces=self.namespaces,
-                              dictionary=self._dictionary)
+                              dictionary=self._dictionary, lock=self._lock)
         self._named: Dict[IRI, Graph] = {}
         # Bumped whenever the *set* of graphs changes (create/drop), so the
         # epoch token below cannot collide across structural changes.
         self._generation = 0
+        self._snapshot_cache: Optional[DatasetSnapshot] = None
 
     # ------------------------------------------------------------------
     # Graph management
@@ -41,6 +298,11 @@ class Dataset:
     @property
     def default_graph(self) -> Graph:
         return self._default
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The re-entrant lock shared by every graph in the dataset."""
+        return self._lock
 
     def graph(self, identifier: Optional[object] = None, create: bool = True) -> Graph:
         """Return the graph named ``identifier`` (or the default graph).
@@ -54,14 +316,16 @@ class Dataset:
             identifier = IRI(identifier)
         if not isinstance(identifier, IRI):
             raise RDFError(f"graph identifier must be an IRI, got {identifier!r}")
-        if identifier not in self._named:
-            if not create:
-                raise RDFError(f"unknown named graph {identifier.value!r}")
-            self._named[identifier] = Graph(identifier=identifier,
-                                            namespaces=self.namespaces,
-                                            dictionary=self._dictionary)
-            self._generation += 1
-        return self._named[identifier]
+        with self._lock:
+            if identifier not in self._named:
+                if not create:
+                    raise RDFError(f"unknown named graph {identifier.value!r}")
+                self._named[identifier] = Graph(identifier=identifier,
+                                                namespaces=self.namespaces,
+                                                dictionary=self._dictionary,
+                                                lock=self._lock)
+                self._generation += 1
+            return self._named[identifier]
 
     def has_graph(self, identifier: object) -> bool:
         if isinstance(identifier, str):
@@ -72,10 +336,11 @@ class Dataset:
         """Remove a named graph entirely; returns True when it existed."""
         if isinstance(identifier, str):
             identifier = IRI(identifier)
-        existed = self._named.pop(identifier, None) is not None
-        if existed:
-            self._generation += 1
-        return existed
+        with self._lock:
+            existed = self._named.pop(identifier, None) is not None
+            if existed:
+                self._generation += 1
+            return existed
 
     def epoch(self) -> Tuple[int, int]:
         """A cheap staleness token covering every graph in the dataset.
@@ -86,12 +351,45 @@ class Dataset:
         return (self._generation,
                 sum(graph.epoch for graph in self.graphs()))
 
+    def snapshot(self) -> DatasetSnapshot:
+        """Pin a consistent view of every graph, cached per epoch token.
+
+        Taken under the shared write lock, so no writer can commit between
+        the per-graph pins: the snapshot is a true point-in-time view of the
+        whole dataset.  When the cached snapshot is still current, readers
+        return it without touching the lock at all — epochs and the
+        generation counter only ever grow, so a torn unlocked token read can
+        match the cached token only when no commit has finished since the
+        pin (i.e. exactly when the cache is still valid).  This keeps
+        readers off the lock while a long UPDATE batch holds it.
+        """
+        snap = self._snapshot_cache
+        if snap is not None and snap.token == self.epoch():
+            return snap
+        with self._lock:
+            token = self.epoch()
+            snap = self._snapshot_cache
+            if snap is None or snap.token != token:
+                snap = DatasetSnapshot(
+                    token=token,
+                    default=self._default.snapshot(),
+                    named={iri: graph.snapshot()
+                           for iri, graph in self._named.items()},
+                    namespaces=self.namespaces,
+                    dictionary=self._dictionary)
+                self._snapshot_cache = snap
+            return snap
+
     def graphs(self) -> Iterator[Graph]:
         yield self._default
-        yield from self._named.values()
+        # list() is a single atomic C-level copy under the GIL: a concurrent
+        # writer creating a named graph must not explode this iteration with
+        # "dictionary changed size during iteration" (readers call epoch()
+        # on every query, writers create graphs via load/UPDATE envelopes).
+        yield from list(self._named.values())
 
     def named_graphs(self) -> Iterator[Graph]:
-        yield from self._named.values()
+        yield from list(self._named.values())
 
     # ------------------------------------------------------------------
     # Quad-level access
@@ -102,7 +400,7 @@ class Dataset:
     def quads(self) -> Iterator[Quad]:
         for triple in self._default:
             yield Quad(*triple, graph=None)
-        for identifier, graph in self._named.items():
+        for identifier, graph in list(self._named.items()):
             for triple in graph:
                 yield Quad(*triple, graph=identifier)
 
@@ -110,7 +408,10 @@ class Dataset:
         """Materialise the union of the default and all named graphs.
 
         The union shares the dataset's dictionary, so the merge runs in id
-        space (no term re-validation or re-interning).
+        space (no term re-validation or re-interning).  Each graph is pinned
+        while merging, so the result is consistent under concurrent writers
+        (see :meth:`snapshot` for the cached, dataset-consistent variant the
+        endpoint uses).
         """
         union = Graph(namespaces=self.namespaces.copy(),
                       dictionary=self._dictionary)

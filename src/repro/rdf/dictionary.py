@@ -10,37 +10,65 @@ indexes and by the SPARQL evaluator's id-space join pipeline.
 Ids are allocated densely from 0 and are **never reused or remapped**, even
 when triples are removed.  That append-only discipline is what makes it safe
 for a :class:`~repro.rdf.dataset.Dataset` to share one dictionary across its
-default and named graphs (and their union), and for the endpoint's plan cache
-to keep compiled constant-ids across queries while the graph only grows.
+default and named graphs (and their union), for the endpoint's plan cache to
+keep compiled constant-ids across queries while the graph only grows — and
+for *snapshot isolation*: a pinned :class:`~repro.rdf.graph.GraphSnapshot`
+decodes through the same dictionary the live graph keeps appending to,
+because an id's meaning can never change after allocation.
+
+Thread-safety: reads (``lookup`` / ``decode``) are lock-free — a dict probe
+and a list index are single atomic operations under CPython, and the table
+only ever grows.  ``encode`` takes a *striped* lock (by term hash) so
+concurrent writers interning different terms proceed in parallel; only the
+dense-id allocation itself serialises on one tiny lock.  A term becomes
+visible in ``lookup`` only after its id is fully allocated, so readers can
+never observe a half-interned term.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.rdf.terms import Term
 
 __all__ = ["TermDictionary"]
 
+#: Number of encode-lock stripes (power of two; indexed by ``hash & mask``).
+_NUM_STRIPES = 16
+_STRIPE_MASK = _NUM_STRIPES - 1
+
 
 class TermDictionary:
     """A bidirectional, append-only term <-> dense-int-id interning table."""
 
-    __slots__ = ("_term_to_id", "_id_to_term")
+    __slots__ = ("_term_to_id", "_id_to_term", "_stripes", "_alloc_lock")
 
     def __init__(self) -> None:
         self._term_to_id: Dict[Term, int] = {}
         self._id_to_term: List[Term] = []
+        self._stripes = tuple(threading.Lock() for _ in range(_NUM_STRIPES))
+        self._alloc_lock = threading.Lock()
 
     # -- encoding ------------------------------------------------------------
     def encode(self, term: Term) -> int:
         """Return the id for ``term``, interning it on first sight."""
         term_id = self._term_to_id.get(term)
-        if term_id is None:
-            term_id = len(self._id_to_term)
+        if term_id is not None:
+            return term_id
+        # Slow path: serialise per stripe so two threads interning the *same*
+        # term race on one lock while unrelated terms stay parallel.
+        with self._stripes[hash(term) & _STRIPE_MASK]:
+            term_id = self._term_to_id.get(term)
+            if term_id is not None:
+                return term_id
+            with self._alloc_lock:
+                term_id = len(self._id_to_term)
+                self._id_to_term.append(term)
+            # Publish last: ``lookup`` must never return an id that
+            # ``decode`` cannot resolve yet.
             self._term_to_id[term] = term_id
-            self._id_to_term.append(term)
-        return term_id
+            return term_id
 
     def encode_triple(self, s: Term, p: Term, o: Term) -> Tuple[int, int, int]:
         return self.encode(s), self.encode(p), self.encode(o)

@@ -19,10 +19,38 @@ caching/planning layers above:
   plan cache and cached union graph to detect staleness without diffing,
 * per-predicate / per-subject / per-object cardinality counters, giving the
   join-order optimizer O(1) estimates instead of per-query index probes.
+
+Concurrency model — snapshot isolation
+--------------------------------------
+
+The graph serves *concurrent* readers and writers with snapshot isolation:
+
+* :meth:`Graph.snapshot` returns a :class:`GraphSnapshot` — an immutable,
+  point-in-time view sharing the live index containers.  Snapshots are
+  cached per epoch, so taking one is O(1) and every reader at the same
+  epoch pins the *same* object (which also keeps compiled query plans
+  reusable across readers).
+* Writers mutate under the graph's write lock, with *bucket-level*
+  copy-on-write: the first mutation after a snapshot was pinned shallow-
+  copies the three top-level index dicts (O(#distinct keys) pointer
+  copies), and each inner bucket (per-subject predicate map, per-pattern id
+  set) is copied only when a write actually touches it while it is still
+  shared with a snapshot.  Ownership is tracked by container identity in
+  ``_fresh``, so consecutive writes between snapshots stay in-place O(1).
+  The epoch bump at the end of each mutation is the commit point readers
+  key on.
+* The :class:`~repro.rdf.dictionary.TermDictionary` is append-only and ids
+  never remap, so snapshots decode through the shared dictionary even while
+  writers keep interning new terms.
+
+Reads on the *live* graph are unsynchronised (exactly as before this layer
+existed) — concurrent readers must go through :meth:`snapshot`, which is
+what :class:`~repro.sparql.endpoint.SPARQLEndpoint` does for every query.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.exceptions import RDFError
@@ -39,7 +67,7 @@ from repro.rdf.terms import (
     term_from_python,
 )
 
-__all__ = ["Graph", "ReadOnlyGraphView"]
+__all__ = ["Graph", "GraphSnapshot", "ReadOnlyGraphView"]
 
 _Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
 
@@ -73,14 +101,20 @@ class Graph:
         :class:`~repro.rdf.dataset.Dataset` passes one shared dictionary to
         all its graphs so that union/merge operations and cross-graph joins
         stay in id space.
+    lock:
+        Optional re-entrant write lock.  A :class:`~repro.rdf.dataset.Dataset`
+        passes one shared lock to all its graphs so a dataset-level writer
+        advances every epoch atomically; standalone graphs get their own.
     """
 
     def __init__(self, identifier: Optional[IRI] = None,
                  namespaces: Optional[NamespaceManager] = None,
-                 dictionary: Optional[TermDictionary] = None) -> None:
+                 dictionary: Optional[TermDictionary] = None,
+                 lock: Optional[threading.RLock] = None) -> None:
         self.identifier = identifier
         self.namespaces = namespaces or NamespaceManager()
         self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._lock = lock if lock is not None else threading.RLock()
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
@@ -91,6 +125,15 @@ class Graph:
         self._p_counts: Dict[int, int] = {}
         self._s_counts: Dict[int, int] = {}
         self._o_counts: Dict[int, int] = {}
+        #: Cached per-epoch snapshot; True while its containers are shared
+        #: with the live graph (next write must copy-on-write first).
+        self._snapshot_cache: Optional["GraphSnapshot"] = None
+        self._cow_pending = False
+        #: ids of inner buckets owned by the current write generation (safe
+        #: to mutate in place).  None until the first snapshot is pinned —
+        #: before that every container is owned and the write path skips the
+        #: ownership bookkeeping entirely (the bulk-load fast path).
+        self._fresh: Optional[Set[int]] = None
 
     # ------------------------------------------------------------------
     # Dictionary / epoch access
@@ -116,6 +159,83 @@ class Graph:
         return self._dict.lookup(coerced)
 
     # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The re-entrant lock serialising all mutations of this graph."""
+        return self._lock
+
+    def snapshot(self) -> "GraphSnapshot":
+        """Pin an immutable point-in-time view of the graph.
+
+        O(1): snapshots are cached per epoch, so all readers between two
+        mutations share one pinned view (and therefore one set of compiled
+        query plans).  The snapshot's containers are never mutated — the
+        next write detaches the live graph from them first.
+        """
+        snap = self._snapshot_cache
+        if snap is not None and snap._epoch == self._epoch:
+            return snap
+        with self._lock:
+            snap = self._snapshot_cache
+            if snap is None or snap._epoch != self._epoch:
+                snap = GraphSnapshot._pin(self)
+                self._snapshot_cache = snap
+                self._cow_pending = True
+            return snap
+
+    def _prepare_write(self) -> None:
+        """Detach from any pinned snapshot before mutating (caller holds lock).
+
+        Shallow-copies the three top-level index dicts and the counter dicts
+        (pointer copies only) so the pinned snapshot keeps observing exactly
+        the state it pinned, and resets the bucket-ownership set: inner
+        buckets stay shared until a write touches them, at which point
+        :meth:`_owned_dict` / :meth:`_owned_set` copy just that bucket.
+        Consecutive writes without an intervening snapshot mutate in place.
+        """
+        if not self._cow_pending:
+            return
+        self._spo = dict(self._spo)
+        self._pos = dict(self._pos)
+        self._osp = dict(self._osp)
+        self._s_counts = dict(self._s_counts)
+        self._p_counts = dict(self._p_counts)
+        self._o_counts = dict(self._o_counts)
+        # Every inner bucket is now (potentially) shared with a snapshot.
+        # A dead owned bucket's id cannot alias a shared one: the shared
+        # bucket was allocated while the owned one was still alive, so their
+        # addresses differ — and any new allocation reusing the address is
+        # registered as owned when it is created.
+        self._fresh = set()
+        self._cow_pending = False
+
+    def _owned_dict(self, top: Dict[int, Dict], key: int) -> Dict:
+        """The inner dict for ``key``, copied first if a snapshot shares it."""
+        bucket = top.get(key)
+        if bucket is None:
+            bucket = top[key] = {}
+            if self._fresh is not None:
+                self._fresh.add(id(bucket))
+        elif self._fresh is not None and id(bucket) not in self._fresh:
+            bucket = top[key] = dict(bucket)
+            self._fresh.add(id(bucket))
+        return bucket
+
+    def _owned_set(self, bucket: Dict[int, Set[int]], key: int) -> Set[int]:
+        """The id-set for ``key``, copied first if a snapshot shares it."""
+        ids = bucket.get(key)
+        if ids is None:
+            ids = bucket[key] = set()
+            if self._fresh is not None:
+                self._fresh.add(id(ids))
+        elif self._fresh is not None and id(ids) not in self._fresh:
+            ids = bucket[key] = set(ids)
+            self._fresh.add(id(ids))
+        return ids
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, subject: object, predicate: object = None, obj: object = None) -> bool:
@@ -138,20 +258,22 @@ class Graph:
         if not isinstance(p, IRI):
             raise RDFError("predicates must be IRIs")
         encode = self._dict.encode
-        return self._add_ids(encode(s), encode(p), encode(o))
+        si, pi, oi = encode(s), encode(p), encode(o)
+        with self._lock:
+            self._prepare_write()
+            return self._add_ids(si, pi, oi)
 
     def _add_ids(self, si: int, pi: int, oi: int) -> bool:
+        # Duplicate probe against the (possibly still shared) bucket first:
+        # a no-op add must not copy anything.
         by_pred = self._spo.get(si)
-        if by_pred is None:
-            by_pred = self._spo[si] = {}
-        objects = by_pred.get(pi)
-        if objects is None:
-            objects = by_pred[pi] = set()
-        elif oi in objects:
-            return False
-        objects.add(oi)
-        self._pos.setdefault(pi, {}).setdefault(oi, set()).add(si)
-        self._osp.setdefault(oi, {}).setdefault(si, set()).add(pi)
+        if by_pred is not None:
+            objects = by_pred.get(pi)
+            if objects is not None and oi in objects:
+                return False
+        self._owned_set(self._owned_dict(self._spo, si), pi).add(oi)
+        self._owned_set(self._owned_dict(self._pos, pi), oi).add(si)
+        self._owned_set(self._owned_dict(self._osp, oi), si).add(pi)
         self._size += 1
         self._epoch += 1
         for counts, key in ((self._s_counts, si), (self._p_counts, pi),
@@ -169,12 +291,23 @@ class Graph:
         other = triples
         if isinstance(other, ReadOnlyGraphView):
             other = other._graph
+        if isinstance(other, Graph):
+            # Pin the source first (fully acquiring and releasing its lock)
+            # so the merge reads a consistent view even while the source is
+            # being written — and so ``add_all(self)`` is safe: the pinned
+            # snapshot keeps the pre-merge containers while copy-on-write
+            # gives this graph fresh ones to mutate.
+            other = other.snapshot()
         if isinstance(other, Graph) and other._dict is self._dict:
-            return self._merge_encoded(other)
+            with self._lock:
+                self._prepare_write()
+                return self._merge_encoded(other)
         added = 0
-        for triple in triples:
-            if self.add(triple):
-                added += 1
+        with self._lock:
+            self._prepare_write()
+            for triple in other:
+                if self.add(triple):
+                    added += 1
         return added
 
     def _merge_encoded(self, other: "Graph") -> int:
@@ -197,28 +330,30 @@ class Graph:
         pattern = self._encode_pattern(subject, predicate, obj)
         if pattern is _NO_MATCH:
             return 0
-        to_remove = list(self.triples_ids(*pattern))
-        for si, pi, oi in to_remove:
-            self._discard_ids(si, pi, oi)
-        if to_remove:
-            self._epoch += 1
-        return len(to_remove)
+        with self._lock:
+            self._prepare_write()
+            to_remove = list(self.triples_ids(*pattern))
+            for si, pi, oi in to_remove:
+                self._discard_ids(si, pi, oi)
+            if to_remove:
+                self._epoch += 1
+            return len(to_remove)
 
     def _discard_ids(self, si: int, pi: int, oi: int) -> None:
-        by_pred = self._spo[si]
-        by_pred[pi].discard(oi)
+        by_pred = self._owned_dict(self._spo, si)
+        self._owned_set(by_pred, pi).discard(oi)
         if not by_pred[pi]:
             del by_pred[pi]
         if not by_pred:
             del self._spo[si]
-        by_obj = self._pos[pi]
-        by_obj[oi].discard(si)
+        by_obj = self._owned_dict(self._pos, pi)
+        self._owned_set(by_obj, oi).discard(si)
         if not by_obj[oi]:
             del by_obj[oi]
         if not by_obj:
             del self._pos[pi]
-        by_subj = self._osp[oi]
-        by_subj[si].discard(pi)
+        by_subj = self._owned_dict(self._osp, oi)
+        self._owned_set(by_subj, si).discard(pi)
         if not by_subj[si]:
             del by_subj[si]
         if not by_subj:
@@ -233,15 +368,21 @@ class Graph:
                 del counts[key]
 
     def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._p_counts.clear()
-        self._s_counts.clear()
-        self._o_counts.clear()
-        if self._size:
-            self._epoch += 1
-        self._size = 0
+        with self._lock:
+            # Fresh containers instead of ``.clear()``: a pinned snapshot may
+            # still be reading the old ones.
+            self._spo = {}
+            self._pos = {}
+            self._osp = {}
+            self._p_counts = {}
+            self._s_counts = {}
+            self._o_counts = {}
+            self._cow_pending = False
+            if self._fresh is not None:
+                self._fresh = set()
+            if self._size:
+                self._epoch += 1
+            self._size = 0
 
     # ------------------------------------------------------------------
     # Access (term space)
@@ -377,6 +518,14 @@ class Graph:
             return ()
         return by_subj.get(s, ())
 
+    def contains_ids(self, si: int, pi: int, oi: int) -> bool:
+        """Membership test for a fully-constant id triple (O(1))."""
+        by_pred = self._spo.get(si)
+        if by_pred is None:
+            return False
+        objects = by_pred.get(pi)
+        return objects is not None and oi in objects
+
     def count_ids(self, s: Optional[int] = None, p: Optional[int] = None,
                   o: Optional[int] = None) -> int:
         """Exact match count for an id pattern, without materialising."""
@@ -435,6 +584,11 @@ class Graph:
         if pattern is _NO_MATCH:
             return 0
         return self.count_ids(*pattern)
+
+    # For a single graph the maintained counters make the exact count O(1),
+    # so the planning estimate *is* the count.  Union views override this
+    # with a cheap non-deduplicated bound (exact counting enumerates there).
+    estimate_cardinality = count
 
     # -- convenience accessors ------------------------------------------------
     def subjects(self, predicate: Optional[object] = None,
@@ -508,7 +662,9 @@ class Graph:
     def copy(self) -> "Graph":
         clone = Graph(identifier=self.identifier, namespaces=self.namespaces.copy(),
                       dictionary=self._dict)
-        clone._merge_encoded(self)
+        # Merge from a pinned view so copying stays consistent even while a
+        # writer is mutating this graph.
+        clone._merge_encoded(self.snapshot())
         return clone
 
     def union(self, other: "Graph") -> "Graph":
@@ -537,6 +693,67 @@ class Graph:
 
 #: Sentinel: a pattern containing a constant the dictionary has never seen.
 _NO_MATCH = object()
+
+
+class GraphSnapshot(Graph):
+    """An immutable, point-in-time view of a :class:`Graph`.
+
+    Shares the source graph's index containers at pin time; the source's
+    copy-on-write discipline guarantees they are never mutated afterwards,
+    so every read method inherited from :class:`Graph` (term-level and
+    id-level alike) is safe from any thread without locking.  Both the
+    streaming :class:`~repro.sparql.evaluator.QueryEvaluator` and the frozen
+    :class:`~repro.sparql.reference.ReferenceQueryEvaluator` run on
+    snapshots unchanged, which is what the differential concurrency suite
+    exploits.
+
+    Obtained via :meth:`Graph.snapshot` — not constructed directly.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise RDFError("GraphSnapshot is created via Graph.snapshot()")
+
+    @classmethod
+    def _pin(cls, graph: Graph) -> "GraphSnapshot":
+        snap = object.__new__(cls)
+        snap.identifier = graph.identifier
+        snap.namespaces = graph.namespaces
+        snap._dict = graph._dict
+        snap._lock = graph._lock
+        snap._spo = graph._spo
+        snap._pos = graph._pos
+        snap._osp = graph._osp
+        snap._size = graph._size
+        snap._epoch = graph._epoch
+        snap._s_counts = graph._s_counts
+        snap._p_counts = graph._p_counts
+        snap._o_counts = graph._o_counts
+        snap._snapshot_cache = None
+        snap._cow_pending = False
+        snap._fresh = None
+        return snap
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A snapshot is already pinned; it is its own snapshot."""
+        return self
+
+    # -- mutation is forbidden ----------------------------------------------
+    def _readonly(self, *args, **kwargs):
+        raise RDFError("GraphSnapshot is read-only: mutate the live Graph, "
+                       "then take a fresh snapshot")
+
+    add = _readonly
+    add_all = _readonly
+    remove = _readonly
+    clear = _readonly
+    _add_ids = _readonly
+    _discard_ids = _readonly
+    __iadd__ = _readonly
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier else "default"
+        return (f"<GraphSnapshot {name!r} epoch={self._epoch} "
+                f"with {self._size} triples>")
 
 
 class ReadOnlyGraphView:

@@ -12,17 +12,29 @@ registered UDFs that issue HTTP calls to the GML inference manager.  The
   text: repeated queries skip the parser entirely and reuse their compiled
   id-space join plans; any graph mutation bumps the dataset epoch, which
   transparently invalidates cached plans (never cached results — the
-  evaluator always runs against the live graph),
-* it caches the materialised union graph between mutations, so mixed
+  evaluator always runs against the current snapshot),
+* it caches the materialised union graph between mutations (via
+  :meth:`Dataset.snapshot <repro.rdf.dataset.Dataset.snapshot>`), so mixed
   KGMeta + data queries stop paying a full union rebuild per request,
 * it exposes a UDF registry; every UDF invocation is counted so experiments
   can report the number of "HTTP calls" an execution plan makes,
 * it keeps simple per-query execution statistics (including whether the
   plan cache was hit and how many index lookups the join pipeline made).
+
+Concurrency: the endpoint is safe to share across serving threads.  Every
+query evaluates against a pinned snapshot (:class:`GraphSnapshot
+<repro.rdf.graph.GraphSnapshot>` / :class:`DatasetSnapshot
+<repro.rdf.dataset.DatasetSnapshot>`), so readers never observe a torn
+in-flight update; updates take the dataset's write lock for their whole
+batch, so multi-operation requests commit atomically.  The plan cache and
+all statistics counters are lock-protected — counter increments are
+read-modify-write and would silently lose updates otherwise (the contention
+suite under ``tests/concurrency`` enforces this).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -84,6 +96,10 @@ class PlanCache:
     def __init__(self, maxsize: int = 128) -> None:
         self.maxsize = maxsize
         self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        #: One lock covers the LRU order and every counter: lookups/stores
+        #: from serving threads interleave, and both the ``move_to_end``
+        #: bookkeeping and the ``hits += 1`` increments are read-modify-write.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -95,50 +111,55 @@ class PlanCache:
         ``fresh`` is False when the entry predates the current epoch (its
         plan will recompile; only the parse is reused).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None, False
-        self._entries.move_to_end(key)
-        if entry.epoch != epoch:
-            entry.epoch = epoch
-            self.invalidations += 1
-            return entry, False
-        self.hits += 1
-        return entry, True
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, False
+            self._entries.move_to_end(key)
+            if entry.epoch != epoch:
+                entry.epoch = epoch
+                self.invalidations += 1
+                return entry, False
+            self.hits += 1
+            return entry, True
 
     def store(self, key: Tuple, parsed, plan: Optional[QueryPlan], epoch) -> _CacheEntry:
         entry = _CacheEntry(parsed, plan, epoch)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_counters(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> Dict[str, object]:
-        total = self.hits + self.misses + self.invalidations
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hit_rate": round(self.hits / total, 6) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses + self.invalidations
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            }
 
 
 class SPARQLEndpoint:
@@ -154,8 +175,15 @@ class SPARQLEndpoint:
         self.history: List[QueryStatistics] = []
         self.plan_cache = PlanCache()
         #: Total triple-pattern index lookups across all executed queries.
+        #: Plain int for backwards compatibility; increments happen under
+        #: ``_stats_lock`` (``+=`` is read-modify-write and loses updates
+        #: under contention otherwise).
         self.total_pattern_lookups = 0
-        self._union_cache: Optional[Tuple[Tuple[int, int], Graph]] = None
+        self._stats_lock = threading.Lock()
+        # Per-thread copy of the last record, so a serving thread can read
+        # *its own* request's statistics without racing `history[-1]`
+        # against neighbouring requests.
+        self._thread_stats = threading.local()
 
     # ------------------------------------------------------------------
     # Data management
@@ -182,32 +210,34 @@ class SPARQLEndpoint:
     # Query execution
     # ------------------------------------------------------------------
     def _evaluation_graph(self, query: Query) -> Graph:
-        """Pick the graph a query runs against.
+        """Pick the *snapshot* a query runs against.
 
         ``FROM <g>`` selects a named graph; multiple FROM clauses (or none)
         use the union/default graph, matching how the platform stores KGMeta
-        alongside the data KG.  The no-FROM union graph is cached between
-        dataset mutations (keyed by the dataset epoch token) so that the
-        common mixed KGMeta + data query path does not re-materialise it.
+        alongside the data KG.  Every path returns a pinned point-in-time
+        view, so a concurrent writer can never tear an in-flight query.  The
+        no-FROM union graph is materialised once per dataset epoch (cached
+        on the :class:`~repro.rdf.dataset.DatasetSnapshot`), so the common
+        mixed KGMeta + data query path does not pay a union rebuild per
+        request — and its identity is stable between mutations, which keeps
+        compiled plans reusable across readers.
         """
         from_graphs = getattr(query, "from_graphs", [])
-        if len(from_graphs) == 1 and self.dataset.has_graph(from_graphs[0]):
-            return self.dataset.graph(from_graphs[0])
         if from_graphs:
+            snapshot = self.dataset.snapshot()
+            if len(from_graphs) == 1 and snapshot.has_graph(from_graphs[0]):
+                return snapshot.graph(from_graphs[0])
             union = Graph(namespaces=self.namespaces.copy())
             for graph_iri in from_graphs:
-                if self.dataset.has_graph(graph_iri):
-                    union.add_all(self.dataset.graph(graph_iri))
+                if snapshot.has_graph(graph_iri):
+                    union.add_all(snapshot.graph(graph_iri))
             return union
         if any(True for _ in self.dataset.named_graphs()):
             # Default behaviour: query the union of default + named graphs so
             # KGMeta triple patterns and data triple patterns can be mixed in
             # one query (paper Fig 2 relies on this).
-            token = self.dataset.epoch()
-            if self._union_cache is None or self._union_cache[0] != token:
-                self._union_cache = (token, self.dataset.union_graph())
-            return self._union_cache[1]
-        return self.graph
+            return self.dataset.snapshot().union()
+        return self.graph.snapshot()
 
     def parse(self, text: str):
         return SPARQLParser(text, namespaces=self.namespaces).parse()
@@ -262,7 +292,9 @@ class SPARQLEndpoint:
                    cache_hit: bool = False):
         """Evaluate an already-parsed query, recording statistics."""
         if graph_iri is not None:
-            graph = self.dataset.graph(graph_iri)
+            # Pin like every other path: a concurrent writer must not mutate
+            # the buckets this query's join pipeline is iterating.
+            graph = self.dataset.graph(graph_iri).snapshot()
         else:
             graph = self._evaluation_graph(query)
         evaluator = QueryEvaluator(graph, udfs=self.udfs,
@@ -281,13 +313,16 @@ class SPARQLEndpoint:
         else:
             count = int(bool(result))
             kind = "ASK"
-        self.total_pattern_lookups += evaluator.pattern_lookups
-        self.history.append(QueryStatistics(
+        statistics = QueryStatistics(
             query=text, kind=kind, elapsed_seconds=elapsed, num_results=count,
             pattern_lookups=evaluator.pattern_lookups,
             udf_calls=self.udfs.total_calls() - udf_calls_before,
             plan_cache_hit=cache_hit,
-        ))
+        )
+        with self._stats_lock:
+            self.total_pattern_lookups += evaluator.pattern_lookups
+            self.history.append(statistics)
+        self._thread_stats.last = statistics
         return result
 
     def select(self, text: str, **kwargs) -> ResultSet:
@@ -313,21 +348,34 @@ class SPARQLEndpoint:
 
     def _run_updates(self, updates: List[Update], text: str,
                      cache_hit: bool = False) -> int:
-        """Apply already-parsed updates, recording statistics."""
+        """Apply already-parsed updates, recording statistics.
+
+        The whole batch runs under the dataset's write lock: a request with
+        several operations commits atomically — no reader snapshot can
+        observe a half-applied request, and two concurrent update requests
+        serialise instead of interleaving their operations.
+        """
         started = time.perf_counter()
         affected = 0
-        for update in updates:
-            affected += self.apply_update(update)
+        with self.dataset.write_lock:
+            for update in updates:
+                affected += self.apply_update(update)
         elapsed = time.perf_counter() - started
-        self.history.append(QueryStatistics(
+        statistics = QueryStatistics(
             query=text, kind="UPDATE", elapsed_seconds=elapsed,
             num_results=affected, pattern_lookups=0,
             plan_cache_hit=cache_hit,
-        ))
+        )
+        with self._stats_lock:
+            self.history.append(statistics)
+        self._thread_stats.last = statistics
         return affected
 
     def apply_update(self, update: Update) -> int:
-        evaluator = QueryEvaluator(self.dataset.union_graph(), udfs=self.udfs,
+        # WHERE clauses evaluate against the pinned union snapshot;
+        # mutations go to the live dataset graphs.
+        evaluator = QueryEvaluator(self.dataset.snapshot().union(),
+                                   udfs=self.udfs,
                                    optimize_joins=self.optimize_joins)
         return evaluator.apply_update(update, dataset=self.dataset)
 
@@ -336,6 +384,16 @@ class SPARQLEndpoint:
     # ------------------------------------------------------------------
     def last_statistics(self) -> Optional[QueryStatistics]:
         return self.history[-1] if self.history else None
+
+    def thread_statistics(self) -> Optional[QueryStatistics]:
+        """Statistics of the last request *this thread* executed.
+
+        Under concurrent serving ``last_statistics()`` may belong to a
+        neighbouring thread's request; metrics that attribute an outcome to
+        a specific request (the router's per-route cache hit/miss split)
+        must use this accessor.
+        """
+        return getattr(self._thread_stats, "last", None)
 
     def total_udf_calls(self, name: Optional[str] = None) -> int:
         return self.udfs.total_calls(name)
@@ -348,9 +406,10 @@ class SPARQLEndpoint:
 
     def reset_counters(self) -> None:
         self.udfs.reset_counts()
-        self.history.clear()
         self.plan_cache.reset_counters()
-        self.total_pattern_lookups = 0
+        with self._stats_lock:
+            self.history.clear()
+            self.total_pattern_lookups = 0
 
     def __repr__(self) -> str:
         return (f"<SPARQLEndpoint default={len(self.graph)} triples, "

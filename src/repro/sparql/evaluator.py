@@ -22,7 +22,9 @@ recompiles itself when the graph object or its mutation epoch changes.
 
 from __future__ import annotations
 
+import threading
 import weakref
+from collections import OrderedDict
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -93,7 +95,10 @@ def estimate_pattern_cardinality(graph: Graph, pattern: TriplePattern,
     s = pattern.subject if not isinstance(pattern.subject, Variable) else None
     p = pattern.predicate if not isinstance(pattern.predicate, Variable) else None
     o = pattern.object if not isinstance(pattern.object, Variable) else None
-    estimate = float(graph.count(s, p, o))
+    # estimate_cardinality == count on a plain Graph (O(1) counters); union
+    # views answer it with a cheap non-deduplicated bound instead of the
+    # exact enumerating count.
+    estimate = float(graph.estimate_cardinality(s, p, o))
     if estimate == 0:
         return 0.0
     for term in (pattern.subject, pattern.predicate, pattern.object):
@@ -158,34 +163,59 @@ class _CompiledBGP:
         self.empty = empty
 
 
+class _PlanState:
+    """Compiled BGPs bound to one (graph identity, epoch, optimize flag)."""
+
+    __slots__ = ("graph_ref", "compiled")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph_ref = weakref.ref(graph)
+        self.compiled: Dict[int, _CompiledBGP] = {}
+
+
 class QueryPlan:
     """Reusable compilation state for one parsed query.
 
     Maps BGP nodes (by identity — the plan lives next to its AST in the
-    endpoint's cache) to their compiled form.  :meth:`ensure` drops every
-    compiled BGP when the target graph (held via weakref, so a recycled
-    ``id()`` can never alias a dead graph), its mutation epoch, or the
-    join-optimization flag changed; a cached plan can never serve ids or
-    join orders compiled under different conditions.
+    endpoint's cache) to their compiled form, *per evaluation target*:
+    :meth:`state_for` hands each evaluator the compiled-BGP store bound to
+    its exact (graph object, mutation epoch, join-optimization flag), so a
+    cached plan can never serve ids or join orders compiled under different
+    conditions.
+
+    Keying by target makes the plan safe under concurrency: two readers
+    evaluating the same cached query against *different* pinned snapshots
+    (e.g. across a writer's commit) get independent compiled state instead
+    of clobbering one shared dict — the stale-plan race the differential
+    concurrency suite checks for.  Graphs are held via weakref and verified
+    by identity, so a recycled ``id()`` can never alias a dead graph's
+    compiled ids.  A handful of states is retained LRU-style; with per-epoch
+    snapshot caching the steady state is one live entry per target graph.
     """
 
-    __slots__ = ("_graph_ref", "_epoch", "_optimize_joins", "compiled")
+    __slots__ = ("_lock", "_states")
+
+    #: Retained (graph, epoch, flag) states; evicted oldest-first.
+    MAX_STATES = 4
 
     def __init__(self) -> None:
-        self._graph_ref = None
-        self._epoch: Optional[int] = None
-        self._optimize_joins: Optional[bool] = None
-        self.compiled: Dict[int, _CompiledBGP] = {}
+        self._lock = threading.Lock()
+        self._states: "OrderedDict[Tuple[int, int, bool], _PlanState]" = OrderedDict()
 
-    def ensure(self, graph: Graph, optimize_joins: bool) -> None:
-        held = self._graph_ref() if self._graph_ref is not None else None
-        if (held is graph and self._epoch == graph.epoch
-                and self._optimize_joins == optimize_joins):
-            return
-        self.compiled.clear()
-        self._graph_ref = weakref.ref(graph)
-        self._epoch = graph.epoch
-        self._optimize_joins = optimize_joins
+    def state_for(self, graph: Graph, optimize_joins: bool) -> _PlanState:
+        """The compiled-BGP store for exactly this graph object and epoch."""
+        key = (id(graph), graph.epoch, optimize_joins)
+        with self._lock:
+            state = self._states.get(key)
+            if state is not None and state.graph_ref() is graph:
+                self._states.move_to_end(key)
+                return state
+            state = _PlanState(graph)
+            self._states[key] = state
+            self._states.move_to_end(key)
+            while len(self._states) > self.MAX_STATES:
+                self._states.popitem(last=False)
+            return state
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +232,9 @@ class QueryEvaluator:
         self.udfs = udfs or UDFRegistry()
         self.optimize_joins = optimize_joins
         self.plan = plan
+        #: Resolved lazily on first BGP: the plan's compiled store for this
+        #: exact (graph, epoch) target.
+        self._plan_state: Optional[Dict[int, _CompiledBGP]] = None
         self.context = EvaluationContext(udfs=self.udfs,
                                          exists_evaluator=self._evaluate_exists)
         #: Number of triple-pattern index lookups performed (for benchmarks).
@@ -301,15 +334,20 @@ class QueryEvaluator:
 
     # -- BGP compilation ----------------------------------------------------
     def _compiled_bgp(self, bgp: BGP) -> _CompiledBGP:
-        plan = self.plan
-        if plan is not None:
-            plan.ensure(self.graph, self.optimize_joins)
-            compiled = plan.compiled.get(id(bgp))
+        store = self._plan_state
+        if store is None and self.plan is not None:
+            store = self._plan_state = self.plan.state_for(
+                self.graph, self.optimize_joins).compiled
+        if store is not None:
+            compiled = store.get(id(bgp))
             if compiled is not None:
                 return compiled
         compiled = self._compile_bgp(bgp)
-        if plan is not None:
-            plan.compiled[id(bgp)] = compiled
+        if store is not None:
+            # Concurrent evaluators may both compile the same BGP; either
+            # result is correct for this (graph, epoch) and the dict write
+            # is atomic, so last-writer-wins is benign.
+            store[id(bgp)] = compiled
         return compiled
 
     def _compile_bgp(self, bgp: BGP) -> _CompiledBGP:

@@ -10,6 +10,7 @@ engine (paper §III-B and §IV-B.3).
 from __future__ import annotations
 
 import re
+import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import QueryError, UDFError
@@ -104,6 +105,9 @@ class UDFRegistry:
     def __init__(self) -> None:
         self._functions: Dict[str, Callable[..., object]] = {}
         self.call_counts: Dict[str, int] = {}
+        # Concurrent queries share one registry through the endpoint; the
+        # count increment is read-modify-write and needs the lock.
+        self._counts_lock = threading.Lock()
 
     def register(self, name: str, function: Callable[..., object],
                  aliases: Optional[List[str]] = None) -> None:
@@ -128,7 +132,8 @@ class UDFRegistry:
         if function is None:
             raise UDFError(f"unknown user-defined function {name!r}")
         key = self._normalise(name)
-        self.call_counts[key] = self.call_counts.get(key, 0) + 1
+        with self._counts_lock:
+            self.call_counts[key] = self.call_counts.get(key, 0) + 1
         return function(*args)
 
     def total_calls(self, name: Optional[str] = None) -> int:
@@ -137,7 +142,8 @@ class UDFRegistry:
         return sum(self.call_counts.values())
 
     def reset_counts(self) -> None:
-        self.call_counts.clear()
+        with self._counts_lock:
+            self.call_counts.clear()
 
 
 class EvaluationContext:

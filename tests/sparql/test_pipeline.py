@@ -124,13 +124,13 @@ class TestUnionGraphCache:
         endpoint.named_graph(EX + "kgmeta").add(
             IRI(EX + "m"), IRI(EX + "p"), Literal("meta"))
         endpoint.select(QUERY)
-        first = endpoint._union_cache
+        first = endpoint.dataset.snapshot().union()
         assert first is not None
         endpoint.select(QUERY)
-        assert endpoint._union_cache is first
+        assert endpoint.dataset.snapshot().union() is first
         endpoint.graph.add(IRI(EX + "s9"), IRI(EX + "p"), Literal(9))
         result = endpoint.select(QUERY)
-        assert endpoint._union_cache is not first
+        assert endpoint.dataset.snapshot().union() is not first
         assert len(result) == 7  # 5 + meta row + new row
 
 
