@@ -1,0 +1,221 @@
+"""Durable-storage benchmark: bulk load, checkpoint, restore, WAL replay.
+
+Measures the four legs of the ``repro.storage`` subsystem on a synthetic
+KG (100k triples by default) and keeps a perf trajectory across PRs:
+
+* ``turtle_parse`` — the pre-storage baseline: re-parsing the KG's
+  N-Triples text through the tokenizer into a fresh graph (what every
+  process restart cost before checkpoints existed),
+* ``bulk_load`` — the streaming loader: parser output fed into the id-space
+  indexes in batches (one epoch bump per batch),
+* ``checkpoint_write`` / ``checkpoint_restore`` — the binary snapshot path;
+  ``restore_speedup_vs_parse`` is the ISSUE-4 acceptance number (must be
+  ≥ 5× on the 100k-triple KG),
+* ``wal_replay`` — committed-transaction recovery throughput.
+
+Usage (from the ``benchmarks/`` directory)::
+
+    PYTHONPATH=../src python bench_persistence.py            # full run
+    PYTHONPATH=../src python bench_persistence.py --smoke    # CI-sized
+
+Each run appends one record to ``BENCH_persistence.json`` next to this
+script and refreshes ``results/bench_persistence.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import save_report  # noqa: E402
+from repro.rdf import Dataset, IRI, Literal, Triple, parse_ntriples, serialize_ntriples  # noqa: E402
+from repro.storage import (  # noqa: E402
+    StorageEngine,
+    read_checkpoint,
+    stream_load,
+    write_checkpoint,
+)
+
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_persistence.json")
+
+EX = "http://example.org/bench/persist/"
+
+
+def build_triples(count: int) -> List[Triple]:
+    """A synthetic KG with realistic term reuse (shared predicates/objects)."""
+    predicates = [IRI(EX + f"p{i}") for i in range(12)]
+    triples = []
+    append = triples.append
+    for index in range(count):
+        subject = IRI(EX + f"s{index % (count // 4 or 1)}")
+        predicate = predicates[index % len(predicates)]
+        bucket = index % 5
+        if bucket == 0:
+            obj = Literal(index)
+        elif bucket == 1:
+            obj = Literal(f"label {index}", language="en")
+        else:
+            # 997 is prime w.r.t. every cycle above, so (s, p, o) never
+            # collides and the KG really holds `count` distinct triples.
+            obj = IRI(EX + f"o{index % 997}")
+        append(Triple(subject, predicate, obj))
+    return triples
+
+
+#: Timing repeats; the best run is reported so a noisy neighbour can not
+#: skew the restore-vs-parse ratio the acceptance criterion keys on.
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def bench_parse(text: str) -> Dict[str, object]:
+    graph, elapsed = _best_of(lambda: parse_ntriples(text))
+    return {"metric": "turtle_parse", "triples": len(graph),
+            "seconds": round(elapsed, 4),
+            "triples_per_second": round(len(graph) / elapsed, 1)}, elapsed
+
+
+def bench_bulk_load(text: str) -> Dict[str, object]:
+    dataset = Dataset()
+    started = time.perf_counter()
+    report = stream_load(dataset.default_graph, text)
+    elapsed = time.perf_counter() - started
+    row = {"metric": "bulk_load", "triples": report.triples_added,
+           "batches": report.batches, "seconds": round(elapsed, 4),
+           "triples_per_second": round(report.triples_added / elapsed, 1)}
+    return row, dataset
+
+
+def bench_checkpoint(dataset: Dataset, directory: str, parse_seconds: float):
+    path = os.path.join(directory, "bench.kgck")
+    started = time.perf_counter()
+    info = write_checkpoint(dataset, path)
+    write_elapsed = time.perf_counter() - started
+    write_row = {"metric": "checkpoint_write", "triples": info.triples,
+                 "bytes": info.bytes, "seconds": round(write_elapsed, 4),
+                 "triples_per_second": round(info.triples / write_elapsed, 1)}
+    (restored, _, _), restore_elapsed = _best_of(lambda: read_checkpoint(path))
+    assert len(restored) == len(dataset)
+    restore_row = {"metric": "checkpoint_restore", "triples": len(restored),
+                   "seconds": round(restore_elapsed, 4),
+                   "triples_per_second": round(len(restored) / restore_elapsed, 1),
+                   "restore_speedup_vs_parse": round(parse_seconds / restore_elapsed, 2)}
+    return write_row, restore_row
+
+
+def bench_wal_replay(triples: List[Triple], directory: str,
+                     batch: int = 50) -> Dict[str, object]:
+    """Commit the KG through the WAL in batches, then time recovery."""
+    wal_dir = os.path.join(directory, "wal-bench")
+    engine = StorageEngine(wal_dir)
+    graph = engine.open().default_graph
+    subset = triples[: min(len(triples), 20_000)]
+    for start in range(0, len(subset), batch):
+        graph.add_all(subset[start:start + batch])
+    commits = engine._wal.commits
+    wal_bytes = engine._wal.size_bytes()
+    engine.close()
+    replay = StorageEngine(wal_dir)
+    started = time.perf_counter()
+    recovered = replay.open()
+    elapsed = time.perf_counter() - started
+    row = {"metric": "wal_replay", "transactions": replay.recovered_transactions,
+           "ops": replay.recovered_ops, "wal_bytes": wal_bytes,
+           "seconds": round(elapsed, 4),
+           "ops_per_second": round(replay.recovered_ops / elapsed, 1)}
+    assert replay.recovered_transactions == commits
+    assert len(recovered.default_graph) == len(graph)
+    replay.close()
+    return row
+
+
+def run(triple_count: int) -> Dict[str, object]:
+    directory = tempfile.mkdtemp(prefix="kgnet-bench-persist-")
+    try:
+        triples = build_triples(triple_count)
+        source = Dataset()
+        source.default_graph.add_all(triples)
+        text = serialize_ntriples(source.default_graph)
+
+        parse_row, parse_seconds = bench_parse(text)
+        bulk_row, dataset = bench_bulk_load(text)
+        write_row, restore_row = bench_checkpoint(dataset, directory,
+                                                  parse_seconds)
+        replay_row = bench_wal_replay(triples, directory)
+        return {
+            "benchmark": "persistence",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": ".".join(map(str, sys.version_info[:3])),
+            "kg_triples": len(source.default_graph),
+            "results": [parse_row, bulk_row, write_row, restore_row,
+                        replay_row],
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def append_trajectory(record: Dict[str, object]) -> None:
+    trajectory: List[Dict[str, object]] = []
+    if os.path.exists(TRAJECTORY_PATH):
+        try:
+            with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+                trajectory = json.load(handle)
+        except (ValueError, OSError):
+            trajectory = []
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 10k triples")
+    parser.add_argument("--triples", type=int, default=None,
+                        help="KG size (default 100000, smoke 10000)")
+    args = parser.parse_args(argv)
+    count = args.triples if args.triples is not None else (
+        10_000 if args.smoke else 100_000)
+
+    record = run(count)
+    append_trajectory(record)
+
+    rows: List[Dict[str, object]] = []
+    headers: List[str] = ["metric"]
+    for result in record["results"]:
+        rows.append(dict(result))
+        for key in result:
+            if key not in headers:
+                headers.append(key)
+    save_report("bench_persistence",
+                f"Durable storage benchmark ({record['kg_triples']} triples)",
+                rows, headers=headers)
+    print(f"trajectory appended to {TRAJECTORY_PATH}")
+    speedup = record["results"][3]["restore_speedup_vs_parse"]
+    print(f"checkpoint restore is {speedup}x faster than re-parsing Turtle")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.kgnet.kgmeta.governor import ModelMetadata
 from repro.kgnet.meta_sampler import MetaSamplingConfig
 from repro.kgnet.platform import KGNet
 from repro.kgnet.sparqlml.service import DeleteReport, SelectReport, TrainReport
+from repro.storage import StorageEngine
 
 __all__ = [
     "__version__",
@@ -48,6 +49,7 @@ __all__ = [
     "MetaSamplingConfig",
     "ModelMetadata",
     "SelectReport",
+    "StorageEngine",
     "TaskBudget",
     "TaskSpec",
     "TaskType",

@@ -155,3 +155,16 @@ class UnknownOperationError(APIError):
 
 class CursorError(APIError):
     """A pagination cursor is unknown, expired, or already consumed."""
+
+
+# ---------------------------------------------------------------------------
+# Durable storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(KGNetError):
+    """Base class for errors raised by the durable storage engine."""
+
+
+class CorruptCheckpointError(StorageError):
+    """A checkpoint file is unreadable: bad magic, length, or CRC."""

@@ -54,6 +54,9 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     X.InferenceError: "INFERENCE_ERROR",
     X.KGMetaError: "KGMETA_ERROR",
     X.SPARQLMLError: "SPARQLML_ERROR",
+    # Durable storage
+    X.StorageError: "STORAGE_ERROR",
+    X.CorruptCheckpointError: "CORRUPT_CHECKPOINT",
     # Service API
     X.APIError: "API_ERROR",
     X.BadRequestError: "BAD_REQUEST",

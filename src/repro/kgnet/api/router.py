@@ -156,11 +156,15 @@ class APIRouter:
     """Dispatches versioned envelopes to the platform's services."""
 
     def __init__(self, endpoint: SPARQLEndpoint, gmlaas: GMLaaS,
-                 governor: KGMetaGovernor, sparqlml: SPARQLMLService) -> None:
+                 governor: KGMetaGovernor, sparqlml: SPARQLMLService,
+                 storage=None) -> None:
         self.endpoint = endpoint
         self.gmlaas = gmlaas
         self.governor = governor
         self.sparqlml = sparqlml
+        #: Optional :class:`repro.storage.engine.StorageEngine` backing the
+        #: endpoint's dataset; enables the ``admin/*`` persistence routes.
+        self.storage = storage
         self._metrics: Dict[str, RouteMetrics] = {}
         self._metrics_lock = threading.Lock()
         self._cursors: "OrderedDict[str, List[object]]" = OrderedDict()
@@ -194,6 +198,9 @@ class APIRouter:
             "delete_models": self._handle_delete_models,
             "stats": self._handle_stats,
             "metrics": self._handle_metrics,
+            "admin/persist": self._handle_admin_persist,
+            "admin/restore": self._handle_admin_restore,
+            "admin/bulk_load": self._handle_admin_bulk_load,
         }
         #: Accepted param keys per op; anything else is rejected so typo'd
         #: options fail loudly instead of being silently ignored.
@@ -219,6 +226,9 @@ class APIRouter:
             "delete_models": frozenset({"query"}),
             "stats": frozenset(),
             "metrics": frozenset(),
+            "admin/persist": frozenset(),
+            "admin/restore": frozenset(),
+            "admin/bulk_load": frozenset({"turtle", "graph_iri", "batch_size"}),
         }
 
     # ------------------------------------------------------------------
@@ -596,5 +606,71 @@ class APIRouter:
 
     def _handle_metrics(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         metrics = self.metrics()
-        return {"routes": metrics,
-                "inference_coalescing": self.coalescing_stats()}, metrics
+        payload = {"routes": metrics,
+                   "inference_coalescing": self.coalescing_stats()}
+        if self.storage is not None:
+            payload["storage"] = self.storage.stats()
+        return payload, metrics
+
+    # ------------------------------------------------------------------
+    # Durable storage administration
+    # ------------------------------------------------------------------
+    def _require_storage(self):
+        if self.storage is None:
+            raise BadRequestError(
+                "no storage engine configured: construct the platform/router "
+                "with a repro.storage.StorageEngine to use admin/* routes")
+        return self.storage
+
+    def _handle_admin_persist(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        """Checkpoint the dataset and rotate the WAL (log compaction)."""
+        storage = self._require_storage()
+        info = storage.checkpoint()
+        result = {"checkpoint": info.as_dict(), "storage": storage.stats()}
+        return result, info
+
+    def _handle_admin_restore(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        """Recover the dataset from disk and swap it into the endpoint."""
+        storage = self._require_storage()
+        started = time.perf_counter()
+        dataset = storage.reopen()
+        self.endpoint.replace_dataset(dataset)
+        result = {
+            "restored_triples": len(dataset),
+            "named_graphs": sum(1 for _ in dataset.named_graphs()),
+            "recovered_transactions": storage.recovered_transactions,
+            "recovered_ops": storage.recovered_ops,
+            "seconds": round(time.perf_counter() - started, 6),
+            "storage": storage.stats(),
+        }
+        return result, dataset
+
+    def _handle_admin_bulk_load(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        """Stream Turtle/N-Triples into the store, then checkpoint."""
+        storage = self._require_storage()
+        text = _require(params, "turtle")
+        if not isinstance(text, str):
+            raise BadRequestError("'turtle' must be a Turtle/N-Triples string")
+        kwargs: Dict[str, object] = {}
+        graph_iri = None
+        if params.get("graph_iri") is not None:
+            graph_iri = _as_iri_text(params["graph_iri"], "graph_iri")
+            kwargs["graph_iri"] = graph_iri
+        if params.get("batch_size") is not None:
+            try:
+                batch_size = int(params["batch_size"])
+            except (TypeError, ValueError):
+                raise BadRequestError("'batch_size' must be an integer")
+            if batch_size <= 0:
+                raise BadRequestError("'batch_size' must be positive")
+            kwargs["batch_size"] = batch_size
+        report = storage.bulk_load(text, **kwargs)
+        result = dict(report.as_dict())
+        # graph_triples counts the *target* graph (named or default);
+        # total_triples is the whole dataset, so the two reconcile no
+        # matter where the load landed.
+        dataset = self.endpoint.dataset
+        target = dataset.graph(graph_iri) if graph_iri else dataset.default_graph
+        result["graph_triples"] = len(target)
+        result["total_triples"] = len(dataset)
+        return result, report

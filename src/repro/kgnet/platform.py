@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.exceptions import PlatformError
 from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
 from repro.kgnet.api.client import APIClient
@@ -59,7 +60,27 @@ class KGNet:
 
     def __init__(self, endpoint: Optional[SPARQLEndpoint] = None,
                  training_config: Optional[TrainingManagerConfig] = None,
-                 model_directory: Optional[str] = None) -> None:
+                 model_directory: Optional[str] = None,
+                 storage=None) -> None:
+        #: Optional :class:`repro.storage.engine.StorageEngine`.  When given
+        #: (and no explicit endpoint), the endpoint is built over the
+        #: engine's recovered dataset, every write commits through its WAL,
+        #: and the ``admin/persist`` / ``admin/restore`` / ``admin/bulk_load``
+        #: routes come alive.
+        self.storage = storage
+        if storage is not None:
+            dataset = storage.open()
+            if endpoint is None:
+                endpoint = SPARQLEndpoint(dataset=dataset)
+            elif endpoint.dataset is not dataset:
+                # An endpoint over some *other* dataset next to a storage
+                # engine is a silent no-durability trap: nothing the caller
+                # writes would ever reach the WAL, while admin/restore would
+                # clobber their data with the unrelated on-disk state.
+                raise PlatformError(
+                    "endpoint and storage are not wired together: either "
+                    "pass only storage=, or build the endpoint over "
+                    "storage.open()'s dataset")
         self.endpoint = endpoint or SPARQLEndpoint()
         self.gmlaas = GMLaaS(config=training_config, model_directory=model_directory)
         self.governor = KGMetaGovernor(self.endpoint)
@@ -67,7 +88,7 @@ class KGNet:
         self.meta_sampler = MetaSampler()
         #: The versioned service API every facade method dispatches through.
         self.api = APIRouter(self.endpoint, self.gmlaas, self.governor,
-                             self.sparqlml)
+                             self.sparqlml, storage=storage)
         #: A JSON-only client bound to the same router (transport-agnostic).
         self.client = APIClient.for_router(self.api)
 

@@ -43,6 +43,7 @@ from repro.rdf.graph import Graph, GraphSnapshot, ReadOnlyGraphView
 from repro.rdf.dataset import Dataset, DatasetSnapshot
 from repro.rdf.io import (
     dump_graph,
+    iter_turtle,
     load_graph,
     parse_ntriples,
     parse_turtle,
@@ -81,6 +82,7 @@ __all__ = [
     "DatasetSnapshot",
     "parse_turtle",
     "parse_ntriples",
+    "iter_turtle",
     "serialize_turtle",
     "serialize_ntriples",
     "load_graph",

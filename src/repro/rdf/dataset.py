@@ -280,10 +280,15 @@ class Dataset:
     and one write lock, so dataset-wide mutations commit atomically.
     """
 
-    def __init__(self, namespaces: Optional[NamespaceManager] = None) -> None:
+    def __init__(self, namespaces: Optional[NamespaceManager] = None,
+                 dictionary: Optional[TermDictionary] = None,
+                 lock: Optional[threading.RLock] = None) -> None:
         self.namespaces = namespaces or NamespaceManager()
-        self._dictionary = TermDictionary()
-        self._lock = threading.RLock()
+        self._dictionary = dictionary if dictionary is not None else TermDictionary()
+        # The storage engine passes a journalled lock here so that releasing
+        # the outermost write hold becomes the WAL commit point; any object
+        # with RLock semantics works.
+        self._lock = lock if lock is not None else threading.RLock()
         self._default = Graph(namespaces=self.namespaces,
                               dictionary=self._dictionary, lock=self._lock)
         self._named: Dict[IRI, Graph] = {}
@@ -291,6 +296,9 @@ class Dataset:
         # epoch token below cannot collide across structural changes.
         self._generation = 0
         self._snapshot_cache: Optional[DatasetSnapshot] = None
+        #: Optional write-ahead journal shared by every graph (duck-typed;
+        #: attached by :class:`repro.storage.engine.StorageEngine`).
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Graph management
@@ -303,6 +311,25 @@ class Dataset:
     def write_lock(self) -> threading.RLock:
         """The re-entrant lock shared by every graph in the dataset."""
         return self._lock
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term interning table shared by every graph in the dataset."""
+        return self._dictionary
+
+    def attach_journal(self, journal) -> None:
+        """Attach (or with ``None`` detach) a write-ahead journal.
+
+        The journal observes every committed mutation of every graph —
+        current and future — in the dataset; the storage engine uses it to
+        make the dataset recoverable.  Attachment happens under the write
+        lock so it can never tear an in-flight transaction.
+        """
+        with self._lock:
+            self._journal = journal
+            self._default._journal = journal
+            for graph in self._named.values():
+                graph._journal = journal
 
     def graph(self, identifier: Optional[object] = None, create: bool = True) -> Graph:
         """Return the graph named ``identifier`` (or the default graph).
@@ -320,11 +347,15 @@ class Dataset:
             if identifier not in self._named:
                 if not create:
                     raise RDFError(f"unknown named graph {identifier.value!r}")
-                self._named[identifier] = Graph(identifier=identifier,
-                                                namespaces=self.namespaces,
-                                                dictionary=self._dictionary,
-                                                lock=self._lock)
+                graph = Graph(identifier=identifier,
+                              namespaces=self.namespaces,
+                              dictionary=self._dictionary,
+                              lock=self._lock)
+                graph._journal = self._journal
+                self._named[identifier] = graph
                 self._generation += 1
+                if self._journal is not None:
+                    self._journal.log_create(identifier)
             return self._named[identifier]
 
     def has_graph(self, identifier: object) -> bool:
@@ -340,6 +371,8 @@ class Dataset:
             existed = self._named.pop(identifier, None) is not None
             if existed:
                 self._generation += 1
+                if self._journal is not None:
+                    self._journal.log_drop(identifier)
             return existed
 
     def epoch(self) -> Tuple[int, int]:

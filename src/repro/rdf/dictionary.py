@@ -73,6 +73,23 @@ class TermDictionary:
     def encode_triple(self, s: Term, p: Term, o: Term) -> Tuple[int, int, int]:
         return self.encode(s), self.encode(p), self.encode(o)
 
+    @classmethod
+    def restore(cls, terms: Iterable[Term]) -> "TermDictionary":
+        """Rebuild a dictionary from an ordered id → term table in one pass.
+
+        This is the checkpoint-restore fast path: the id of each term is its
+        position in ``terms`` (exactly how a checkpoint serialises the
+        table), so the whole dictionary comes back with one list copy and
+        one dict comprehension — no per-term ``encode`` calls, no stripe
+        locking, no re-interning.
+        """
+        dictionary = cls()
+        dictionary._id_to_term = table = list(terms)
+        # dict(zip(...)) runs the whole reverse-map build in C; only the
+        # term hashing itself stays Python-level.
+        dictionary._term_to_id = dict(zip(table, range(len(table))))
+        return dictionary
+
     def lookup(self, term: Term) -> Optional[int]:
         """Return the id for ``term`` without interning; None when unseen.
 

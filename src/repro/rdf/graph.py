@@ -134,6 +134,11 @@ class Graph:
         #: before that every container is owned and the write path skips the
         #: ownership bookkeeping entirely (the bulk-load fast path).
         self._fresh: Optional[Set[int]] = None
+        #: Optional write-ahead journal (duck-typed; see ``repro.storage``).
+        #: When set, every committed mutation is logged so the dataset can be
+        #: recovered after a crash.  ``None`` keeps the store purely in-memory
+        #: with zero overhead on the write path.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Dictionary / epoch access
@@ -264,6 +269,19 @@ class Graph:
             return self._add_ids(si, pi, oi)
 
     def _add_ids(self, si: int, pi: int, oi: int) -> bool:
+        if not self._insert_ids(si, pi, oi):
+            return False
+        self._epoch += 1
+        if self._journal is not None:
+            self._journal.log_add(self.identifier, si, pi, oi)
+        return True
+
+    def _insert_ids(self, si: int, pi: int, oi: int) -> bool:
+        """Index insertion without the epoch bump or journal record.
+
+        The bulk-load path commits many of these under one epoch bump; the
+        regular :meth:`_add_ids` path adds the per-mutation bookkeeping.
+        """
         # Duplicate probe against the (possibly still shared) bucket first:
         # a no-op add must not copy anything.
         by_pred = self._spo.get(si)
@@ -275,11 +293,106 @@ class Graph:
         self._owned_set(self._owned_dict(self._pos, pi), oi).add(si)
         self._owned_set(self._owned_dict(self._osp, oi), si).add(pi)
         self._size += 1
-        self._epoch += 1
         for counts, key in ((self._s_counts, si), (self._p_counts, pi),
                             (self._o_counts, oi)):
             counts[key] = counts.get(key, 0) + 1
         return True
+
+    def bulk_add_ids(self, id_triples: Iterable[Tuple[int, int, int]]) -> int:
+        """Bulk-insert already-encoded id triples with ONE epoch bump.
+
+        This is the streaming bulk loader's and the checkpoint restorer's
+        entry point: per-triple epoch bumps (and their snapshot/plan-cache
+        invalidations) are skipped — the whole batch commits as a single
+        epoch.  The batch deliberately bypasses the write-ahead journal;
+        durable bulk loads go through
+        :meth:`repro.storage.engine.StorageEngine.bulk_load`, which
+        checkpoints after the load instead of logging per triple.
+        """
+        added = 0
+        with self._lock:
+            self._prepare_write()
+            if self._fresh is None:
+                added = self._bulk_insert_fast(id_triples)
+            else:
+                insert = self._insert_ids
+                for si, pi, oi in id_triples:
+                    if insert(si, pi, oi):
+                        added += 1
+            if added:
+                self._epoch += 1
+        return added
+
+    def _adopt_indexes(self, spo: _Index, pos: _Index, osp: _Index,
+                       s_counts: Dict[int, int], p_counts: Dict[int, int],
+                       o_counts: Dict[int, int], size: int) -> int:
+        """Adopt fully-materialised indexes wholesale (checkpoint restore).
+
+        The checkpoint reader hands over freshly deserialised, CRC-verified
+        containers that were produced from a live graph's own indexes — so
+        no per-triple validation, duplicate probing or counter maintenance
+        happens here at all: the graph simply takes ownership.  This is what
+        makes restoring a checkpoint an order of magnitude cheaper than
+        re-inserting the triples.  Only valid on an empty graph.
+        """
+        with self._lock:
+            if self._size:
+                raise RDFError("_adopt_indexes requires an empty graph")
+            self._prepare_write()
+            self._spo = spo
+            self._pos = pos
+            self._osp = osp
+            self._s_counts = s_counts
+            self._p_counts = p_counts
+            self._o_counts = o_counts
+            self._size = size
+            if size:
+                self._epoch += 1
+        return size
+
+    def _bulk_insert_fast(self, id_triples: Iterable[Tuple[int, int, int]]) -> int:
+        """Tight insertion loop for a graph with no pinned snapshot.
+
+        Every container is owned (``_fresh is None``), so the copy-on-write
+        helpers reduce to plain dict probes — inlined here because this loop
+        carries checkpoint restore and million-triple bulk loads.
+        """
+        spo, pos, osp = self._spo, self._pos, self._osp
+        s_counts, p_counts, o_counts = (self._s_counts, self._p_counts,
+                                        self._o_counts)
+        added = 0
+        for si, pi, oi in id_triples:
+            by_pred = spo.get(si)
+            if by_pred is None:
+                by_pred = spo[si] = {}
+                objects = by_pred[pi] = set()
+            else:
+                objects = by_pred.get(pi)
+                if objects is None:
+                    objects = by_pred[pi] = set()
+                elif oi in objects:
+                    continue
+            objects.add(oi)
+            by_obj = pos.get(pi)
+            if by_obj is None:
+                by_obj = pos[pi] = {}
+            subjects = by_obj.get(oi)
+            if subjects is None:
+                subjects = by_obj[oi] = set()
+            subjects.add(si)
+            by_subj = osp.get(oi)
+            if by_subj is None:
+                by_subj = osp[oi] = {}
+            preds = by_subj.get(si)
+            if preds is None:
+                preds = by_subj[si] = set()
+            preds.add(pi)
+            added += 1
+            s_counts[si] = s_counts.get(si, 0) + 1
+            p_counts[pi] = p_counts.get(pi, 0) + 1
+            o_counts[oi] = o_counts.get(oi, 0) + 1
+        self._size += added
+        return added
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number of newly inserted triples.
@@ -366,9 +479,13 @@ class Graph:
                 counts[key] = remaining
             else:
                 del counts[key]
+        if self._journal is not None:
+            self._journal.log_remove(self.identifier, si, pi, oi)
 
     def clear(self) -> None:
         with self._lock:
+            if self._journal is not None and self._size:
+                self._journal.log_clear(self.identifier)
             # Fresh containers instead of ``.clear()``: a pinned snapshot may
             # still be reading the old ones.
             self._spo = {}
@@ -731,6 +848,7 @@ class GraphSnapshot(Graph):
         snap._snapshot_cache = None
         snap._cow_pending = False
         snap._fresh = None
+        snap._journal = None  # snapshots are immutable: nothing to journal
         return snap
 
     def snapshot(self) -> "GraphSnapshot":
@@ -748,6 +866,7 @@ class GraphSnapshot(Graph):
     clear = _readonly
     _add_ids = _readonly
     _discard_ids = _readonly
+    bulk_add_ids = _readonly
     __iadd__ = _readonly
 
     def __repr__(self) -> str:

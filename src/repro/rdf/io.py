@@ -8,10 +8,13 @@ reproduction's knowledge graphs:
 * literals with datatypes, language tags, and the numeric / boolean shortcuts,
 * ``a`` as shorthand for ``rdf:type``,
 * predicate lists (``;``) and object lists (``,``),
-* blank node labels (``_:b1``) — but not anonymous ``[...]`` syntax,
+* blank node labels (``_:b1``) and anonymous blank nodes (``[...]``,
+  including nested predicate lists inside the brackets),
 * comments (``# ...``).
 
 That subset is a strict superset of N-Triples, so the same parser reads both.
+Genuinely unsupported syntax (RDF collections ``(...)``, ``'``-quoted or
+triple-quoted literals) raises a :class:`~repro.exceptions.ParseError`.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.rdf.terms import (
 __all__ = [
     "parse_turtle",
     "parse_ntriples",
+    "iter_turtle",
     "serialize_ntriples",
     "serialize_turtle",
     "load_graph",
@@ -115,6 +119,9 @@ class _TurtleParser:
         self.pos = 0
         self.namespaces = namespaces or NamespaceManager()
         self.base: Optional[str] = None
+        #: Triples produced while parsing anonymous blank nodes (``[...]``);
+        #: drained into the statement's output after each top-level triple.
+        self._pending: List[Triple] = []
 
     # -- token helpers ------------------------------------------------------
     def _peek(self) -> Optional[_Token]:
@@ -167,13 +174,29 @@ class _TurtleParser:
         if token is not None and token.kind == "punct" and token.value == ".":
             self._next()
 
+    def _drain_pending(self) -> Iterator[Triple]:
+        if self._pending:
+            pending, self._pending = self._pending, []
+            yield from pending
+
     def _parse_statement(self) -> Iterator[Triple]:
+        token = self._peek()
+        anon_subject = token is not None and token.kind == "punct" and token.value == "["
         subject = self._parse_term(position="subject")
+        if anon_subject:
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.value == ".":
+                # A blank node property list can be a whole statement:
+                # ``[ :p :o ] .`` — the bracketed triples are the statement.
+                self._next()
+                yield from self._drain_pending()
+                return
         while True:
             predicate = self._parse_term(position="predicate")
             while True:
                 obj = self._parse_term(position="object")
                 yield Triple(subject, predicate, obj)
+                yield from self._drain_pending()
                 token = self._peek()
                 if token is not None and token.kind == "punct" and token.value == ",":
                     self._next()
@@ -191,8 +214,47 @@ class _TurtleParser:
             self._expect_punct(".")
             return
 
+    def _parse_anon_body(self, line: int) -> BNode:
+        """Parse ``[...]`` (the ``[`` is already consumed) into a fresh BNode.
+
+        The predicate list inside the brackets (which may nest further
+        anonymous nodes) is buffered on ``self._pending``; the caller drains
+        it into the statement's triple stream.
+        """
+        node = BNode()
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.value == "]":
+            self._next()  # empty anonymous node: []
+            return node
+        while True:
+            predicate = self._parse_term(position="predicate")
+            while True:
+                obj = self._parse_term(position="object")
+                self._pending.append(Triple(node, predicate, obj))
+                token = self._peek()
+                if token is not None and token.kind == "punct" and token.value == ",":
+                    self._next()
+                    continue
+                break
+            token = self._peek()
+            if token is not None and token.kind == "punct" and token.value == ";":
+                self._next()
+                nxt = self._peek()
+                # A dangling ';' before ']' is legal, as before '.'.
+                if nxt is not None and nxt.kind == "punct" and nxt.value == "]":
+                    self._next()
+                    return node
+                continue
+            self._expect_punct("]")
+            return node
+
     def _parse_term(self, position: str) -> Term:
         token = self._next()
+        if token.kind == "punct" and token.value == "[":
+            if position == "predicate":
+                raise ParseError("an anonymous blank node cannot be a predicate",
+                                 line=token.line)
+            return self._parse_anon_body(token.line)
         if token.kind == "iri":
             value = token.value[1:-1]
             if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
@@ -244,6 +306,20 @@ def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
     parser = _TurtleParser(text, namespaces=graph.namespaces)
     graph.add_all(parser.parse())
     return graph
+
+
+def iter_turtle(text: str,
+                namespaces: Optional[NamespaceManager] = None) -> Iterator[Triple]:
+    """Stream triples out of Turtle-lite ``text`` without building a graph.
+
+    This is the parser entry point the streaming bulk loader
+    (:mod:`repro.storage.bulkload`) feeds from: triples come out one at a
+    time as the recursive-descent parser produces them, so a caller can
+    batch them straight into id-space indexes instead of materialising a
+    triple list (or an intermediate :class:`Graph`) first.
+    """
+    parser = _TurtleParser(text, namespaces=namespaces)
+    return parser.parse()
 
 
 def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import itertools
 import re
+import uuid
 from typing import Iterator, NamedTuple, Optional, Tuple, Union
 
 from repro.exceptions import TermError
@@ -35,6 +36,12 @@ __all__ = [
 _IRI_FORBIDDEN = re.compile(r"[<>\"{}|^`\\\x00-\x20]")
 
 _BNODE_COUNTER = itertools.count()
+
+#: Process-unique prefix for generated blank node labels.  A bare counter
+#: restarts at zero in every process — fatal once graphs are *persisted*
+#: (checkpoint/WAL store raw labels): a fresh process parsing ``[...]``
+#: would mint ``b0`` again and silently merge with a recovered bnode.
+_BNODE_PREFIX = f"b{uuid.uuid4().hex[:8]}n"
 
 
 class Term:
@@ -251,7 +258,7 @@ class BNode(Term):
 
     def __init__(self, node_id: Optional[str] = None) -> None:
         if node_id is None:
-            node_id = f"b{next(_BNODE_COUNTER)}"
+            node_id = f"{_BNODE_PREFIX}{next(_BNODE_COUNTER)}"
         if not isinstance(node_id, str) or not node_id:
             raise TermError(f"blank node id must be a non-empty string, got {node_id!r}")
         object.__setattr__(self, "id", node_id)

@@ -168,7 +168,10 @@ class SPARQLEndpoint:
     def __init__(self, dataset: Optional[Dataset] = None,
                  namespaces: Optional[NamespaceManager] = None,
                  optimize_joins: bool = True) -> None:
-        self.dataset = dataset or Dataset(namespaces=namespaces)
+        # `dataset or ...` would discard an *empty* dataset (len() == 0 is
+        # falsy) — fatal for the storage engine, which hands over a freshly
+        # recovered, possibly empty dataset whose identity must be kept.
+        self.dataset = dataset if dataset is not None else Dataset(namespaces=namespaces)
         self.namespaces = self.dataset.namespaces
         self.udfs = UDFRegistry()
         self.optimize_joins = optimize_joins
@@ -200,6 +203,18 @@ class SPARQLEndpoint:
 
     def named_graph(self, graph_iri: Union[str, IRI]) -> Graph:
         return self.dataset.graph(graph_iri)
+
+    def replace_dataset(self, dataset: Dataset) -> None:
+        """Swap in a different dataset (the storage engine's restore path).
+
+        Every compiled plan and cached union belongs to the old dataset's
+        graphs and epoch tokens, so the plan cache is cleared wholesale —
+        the new dataset's epoch counters restart and could otherwise collide
+        with cached tokens.  Parses are cheap to redo; stale ids are not.
+        """
+        self.dataset = dataset
+        self.namespaces = dataset.namespaces
+        self.plan_cache.clear()
 
     def register_udf(self, name: str, function: Callable[..., object],
                      aliases: Optional[List[str]] = None) -> None:

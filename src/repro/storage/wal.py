@@ -1,0 +1,326 @@
+"""The write-ahead log: per-epoch redo records with fsync-on-commit.
+
+The WAL is the durable half of the snapshot-isolation design from the
+concurrency layer: writers already serialise on the dataset-shared write
+lock and readers key on the epoch bump at lock release — so the release of
+the *outermost* lock hold is the natural commit point, and that is exactly
+where the log forces its records to disk.  :class:`WriteAheadLog` implements
+the journal protocol the RDF layer calls into
+(``log_add`` / ``log_remove`` / ``log_clear`` / ``log_create`` /
+``log_drop`` / ``commit``):
+
+* every mutation appends one CRC-framed record to an in-memory buffer
+  (ids are decoded to full terms through the shared
+  :class:`~repro.rdf.dictionary.TermDictionary`, so replay does not depend
+  on the dictionary's id assignment surviving the crash),
+* ``commit()`` — called by the journalled lock while the writer still holds
+  it — stamps the transaction with a monotonically increasing sequence
+  number, writes buffer + commit record in one ``write()``, flushes, and
+  ``fsync``\\ s.  A transaction is durable if and only if its commit record
+  is fully on disk,
+* :func:`iter_transactions` replays the log: it yields each *committed*
+  transaction in order and stops at the first truncated or corrupt frame.
+  Records after the last intact commit marker — a torn write, a half-flushed
+  transaction, garbage from a dying disk — are dropped wholesale, never
+  partially applied.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.exceptions import StorageError
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Term, Triple
+from repro.storage.format import (
+    decode_string,
+    decode_term,
+    decode_varint,
+    encode_frame,
+    encode_string,
+    encode_term,
+    encode_varint,
+    fsync_directory,
+    iter_frames,
+)
+
+__all__ = ["WalOp", "WriteAheadLog", "iter_transactions"]
+
+#: Record kinds (first payload byte).  Append-only.
+_OP_ADD = ord("A")
+_OP_REMOVE = ord("R")
+_OP_CLEAR = ord("C")
+_OP_CREATE = ord("G")
+_OP_DROP = ord("D")
+_OP_COMMIT = ord("T")
+
+_KIND_NAMES = {
+    _OP_ADD: "add",
+    _OP_REMOVE: "remove",
+    _OP_CLEAR: "clear",
+    _OP_CREATE: "create",
+    _OP_DROP: "drop",
+}
+
+
+class WalOp(NamedTuple):
+    """One replayable operation: ``kind`` + target graph + optional triple."""
+
+    kind: str                     # "add" | "remove" | "clear" | "create" | "drop"
+    graph: Optional[IRI]          # None = the default graph
+    triple: Optional[Triple]      # None for clear/create/drop
+
+
+def _encode_graph_ref(buffer: bytearray, identifier: Optional[IRI]) -> None:
+    if identifier is None:
+        buffer.append(0)
+    else:
+        buffer.append(1)
+        encode_string(buffer, identifier.value)
+
+
+def _decode_graph_ref(data: bytes, offset: int) -> Tuple[Optional[IRI], int]:
+    if offset >= len(data):
+        raise StorageError("truncated graph reference")
+    flag = data[offset]
+    offset += 1
+    if flag == 0:
+        return None, offset
+    value, offset = decode_string(data, offset)
+    return IRI(value), offset
+
+
+class WriteAheadLog:
+    """Appends redo records for one dataset; one instance per engine.
+
+    Writers are already serialised by the dataset write lock, so the
+    internal buffer needs no locking of its own; the ``_lock`` below only
+    protects the file handle against a concurrent :meth:`rotate` /
+    :meth:`close` from an admin route.
+    """
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._dictionary: Optional[TermDictionary] = None
+        self._buffer = bytearray()
+        self._buffered_ops = 0
+        self._handle = None
+        self._lock = threading.Lock()
+        #: Sequence number of the last committed transaction (monotonic).
+        self.last_seq = 0
+        #: Counters surfaced through the engine's stats()/metrics routes.
+        self.commits = 0
+        self.ops_logged = 0
+        self.bytes_written = 0
+        #: Fail-stop latch: set when a commit failed to reach disk.  Once a
+        #: transaction is lost, accepting later commits would produce a log
+        #: whose replay was never any committed prefix of the in-memory
+        #: history — so the WAL refuses all further work until the operator
+        #: recovers (``admin/restore`` / ``StorageEngine.reopen``).
+        self.failed = False
+
+    # -- wiring ------------------------------------------------------------
+    def attach_dictionary(self, dictionary: TermDictionary) -> None:
+        """Bind the dataset's term dictionary (needed to decode logged ids)."""
+        self._dictionary = dictionary
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            existed = os.path.exists(self.path)
+            self._handle = open(self.path, "ab")
+            if not existed:
+                # A freshly created log's directory entry must be durable,
+                # or a crash could drop the whole file (and every commit in
+                # it) despite per-commit fsyncs of the file contents.
+                fsync_directory(os.path.dirname(os.path.abspath(self.path)))
+        return self._handle
+
+    # -- journal protocol (called by Graph/Dataset under the write lock) ---
+    def _check_usable(self) -> None:
+        if self.failed:
+            raise StorageError(
+                "write-ahead log is fail-stopped after a commit failure; "
+                "recover via StorageEngine.reopen() / admin/restore")
+
+    def _log_triple(self, op: int, identifier: Optional[IRI],
+                    si: int, pi: int, oi: int) -> None:
+        self._check_usable()
+        if self._dictionary is None:
+            raise StorageError("WAL has no dictionary attached")
+        decode = self._dictionary.decode
+        payload = bytearray()
+        payload.append(op)
+        _encode_graph_ref(payload, identifier)
+        encode_term(payload, decode(si))
+        encode_term(payload, decode(pi))
+        encode_term(payload, decode(oi))
+        self._buffer += encode_frame(bytes(payload))
+        self._buffered_ops += 1
+
+    def log_add(self, identifier: Optional[IRI], si: int, pi: int, oi: int) -> None:
+        self._log_triple(_OP_ADD, identifier, si, pi, oi)
+
+    def log_remove(self, identifier: Optional[IRI], si: int, pi: int, oi: int) -> None:
+        self._log_triple(_OP_REMOVE, identifier, si, pi, oi)
+
+    def _log_graph_op(self, op: int, identifier: Optional[IRI]) -> None:
+        self._check_usable()
+        payload = bytearray()
+        payload.append(op)
+        _encode_graph_ref(payload, identifier)
+        self._buffer += encode_frame(bytes(payload))
+        self._buffered_ops += 1
+
+    def log_clear(self, identifier: Optional[IRI]) -> None:
+        self._log_graph_op(_OP_CLEAR, identifier)
+
+    def log_create(self, identifier: IRI) -> None:
+        self._log_graph_op(_OP_CREATE, identifier)
+
+    def log_drop(self, identifier: IRI) -> None:
+        self._log_graph_op(_OP_DROP, identifier)
+
+    @property
+    def has_pending(self) -> bool:
+        return self._buffered_ops > 0
+
+    def commit(self) -> Optional[int]:
+        """Force the buffered transaction to disk; returns its sequence.
+
+        Called by the journalled write lock at the release of the outermost
+        hold — i.e. while the committing writer still owns the lock, so
+        commit records hit the log in exactly the order their epochs
+        committed.  A hold that logged nothing (reads also take the lock)
+        is free: no record, no syscall.
+        """
+        if not self._buffered_ops:
+            return None
+        self._check_usable()
+        seq = self.last_seq + 1
+        payload = bytearray()
+        payload.append(_OP_COMMIT)
+        encode_varint(payload, seq)
+        encode_varint(payload, self._buffered_ops)
+        frame = self._buffer + encode_frame(bytes(payload))
+        ops = self._buffered_ops
+        self._buffer = bytearray()
+        self._buffered_ops = 0
+        with self._lock:
+            try:
+                handle = self._ensure_handle()
+                handle.write(frame)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            except Exception:
+                # The transaction may be half on disk and its in-memory
+                # mutations are already visible: fail-stop so no later
+                # commit can paper over the gap (replaying such a log would
+                # yield a state that never existed).
+                self.failed = True
+                raise
+            self.last_seq = seq
+            self.commits += 1
+            self.ops_logged += ops
+            self.bytes_written += len(frame)
+        return seq
+
+    def discard_pending(self) -> int:
+        """Drop buffered, uncommitted records (used when a writer aborts)."""
+        dropped = self._buffered_ops
+        self._buffer = bytearray()
+        self._buffered_ops = 0
+        return dropped
+
+    # -- maintenance -------------------------------------------------------
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def rotate(self) -> None:
+        """Truncate the log (called right after a successful checkpoint).
+
+        Sequence numbers keep increasing across rotations, so a crash
+        between the checkpoint rename and this truncation is harmless:
+        recovery skips replayed transactions whose sequence the checkpoint
+        already covers.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            with open(self.path, "wb") as handle:
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            # rotate() may be the call that CREATES the log (fresh store
+            # whose first operation is a checkpoint): its directory entry
+            # must be durable, or later fsynced commits could vanish with
+            # the file.  _ensure_handle would skip its own directory fsync
+            # afterwards because the file already exists.
+            if self.fsync:
+                fsync_directory(os.path.dirname(os.path.abspath(self.path)))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return (f"<WriteAheadLog {self.path!r} seq={self.last_seq} "
+                f"commits={self.commits}>")
+
+
+def _decode_record(payload: bytes):
+    """Decode one frame payload into a WalOp or a ("commit", seq) marker."""
+    if not payload:
+        raise StorageError("empty WAL record")
+    op = payload[0]
+    offset = 1
+    if op == _OP_COMMIT:
+        seq, offset = decode_varint(payload, offset)
+        return ("commit", seq)
+    kind = _KIND_NAMES.get(op)
+    if kind is None:
+        raise StorageError(f"unknown WAL record kind {op}")
+    identifier, offset = _decode_graph_ref(payload, offset)
+    if op in (_OP_ADD, _OP_REMOVE):
+        s, offset = decode_term(payload, offset)
+        p, offset = decode_term(payload, offset)
+        o, offset = decode_term(payload, offset)
+        return WalOp(kind, identifier, Triple(s, p, o))
+    return WalOp(kind, identifier, None)
+
+
+def iter_transactions(path: str) -> Iterator[Tuple[int, List[WalOp]]]:
+    """Yield ``(seq, ops)`` for every fully committed transaction, in order.
+
+    Tolerates — silently truncates at — a torn or corrupt tail: the scan
+    stops at the first frame that fails its CRC or runs past end-of-file,
+    and any operations buffered since the last commit marker are discarded.
+    A record that frames correctly but does not decode (CRC collision, a
+    record kind from the future) also ends the scan rather than guessing.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return
+    pending: List[WalOp] = []
+    for payload, _ in iter_frames(data):
+        try:
+            record = _decode_record(payload)
+        except Exception:  # noqa: BLE001 — any decode failure ends the scan
+            return
+        if isinstance(record, tuple) and record[0] == "commit":
+            yield record[1], pending
+            pending = []
+        else:
+            pending.append(record)
+    # `pending` non-empty here means a transaction never committed: dropped.

@@ -6,6 +6,7 @@ import pytest
 
 from repro.exceptions import ParseError
 from repro.rdf import (
+    BNode,
     DBLP,
     Graph,
     IRI,
@@ -13,6 +14,7 @@ from repro.rdf import (
     Triple,
     dump_graph,
     load_graph,
+    iter_turtle,
     parse_ntriples,
     parse_turtle,
     serialize_ntriples,
@@ -152,3 +154,93 @@ class TestSerialization:
     def test_generated_kg_roundtrip(self, dblp_graph):
         text = serialize_ntriples(dblp_graph)
         assert parse_ntriples(text) == dblp_graph
+
+
+class TestAnonymousBlankNodes:
+    """The ``[...]`` syntax the parser historically rejected (ISSUE 4)."""
+
+    EX = "http://example.org/"
+
+    def _iri(self, local):
+        return IRI(self.EX + local)
+
+    def test_anon_object(self):
+        graph = parse_turtle(
+            f"<{self.EX}a> <{self.EX}knows> [ <{self.EX}name> \"Bob\" ] .")
+        anon = graph.value(self._iri("a"), self._iri("knows"))
+        assert isinstance(anon, BNode)
+        assert graph.value(anon, self._iri("name")) == Literal("Bob")
+
+    def test_anon_object_with_predicate_list(self):
+        graph = parse_turtle(
+            f"<{self.EX}a> <{self.EX}p> "
+            f"[ <{self.EX}x> 1 ; <{self.EX}y> 2, 3 ] .")
+        anon = graph.value(self._iri("a"), self._iri("p"))
+        assert graph.count(anon, None, None) == 3
+
+    def test_nested_anon_nodes(self):
+        graph = parse_turtle(
+            f"<{self.EX}a> <{self.EX}p> "
+            f"[ <{self.EX}q> [ <{self.EX}r> [ <{self.EX}leaf> true ] ] ] .")
+        assert len(graph) == 4
+        leaf_subjects = list(graph.subjects(self._iri("leaf"), Literal(True)))
+        assert len(leaf_subjects) == 1 and isinstance(leaf_subjects[0], BNode)
+
+    def test_empty_anon_node(self):
+        graph = parse_turtle(f"<{self.EX}a> <{self.EX}p> [] .")
+        assert len(graph) == 1
+        assert isinstance(graph.value(self._iri("a"), self._iri("p")), BNode)
+
+    def test_anon_subject_with_statement(self):
+        graph = parse_turtle(
+            f"[ <{self.EX}inner> 1 ] <{self.EX}outer> <{self.EX}o> .")
+        subject = next(iter(graph.subjects(self._iri("outer"), None)))
+        assert isinstance(subject, BNode)
+        assert graph.value(subject, self._iri("inner")) == Literal(1)
+
+    def test_anon_property_list_as_whole_statement(self):
+        graph = parse_turtle(f"[ <{self.EX}label> \"only\" ; <{self.EX}n> 7 ] .")
+        assert len(graph) == 2
+        subjects = set(graph.subjects())
+        assert len(subjects) == 1 and all(isinstance(s, BNode) for s in subjects)
+
+    def test_each_anon_is_a_distinct_fresh_bnode(self):
+        graph = parse_turtle(
+            f"<{self.EX}a> <{self.EX}p> [], [], [] .")
+        objects = list(graph.objects(self._iri("a"), self._iri("p")))
+        assert len(objects) == 3 and len(set(objects)) == 3
+
+    def test_dangling_semicolon_inside_brackets(self):
+        graph = parse_turtle(f"<{self.EX}a> <{self.EX}p> [ <{self.EX}q> 1 ; ] .")
+        assert len(graph) == 2
+
+    def test_anon_roundtrips_through_serializers(self):
+        graph = parse_turtle(
+            f"<{self.EX}a> <{self.EX}p> [ <{self.EX}q> [ <{self.EX}r> 1 ] ] .")
+        assert parse_ntriples(serialize_ntriples(graph)) == graph
+        assert parse_turtle(serialize_turtle(graph)) == graph
+
+    def test_anon_as_predicate_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f"<{self.EX}a> [ <{self.EX}p> 1 ] <{self.EX}o> .")
+
+    def test_unterminated_brackets_raise(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f"<{self.EX}a> <{self.EX}p> [ <{self.EX}q> 1 .")
+
+    def test_collections_still_unsupported_with_clear_error(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f"<{self.EX}a> <{self.EX}p> ( 1 2 ) .")
+
+
+class TestStreamingIterator:
+    def test_iter_turtle_streams_all_triples(self):
+        triples = list(iter_turtle(SAMPLE_TURTLE))
+        assert len(triples) == len(parse_turtle(SAMPLE_TURTLE))
+
+    def test_iter_turtle_is_lazy(self):
+        iterator = iter_turtle(
+            "<http://e/s> <http://e/p> <http://e/o> , <http://e/o2> .")
+        first = next(iterator)
+        assert first.subject == IRI("http://e/s")
+        assert len(list(iterator)) == 1

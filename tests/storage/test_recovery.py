@@ -1,0 +1,334 @@
+"""Crash-injection tests for the durable storage engine.
+
+The recovery invariant under test (ISSUE 4 acceptance criterion):
+
+    For ANY prefix of a WAL produced by a randomised writer workload,
+    ``StorageEngine.open()`` reconstructs exactly the state at the last
+    committed epoch — never a torn write, never a lost committed epoch.
+
+The harness records a real workload once at module import: every committed
+transaction's exact WAL byte offset is captured together with a canonical
+snapshot of the dataset state at that commit.  The tests then replay
+recovery against
+
+* the WAL truncated at every byte boundary (strided by default, every single
+  byte under ``KGNET_STRESS=1``),
+* the WAL with a byte flipped at hypothesis-chosen positions,
+* a checkpoint + WAL-suffix layout with the same truncation sweep,
+* corrupt / torn checkpoint files,
+
+and assert the recovered state equals the longest committed prefix that
+survives intact on disk.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import random
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CorruptCheckpointError
+from repro.rdf import Dataset, IRI, Literal, Triple
+from repro.sparql import SPARQLEndpoint
+from repro.storage import StorageEngine
+
+STRESS = bool(os.environ.get("KGNET_STRESS"))
+
+EX = "http://example.org/crash/"
+META = IRI(EX + "graph/meta")
+SCRATCH = IRI(EX + "graph/scratch")
+
+#: Canonical dataset state: graph name (None = default) -> frozenset of triples.
+State = Dict[Optional[str], frozenset]
+
+
+def dataset_state(dataset: Dataset) -> State:
+    state: State = {None: frozenset(dataset.default_graph)}
+    for graph in dataset.named_graphs():
+        state[graph.identifier.value] = frozenset(graph)
+    return state
+
+
+def _random_triple(rng: random.Random) -> Triple:
+    return Triple(IRI(EX + f"s{rng.randrange(12)}"),
+                  IRI(EX + f"p{rng.randrange(4)}"),
+                  rng.choice([IRI(EX + f"o{rng.randrange(12)}"),
+                              Literal(rng.randrange(40)),
+                              Literal(f"v{rng.randrange(12)}", language="en")]))
+
+
+def _run_workload(engine: StorageEngine, seed: int = 11,
+                  transactions: int = 14) -> List[Tuple[int, State]]:
+    """Drive a mixed writer workload; record (wal_size, state) per commit.
+
+    The workload deliberately crosses every journalled mutation path: single
+    adds, batched ``add_all``, pattern removes, named-graph create/clear/
+    drop, and multi-operation SPARQL UPDATE requests that must commit
+    atomically as ONE transaction.
+    """
+    rng = random.Random(seed)
+    dataset = engine.dataset
+    endpoint = SPARQLEndpoint(dataset=dataset)
+    default = dataset.default_graph
+    committed: List[Tuple[int, State]] = []
+
+    def record() -> None:
+        committed.append((engine._wal.size_bytes(), dataset_state(dataset)))
+
+    for index in range(transactions):
+        action = index % 7
+        if action in (0, 1):            # single add (one txn each)
+            default.add(_random_triple(rng))
+        elif action == 2:               # batched add_all: one commit
+            default.add_all([_random_triple(rng) for _ in range(rng.randrange(2, 6))])
+        elif action == 3:               # named graph create + add
+            dataset.graph(META)         # txn: create record (first time)
+            record()
+            dataset.graph(META).add(_random_triple(rng))
+        elif action == 4:               # pattern remove (may remove several)
+            default.remove(IRI(EX + f"s{rng.randrange(12)}"), None, None)
+        elif action == 5:               # multi-op SPARQL UPDATE, atomic
+            endpoint.update(
+                f"INSERT DATA {{ <{EX}u{index}> <{EX}p0> "
+                f"\"upd\"@en . <{EX}u{index}> <{EX}p1> 3 . }}")
+        else:                           # scratch graph lifecycle
+            dataset.graph(SCRATCH)      # txn: create record
+            record()
+            dataset.graph(SCRATCH).add(_random_triple(rng))
+            record()
+            dataset.graph(SCRATCH).clear()
+            record()
+            dataset.drop_graph(SCRATCH)
+        record()
+    return committed
+
+
+class _Recording:
+    """One recorded run: checkpoint bytes (optional), WAL bytes, commits."""
+
+    def __init__(self, with_checkpoint: bool) -> None:
+        self.directory = tempfile.mkdtemp(prefix="kgnet-crash-")
+        atexit.register(shutil.rmtree, self.directory, ignore_errors=True)
+        engine = StorageEngine(self.directory)
+        engine.open()
+        if with_checkpoint:
+            # Pre-populate and checkpoint so recovery starts mid-history.
+            engine.dataset.default_graph.add_all(
+                [_random_triple(random.Random(5)) for _ in range(8)])
+            engine.checkpoint()
+        self.base_state = dataset_state(engine.dataset)
+        self.committed = _run_workload(engine)
+        engine.close()
+        with open(engine.wal_path, "rb") as handle:
+            self.wal_bytes = handle.read()
+        self.checkpoint_bytes = None
+        if with_checkpoint:
+            with open(engine.checkpoint_path, "rb") as handle:
+                self.checkpoint_bytes = handle.read()
+        assert self.committed[-1][0] == len(self.wal_bytes)
+
+    def expected_state(self, prefix_length: int) -> State:
+        """The state of the longest committed prefix within ``prefix_length``."""
+        state = self.base_state
+        for offset, committed_state in self.committed:
+            if offset <= prefix_length:
+                state = committed_state
+            else:
+                break
+        return state
+
+    def recover(self, wal_bytes: bytes, tmp_path: str) -> State:
+        directory = os.path.join(tmp_path, "recovered")
+        os.makedirs(directory, exist_ok=True)
+        if self.checkpoint_bytes is not None:
+            with open(os.path.join(directory, "checkpoint.kgck"), "wb") as handle:
+                handle.write(self.checkpoint_bytes)
+        with open(os.path.join(directory, "wal.log"), "wb") as handle:
+            handle.write(wal_bytes)
+        engine = StorageEngine(directory)
+        try:
+            return dataset_state(engine.open())
+        finally:
+            engine.close()
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+_WAL_ONLY = _Recording(with_checkpoint=False)
+_WITH_CKPT = _Recording(with_checkpoint=True)
+
+
+def _truncation_points(recording: _Recording) -> List[int]:
+    """Every byte boundary under stress; strided + all commit edges otherwise."""
+    total = len(recording.wal_bytes)
+    if STRESS:
+        return list(range(total + 1))
+    points = set(range(0, total + 1, 7))
+    points.add(total)
+    for offset, _ in recording.committed:
+        points.update(p for p in (offset - 1, offset, offset + 1)
+                      if 0 <= p <= total)
+    return sorted(points)
+
+
+@pytest.mark.parametrize("cut", _truncation_points(_WAL_ONLY))
+def test_recovery_equals_longest_committed_prefix(cut, tmp_path):
+    """Truncating the WAL at any byte yields exactly the committed prefix."""
+    recovered = _WAL_ONLY.recover(_WAL_ONLY.wal_bytes[:cut], str(tmp_path))
+    assert recovered == _WAL_ONLY.expected_state(cut)
+
+
+@pytest.mark.parametrize("cut", _truncation_points(_WITH_CKPT))
+def test_recovery_with_checkpoint_prefix(cut, tmp_path):
+    """Checkpoint + truncated WAL suffix recovers checkpoint ∪ committed suffix."""
+    recovered = _WITH_CKPT.recover(_WITH_CKPT.wal_bytes[:cut], str(tmp_path))
+    assert recovered == _WITH_CKPT.expected_state(cut)
+
+
+@settings(max_examples=200 if STRESS else 40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_corrupt_byte_never_tears_a_commit(data, tmp_path_factory):
+    """Flipping any single WAL byte loses at most the transactions at/after it.
+
+    The frame containing the flipped byte fails its CRC, recovery stops
+    there, and the result is exactly the longest committed prefix that
+    precedes the damage — bit rot can cost the tail, never consistency.
+    """
+    wal = _WAL_ONLY.wal_bytes
+    position = data.draw(st.integers(min_value=0, max_value=len(wal) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    corrupted = bytearray(wal)
+    corrupted[position] ^= flip
+    tmp = str(tmp_path_factory.mktemp("corrupt"))
+    recovered = _WAL_ONLY.recover(bytes(corrupted), tmp)
+    assert recovered == _WAL_ONLY.expected_state(position)
+
+
+def test_uncommitted_tail_is_dropped(tmp_path):
+    """Ops framed after the last commit marker must not be replayed."""
+    from repro.storage.format import iter_frames
+    # Craft a tail: the first transaction's op frames *without* its commit
+    # marker (strip the final frame — the commit — off the first txn).
+    first_txn = _WAL_ONLY.wal_bytes[:_WAL_ONLY.committed[0][0]]
+    ends = [0] + [end for _, end in iter_frames(first_txn)]
+    tail = first_txn[:ends[-2]]
+    assert tail, "first transaction should contain at least one op frame"
+    recovered = _WAL_ONLY.recover(_WAL_ONLY.wal_bytes + tail, str(tmp_path))
+    assert recovered == _WAL_ONLY.expected_state(len(_WAL_ONLY.wal_bytes))
+
+
+def test_garbage_tail_is_tolerated(tmp_path):
+    recovered = _WAL_ONLY.recover(
+        _WAL_ONLY.wal_bytes + b"\xde\xad\xbe\xef" * 8, str(tmp_path))
+    assert recovered == _WAL_ONLY.expected_state(len(_WAL_ONLY.wal_bytes))
+
+
+def test_corrupt_checkpoint_is_rejected(tmp_path):
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    engine.dataset.default_graph.add(_random_triple(random.Random(1)))
+    engine.checkpoint()
+    engine.close()
+    path = os.path.join(directory, "checkpoint.kgck")
+    with open(path, "r+b") as handle:
+        handle.seek(30)
+        byte = handle.read(1)
+        handle.seek(30)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(CorruptCheckpointError):
+        StorageEngine(directory).open()
+
+
+def test_checkpoint_index_pickles_cannot_execute_code(tmp_path):
+    """The graph-section unpickler must refuse ANY global reference.
+
+    A checkpoint whose index pickle names ``os.system`` (or anything else)
+    must fail closed with CorruptCheckpointError — the restore path may
+    only materialise builtin containers of ints.
+    """
+    import pickle
+
+    from repro.storage.checkpoint import _DataOnlyUnpickler
+    import io as _io
+
+    evil = pickle.dumps((print, "pwned"))
+    with pytest.raises(CorruptCheckpointError):
+        _DataOnlyUnpickler(_io.BytesIO(evil)).load()
+    benign = pickle.dumps(({1: {2: {3}}}, {}, {}, {}, {}, {}, 1))
+    assert _DataOnlyUnpickler(_io.BytesIO(benign)).load()[6] == 1
+
+
+def test_torn_checkpoint_tmp_file_is_ignored(tmp_path):
+    """A crash mid-checkpoint leaves a .tmp sibling; recovery must skip it."""
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    engine.dataset.default_graph.add(_random_triple(random.Random(2)))
+    state = dataset_state(engine.dataset)
+    engine.close()
+    with open(os.path.join(directory, "checkpoint.kgck.tmp"), "wb") as handle:
+        handle.write(b"KGCKPT01 torn half-written checkpoint")
+    engine2 = StorageEngine(directory)
+    assert dataset_state(engine2.open()) == state
+    engine2.close()
+
+
+def test_recovered_engine_keeps_accepting_commits(tmp_path):
+    """Recovery → new writes → recovery again: sequences stay monotonic."""
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    engine.dataset.default_graph.add(Triple(IRI(EX + "a"), IRI(EX + "p0"),
+                                            Literal(1)))
+    seq_before = engine._wal.last_seq
+    engine.close()
+
+    engine2 = StorageEngine(directory)
+    engine2.open()
+    assert engine2._wal.last_seq == seq_before
+    engine2.dataset.default_graph.add(Triple(IRI(EX + "b"), IRI(EX + "p0"),
+                                             Literal(2)))
+    assert engine2._wal.last_seq == seq_before + 1
+    state = dataset_state(engine2.dataset)
+    engine2.close()
+
+    engine3 = StorageEngine(directory)
+    assert dataset_state(engine3.open()) == state
+    engine3.close()
+
+
+def test_checkpoint_then_crash_before_rotation(tmp_path):
+    """Transactions the checkpoint already covers must not replay twice.
+
+    Simulates a crash between the checkpoint rename and the WAL rotation:
+    the WAL still holds transactions whose sequence the checkpoint covers.
+    Replaying a remove twice (or an add after a covered remove) would
+    corrupt the state; the sequence filter must skip them.
+    """
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    graph = engine.dataset.default_graph
+    graph.add(Triple(IRI(EX + "a"), IRI(EX + "p0"), Literal(1)))
+    graph.add(Triple(IRI(EX + "b"), IRI(EX + "p0"), Literal(2)))
+    graph.remove(IRI(EX + "a"), None, None)
+    with open(engine.wal_path, "rb") as handle:
+        wal_with_history = handle.read()
+    engine.checkpoint()
+    state = dataset_state(engine.dataset)
+    engine.close()
+    # Put the pre-checkpoint WAL back, as if rotation never happened.
+    with open(os.path.join(directory, "wal.log"), "wb") as handle:
+        handle.write(wal_with_history)
+    engine2 = StorageEngine(directory)
+    assert dataset_state(engine2.open()) == state
+    assert engine2.recovered_transactions == 0
+    engine2.close()

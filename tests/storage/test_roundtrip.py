@@ -1,0 +1,219 @@
+"""Property-based round-trip tests for serialization and checkpoints.
+
+Two families of invariants, both term-for-term exact (bnodes, language tags
+and datatypes included):
+
+* text round-trips — ``graph → serialize_turtle/ntriples → parse → graph``,
+* binary round-trips — ``dataset → checkpoint → restore → dataset`` and
+  term → :mod:`repro.storage.format` → term.
+
+Seeded by hypothesis-generated graphs plus the golden fixture corpus under
+``tests/fixtures/storage/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    BNode,
+    Dataset,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.storage import read_checkpoint, write_checkpoint
+from repro.storage.format import decode_term, encode_term
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "storage")
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_iri_local = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-~%",
+    min_size=1, max_size=12)
+iris = st.builds(lambda local: IRI("http://example.org/fuzz/" + local), _iri_local)
+
+bnodes = st.builds(BNode, st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=8))
+
+#: Lexical text for literals: printable-ish unicode including the characters
+#: the serializers must escape (quotes, backslashes, newlines, tabs).
+_lexicals = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FFF),
+    max_size=20)
+
+_langs = st.sampled_from(["en", "de", "fr", "en-us", "pt-br"])
+
+literals = st.one_of(
+    st.builds(Literal, _lexicals),
+    st.builds(lambda lex, lang: Literal(lex, language=lang), _lexicals, _langs),
+    st.builds(Literal, st.integers(min_value=-10**9, max_value=10**9)),
+    st.builds(Literal, st.booleans()),
+    st.builds(lambda lex: Literal(lex, datatype=XSD_DOUBLE),
+              st.sampled_from(["1.5", "-2.25", "3.0e2", "0.125"])),
+    st.builds(lambda lex: Literal(lex, datatype=IRI("http://example.org/dt/custom")),
+              _lexicals),
+)
+
+subjects = st.one_of(iris, bnodes)
+objects = st.one_of(iris, bnodes, literals)
+triples = st.builds(Triple, subjects, iris, objects)
+triple_lists = st.lists(triples, max_size=30)
+
+
+def as_set(graph) -> frozenset:
+    return frozenset(graph)
+
+
+# ---------------------------------------------------------------------------
+# Term codec round-trips
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(term=st.one_of(iris, bnodes, literals))
+def test_binary_term_codec_roundtrip(term):
+    buffer = bytearray()
+    encode_term(buffer, term)
+    decoded, offset = decode_term(bytes(buffer), 0)
+    assert offset == len(buffer)
+    assert decoded == term
+    if isinstance(term, Literal):
+        assert decoded.datatype == term.datatype
+        assert decoded.language == term.language
+
+
+# ---------------------------------------------------------------------------
+# Text round-trips
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(items=triple_lists)
+def test_ntriples_roundtrip_is_exact(items):
+    graph = Graph()
+    graph.add_all(items)
+    reparsed = parse_ntriples(serialize_ntriples(graph))
+    assert as_set(reparsed) == as_set(graph)
+
+
+@SETTINGS
+@given(items=triple_lists)
+def test_turtle_roundtrip_is_exact(items):
+    graph = Graph()
+    graph.add_all(items)
+    reparsed = parse_turtle(serialize_turtle(graph))
+    assert as_set(reparsed) == as_set(graph)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint round-trips
+# ---------------------------------------------------------------------------
+
+def _dataset_from(default_items, named_items) -> Dataset:
+    dataset = Dataset()
+    dataset.default_graph.add_all(default_items)
+    named = dataset.graph("http://example.org/fuzz/named")
+    named.add_all(named_items)
+    return dataset
+
+
+@SETTINGS
+@given(default_items=triple_lists, named_items=triple_lists)
+def test_checkpoint_roundtrip_is_exact(default_items, named_items, tmp_path_factory):
+    dataset = _dataset_from(default_items, named_items)
+    path = os.path.join(str(tmp_path_factory.mktemp("ckpt")), "c.kgck")
+    info = write_checkpoint(dataset, path, last_commit_seq=7)
+    restored, seq, rinfo = read_checkpoint(path)
+    assert seq == 7
+    assert info.triples == len(dataset) == rinfo.triples
+    assert as_set(restored.default_graph) == as_set(dataset.default_graph)
+    assert as_set(restored.graph("http://example.org/fuzz/named", create=False)) \
+        == as_set(dataset.graph("http://example.org/fuzz/named"))
+    # The dictionary restores positionally: ids keep their meaning.
+    for term_id, term in dataset.dictionary.items():
+        assert restored.dictionary.decode(term_id) == term
+        assert restored.dictionary.lookup(term) == term_id
+
+
+@SETTINGS
+@given(items=triple_lists)
+def test_restored_graph_answers_id_queries(items, tmp_path_factory):
+    """The restored indexes (SPO/POS/OSP + counters) must agree exactly."""
+    dataset = Dataset()
+    dataset.default_graph.add_all(items)
+    path = os.path.join(str(tmp_path_factory.mktemp("ckpt")), "c.kgck")
+    write_checkpoint(dataset, path)
+    restored, _, _ = read_checkpoint(path)
+    original, recovered = dataset.default_graph, restored.default_graph
+    assert len(recovered) == len(original)
+    assert sorted(original.triples_ids()) == sorted(recovered.triples_ids())
+    for triple in items:
+        pattern = original._encode_pattern(*triple)
+        for masked in ((pattern[0], None, None), (None, pattern[1], None),
+                       (None, None, pattern[2]), pattern):
+            assert original.count_ids(*masked) == recovered.count_ids(*masked)
+
+
+# ---------------------------------------------------------------------------
+# Golden fixture corpus
+# ---------------------------------------------------------------------------
+
+GOLDEN = sorted(name for name in os.listdir(FIXTURES)
+                if name.endswith((".ttl", ".nt")))
+
+
+def test_golden_corpus_is_present():
+    assert len(GOLDEN) >= 3
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_golden_fixture_roundtrips(name, tmp_path):
+    with open(os.path.join(FIXTURES, name), "r", encoding="utf-8") as handle:
+        graph = parse_turtle(handle.read())
+    assert len(graph) > 0
+    assert as_set(parse_ntriples(serialize_ntriples(graph))) == as_set(graph)
+    assert as_set(parse_turtle(serialize_turtle(graph))) == as_set(graph)
+    dataset = Dataset()
+    dataset.default_graph.add_all(graph)
+    path = str(tmp_path / "golden.kgck")
+    write_checkpoint(dataset, path)
+    restored, _, _ = read_checkpoint(path)
+    assert as_set(restored.default_graph) == as_set(graph)
+
+
+def test_golden_anon_bnodes_shape():
+    """The anonymous-bnode fixture parses into the expected structure."""
+    with open(os.path.join(FIXTURES, "golden_anon_bnodes.ttl"),
+              encoding="utf-8") as handle:
+        graph = parse_turtle(handle.read())
+    ex = "http://example.org/anon/"
+    # alice knows one anonymous node carrying name+age.
+    anon = graph.value(IRI(ex + "alice"), IRI(ex + "knows"))
+    assert isinstance(anon, BNode)
+    assert graph.value(anon, IRI(ex + "name")) == Literal("Bob")
+    assert graph.value(anon, IRI(ex + "age")) == Literal(42)
+    # Nesting: root -> child(depth 1) -> child(leaf true, depth 2).
+    depth2 = [s for s, _, _ in graph.triples(None, IRI(ex + "depth"), Literal(2))]
+    assert len(depth2) == 1
+    assert graph.value(depth2[0], IRI(ex + "leaf")) == Literal(True)
+    # The statement-level bnode property list exists.
+    assert graph.count(None, IRI(ex + "label"), Literal("a whole statement")) == 1
+    # ex:empty points at a bnode with no outgoing triples.
+    empty = graph.value(IRI(ex + "root"), IRI(ex + "empty"))
+    assert isinstance(empty, BNode)
+    assert graph.count(empty, None, None) == 0
