@@ -347,6 +347,10 @@ class Dataset:
             if identifier not in self._named:
                 if not create:
                     raise RDFError(f"unknown named graph {identifier.value!r}")
+                if self._journal is not None:
+                    # Journal before registering: a fail-stopped WAL must
+                    # reject the create with the dataset unchanged.
+                    self._journal.log_create(identifier)
                 graph = Graph(identifier=identifier,
                               namespaces=self.namespaces,
                               dictionary=self._dictionary,
@@ -354,8 +358,6 @@ class Dataset:
                 graph._journal = self._journal
                 self._named[identifier] = graph
                 self._generation += 1
-                if self._journal is not None:
-                    self._journal.log_create(identifier)
             return self._named[identifier]
 
     def has_graph(self, identifier: object) -> bool:
@@ -368,12 +370,14 @@ class Dataset:
         if isinstance(identifier, str):
             identifier = IRI(identifier)
         with self._lock:
-            existed = self._named.pop(identifier, None) is not None
-            if existed:
-                self._generation += 1
-                if self._journal is not None:
-                    self._journal.log_drop(identifier)
-            return existed
+            if identifier not in self._named:
+                return False
+            if self._journal is not None:
+                # Journal before unregistering — see graph() above.
+                self._journal.log_drop(identifier)
+            del self._named[identifier]
+            self._generation += 1
+            return True
 
     def epoch(self) -> Tuple[int, int]:
         """A cheap staleness token covering every graph in the dataset.

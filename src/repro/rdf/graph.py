@@ -269,26 +269,39 @@ class Graph:
             return self._add_ids(si, pi, oi)
 
     def _add_ids(self, si: int, pi: int, oi: int) -> bool:
-        if not self._insert_ids(si, pi, oi):
+        journal = self._journal
+        if journal is not None:
+            # Journal BEFORE touching the indexes: log_add raises when the
+            # WAL is fail-stopped, and a rejected write must leave the
+            # in-memory state exactly as it was — readers must never observe
+            # a mutation whose operation reported failure, nor may the live
+            # state run ahead of what recovery can reconstruct.
+            if self.contains_ids(si, pi, oi):
+                return False
+            journal.log_add(self.identifier, si, pi, oi)
+        if not self._insert_ids(si, pi, oi, known_new=journal is not None):
             return False
         self._epoch += 1
-        if self._journal is not None:
-            self._journal.log_add(self.identifier, si, pi, oi)
         return True
 
-    def _insert_ids(self, si: int, pi: int, oi: int) -> bool:
+    def _insert_ids(self, si: int, pi: int, oi: int,
+                    known_new: bool = False) -> bool:
         """Index insertion without the epoch bump or journal record.
 
         The bulk-load path commits many of these under one epoch bump; the
         regular :meth:`_add_ids` path adds the per-mutation bookkeeping.
+        ``known_new`` skips the duplicate probe when the caller already ran
+        it (the journalled path probes before logging, and the write lock
+        guarantees nothing changes in between).
         """
         # Duplicate probe against the (possibly still shared) bucket first:
         # a no-op add must not copy anything.
-        by_pred = self._spo.get(si)
-        if by_pred is not None:
-            objects = by_pred.get(pi)
-            if objects is not None and oi in objects:
-                return False
+        if not known_new:
+            by_pred = self._spo.get(si)
+            if by_pred is not None:
+                objects = by_pred.get(pi)
+                if objects is not None and oi in objects:
+                    return False
         self._owned_set(self._owned_dict(self._spo, si), pi).add(oi)
         self._owned_set(self._owned_dict(self._pos, pi), oi).add(si)
         self._owned_set(self._owned_dict(self._osp, oi), si).add(pi)
@@ -453,6 +466,11 @@ class Graph:
             return len(to_remove)
 
     def _discard_ids(self, si: int, pi: int, oi: int) -> None:
+        if self._journal is not None:
+            # Journal first, for the same reason as _add_ids: a fail-stopped
+            # WAL must reject the removal before the triple vanishes from
+            # the live indexes.
+            self._journal.log_remove(self.identifier, si, pi, oi)
         by_pred = self._owned_dict(self._spo, si)
         self._owned_set(by_pred, pi).discard(oi)
         if not by_pred[pi]:
@@ -479,8 +497,6 @@ class Graph:
                 counts[key] = remaining
             else:
                 del counts[key]
-        if self._journal is not None:
-            self._journal.log_remove(self.identifier, si, pi, oi)
 
     def clear(self) -> None:
         with self._lock:

@@ -40,8 +40,12 @@ _BNODE_COUNTER = itertools.count()
 #: Process-unique prefix for generated blank node labels.  A bare counter
 #: restarts at zero in every process — fatal once graphs are *persisted*
 #: (checkpoint/WAL store raw labels): a fresh process parsing ``[...]``
-#: would mint ``b0`` again and silently merge with a recovered bnode.
-_BNODE_PREFIX = f"b{uuid.uuid4().hex[:8]}n"
+#: would mint ``b0`` again and silently merge with a recovered bnode.  The
+#: full 128-bit UUID is kept: a store that lives through many process
+#: lifetimes accumulates one prefix per session, and a truncated prefix
+#: (plus counters that restart at 0) would make a birthday collision merge
+#: unrelated anonymous nodes silently.
+_BNODE_PREFIX = f"b{uuid.uuid4().hex}n"
 
 
 class Term:

@@ -25,7 +25,13 @@ from repro.storage.checkpoint import (
     write_checkpoint,
 )
 from repro.storage.engine import JournalledLock, StorageEngine
-from repro.storage.wal import WalOp, WriteAheadLog, iter_transactions
+from repro.storage.wal import (
+    WalOp,
+    WalReplay,
+    WriteAheadLog,
+    iter_transactions,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "BulkLoadReport",
@@ -33,8 +39,10 @@ __all__ = [
     "JournalledLock",
     "StorageEngine",
     "WalOp",
+    "WalReplay",
     "WriteAheadLog",
     "iter_transactions",
+    "truncate_torn_tail",
     "read_checkpoint",
     "stream_load",
     "stream_load_triples",

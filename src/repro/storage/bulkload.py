@@ -98,6 +98,15 @@ def stream_load(graph: Graph, source: Union[str, TextIO],
     ``source`` is a string of Turtle text or a file-like object; ``fmt`` is
     accepted for symmetry with :func:`repro.rdf.io.dump_graph` (both formats
     share one parser).
+
+    Memory profile: the *serialized* source is held in memory whole — a
+    file-like object is drained with ``read()`` and the tokenizer scans the
+    full text — so a load costs O(source bytes) transient memory on top of
+    the final indexes.  What streams is everything downstream of the
+    parser: triples flow straight from the recursive-descent parser into
+    id-space batches, with no intermediate triple list and no staging copy
+    of the graph.  Statement-at-a-time chunked parsing for file sources is
+    a noted follow-up (see ROADMAP.md, storage open items).
     """
     if fmt not in ("turtle", "ntriples", "nt"):
         raise RDFError(f"unknown bulk-load format {fmt!r}")

@@ -42,7 +42,7 @@ from repro.storage.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.storage.wal import WriteAheadLog, iter_transactions
+from repro.storage.wal import WalReplay, WriteAheadLog, truncate_torn_tail
 
 __all__ = ["JournalledLock", "StorageEngine"]
 
@@ -119,6 +119,7 @@ class StorageEngine:
         #: Recovery accounting from the most recent open()/reopen().
         self.recovered_transactions = 0
         self.recovered_ops = 0
+        self.recovered_truncated_bytes = 0
         self.last_checkpoint: Optional[CheckpointInfo] = None
         self.checkpoints_written = 0
 
@@ -157,8 +158,10 @@ class StorageEngine:
             # replayed operations must not be re-logged.
             self.recovered_transactions = 0
             self.recovered_ops = 0
+            self.recovered_truncated_bytes = 0
             last_seq = checkpoint_seq
-            for seq, ops in iter_transactions(self.wal_path):
+            replay = WalReplay(self.wal_path)
+            for seq, ops in replay:
                 if seq <= checkpoint_seq:
                     # The checkpoint already covers this transaction (a crash
                     # landed between checkpoint rename and WAL rotation).
@@ -168,6 +171,14 @@ class StorageEngine:
                 last_seq = seq
                 self.recovered_transactions += 1
                 self.recovered_ops += len(ops)
+
+            # Cut the log back to the committed prefix the scan stopped at.
+            # The WAL below reopens in append mode, so a torn/corrupt tail
+            # left in place would sit between the old commits and every new
+            # one — and the NEXT recovery scan, stopping at the first bad
+            # frame, would silently lose everything committed from here on.
+            self.recovered_truncated_bytes = truncate_torn_tail(
+                self.wal_path, replay.committed_offset, fsync=self._fsync)
 
             wal = WriteAheadLog(self.wal_path, fsync=self._fsync)
             wal.attach_dictionary(dataset.dictionary)
@@ -283,13 +294,17 @@ class StorageEngine:
                             dictionary=dataset.dictionary)
             report = stream_load(staging, source, fmt=fmt,
                                  batch_size=batch_size)
-            target = (dataset.graph(graph_iri) if graph_iri
-                      else dataset.default_graph)
             with dataset.write_lock:
                 # Detach the journal for the merge: the whole point of the
-                # bulk path is to not write every triple twice.
+                # bulk path is to not write every triple twice.  The target
+                # graph is resolved while detached too — an implicitly
+                # created named graph must not commit a WAL create record,
+                # or a crash before the checkpoint rename would recover an
+                # empty graph the pre-load state never had.
                 dataset.attach_journal(None)
                 try:
+                    target = (dataset.graph(graph_iri) if graph_iri
+                              else dataset.default_graph)
                     added = target.bulk_add_ids(staging.triples_ids())
                 finally:
                     dataset.attach_journal(self._wal)
@@ -322,6 +337,7 @@ class StorageEngine:
             "open": self.is_open,
             "recovered_transactions": self.recovered_transactions,
             "recovered_ops": self.recovered_ops,
+            "recovered_truncated_bytes": self.recovered_truncated_bytes,
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint": (self.last_checkpoint.as_dict()
                                 if self.last_checkpoint else None),

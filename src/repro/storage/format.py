@@ -19,6 +19,7 @@ path and must stay a straight-line loop.
 
 from __future__ import annotations
 
+import io
 import os
 import struct
 import zlib
@@ -43,6 +44,8 @@ __all__ = [
     "decode_term",
     "encode_frame",
     "iter_frames",
+    "iter_frames_file",
+    "FRAME_HEADER_SIZE",
     "crc32",
     "fsync_directory",
 ]
@@ -68,6 +71,9 @@ def fsync_directory(directory: str) -> None:
         os.close(fd)
 
 _FRAME_HEADER = struct.Struct("<II")
+
+#: Bytes of ``[u32 length][u32 crc32]`` preceding every frame payload.
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
 
 #: Term tags.  Append-only: renumbering breaks every checkpoint on disk.
 TAG_IRI = 1
@@ -197,26 +203,59 @@ def encode_frame(payload: bytes) -> bytes:
     return _FRAME_HEADER.pack(len(payload), crc32(payload)) + payload
 
 
-def iter_frames(data: bytes, offset: int = 0):
-    """Yield ``(payload, end_offset)`` for every intact frame, then stop.
+def _iter_frames_stream(handle, size: int):
+    """Core frame scanner over a binary stream of known ``size``.
 
-    The generator stops — silently, by design — at the first frame that is
-    truncated (header or payload runs past the end of ``data``) or fails its
-    CRC.  That makes a torn or corrupted tail indistinguishable from a clean
-    end-of-log, which is the contract WAL recovery is built on.
+    Stops — silently, by design — at the first frame that is truncated
+    (header or payload runs past ``size``) or fails its CRC.  That makes a
+    torn or corrupted tail indistinguishable from a clean end-of-log, which
+    is the contract WAL recovery is built on.  Both public scanners wrap
+    this one loop so their stop conditions can never drift apart.
     """
-    length = len(data)
     header_size = _FRAME_HEADER.size
+    offset = handle.tell()
     while True:
-        if offset + header_size > length:
-            return
-        payload_len, checksum = _FRAME_HEADER.unpack_from(data, offset)
         start = offset + header_size
+        if start > size:
+            return
+        header = handle.read(header_size)
+        if len(header) < header_size:
+            return
+        payload_len, checksum = _FRAME_HEADER.unpack(header)
+        if payload_len == 0:
+            # A zero-length frame is never written (every record has at
+            # least a kind byte), but an ALL-ZERO header accidentally
+            # passes validation because crc32(b"") == 0 — and zero-filled
+            # tail blocks are a classic crash artifact on delayed-allocation
+            # filesystems.  Classify it as structural tail damage and stop.
+            return
         end = start + payload_len
-        if end > length:
+        if end > size:
             return  # short write: the frame never finished hitting the disk
-        payload = data[start:end]
+        payload = handle.read(payload_len)
+        if len(payload) < payload_len:
+            return
         if crc32(payload) != checksum:
             return  # corrupt frame: stop, everything before it is intact
         yield payload, end
         offset = end
+
+
+def iter_frames(data: bytes, offset: int = 0):
+    """Yield ``(payload, end_offset)`` for every intact frame in ``data``."""
+    handle = io.BytesIO(data)
+    handle.seek(offset)
+    return _iter_frames_stream(handle, len(data))
+
+
+def iter_frames_file(handle):
+    """Yield ``(payload, end_offset)`` frames read incrementally from a file.
+
+    The streaming twin of :func:`iter_frames`: WAL recovery reads the log
+    header-then-payload instead of slurping the whole file, so replay memory
+    is bounded by the largest single frame rather than the log size.  A
+    frame length pointing past end-of-file is rejected against ``fstat``
+    BEFORE the payload read, so a corrupt header cannot demand a
+    multi-gigabyte allocation.
+    """
+    return _iter_frames_stream(handle, os.fstat(handle.fileno()).st_size)

@@ -18,11 +18,16 @@ the journal protocol the RDF layer calls into
   number, writes buffer + commit record in one ``write()``, flushes, and
   ``fsync``\\ s.  A transaction is durable if and only if its commit record
   is fully on disk,
-* :func:`iter_transactions` replays the log: it yields each *committed*
-  transaction in order and stops at the first truncated or corrupt frame.
-  Records after the last intact commit marker — a torn write, a half-flushed
-  transaction, garbage from a dying disk — are dropped wholesale, never
-  partially applied.
+* :class:`WalReplay` / :func:`iter_transactions` replay the log: they yield
+  each *committed* transaction in order — reading the file incrementally,
+  so recovery memory is bounded by the largest transaction, not the log
+  size — and stop at the first truncated or corrupt frame.  Records after
+  the last intact commit marker — a torn write, a half-flushed transaction,
+  garbage from a dying disk — are dropped wholesale, never partially
+  applied.  After the scan, recovery truncates the log back to the
+  committed prefix (:func:`truncate_torn_tail`) so the reopened WAL never
+  appends new commits *behind* leftover garbage, where the next recovery
+  scan could not see them.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.exceptions import StorageError
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import IRI, Term, Triple
 from repro.storage.format import (
+    FRAME_HEADER_SIZE,
     decode_string,
     decode_term,
     decode_varint,
@@ -43,10 +49,11 @@ from repro.storage.format import (
     encode_term,
     encode_varint,
     fsync_directory,
-    iter_frames,
+    iter_frames_file,
 )
 
-__all__ = ["WalOp", "WriteAheadLog", "iter_transactions"]
+__all__ = ["WalOp", "WalReplay", "WriteAheadLog", "iter_transactions",
+           "truncate_torn_tail"]
 
 #: Record kinds (first payload byte).  Append-only.
 _OP_ADD = ord("A")
@@ -298,29 +305,92 @@ def _decode_record(payload: bytes):
     return WalOp(kind, identifier, None)
 
 
+class WalReplay:
+    """Single-pass incremental scan of a WAL's committed transactions.
+
+    Iterating yields ``(seq, ops)`` exactly like :func:`iter_transactions`
+    (which wraps this class), reading the log frame-by-frame so recovery
+    memory stays bounded by the largest transaction instead of the log size.
+    After the scan ends, :attr:`committed_offset` is the byte length of the
+    longest committed prefix: everything past it is a torn frame, corrupt
+    garbage, or ops that never committed, and the engine cuts it off with
+    :func:`truncate_torn_tail` before reattaching a live WAL.
+
+    Structural damage is the ONLY thing the scan absorbs silently.  A frame
+    that passes its CRC but does not decode — a record kind from a newer
+    build, a CRC collision — is not a crash artefact, and truncating it
+    would permanently destroy transactions a matching decoder could still
+    replay; the scan raises :class:`StorageError` instead, leaving the file
+    untouched for the operator.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: End offset of the last fully committed frame seen by the scan.
+        self.committed_offset = 0
+
+    def __iter__(self) -> Iterator[Tuple[int, List[WalOp]]]:
+        self.committed_offset = 0  # a re-scan must not report a stale prefix
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            pending: List[WalOp] = []
+            for payload, end_offset in iter_frames_file(handle):
+                try:
+                    record = _decode_record(payload)
+                except Exception as exc:
+                    frame_start = end_offset - len(payload) - FRAME_HEADER_SIZE
+                    raise StorageError(
+                        f"WAL {self.path!r} holds an intact (CRC-valid) frame "
+                        f"at offset {frame_start} that cannot be decoded "
+                        f"({exc}); refusing to recover — replaying past it "
+                        "could lose committed transactions a newer decoder "
+                        "would understand") from exc
+                if isinstance(record, tuple) and record[0] == "commit":
+                    self.committed_offset = end_offset
+                    yield record[1], pending
+                    pending = []
+                else:
+                    pending.append(record)
+        # `pending` non-empty here means a transaction never committed: dropped.
+
+
 def iter_transactions(path: str) -> Iterator[Tuple[int, List[WalOp]]]:
     """Yield ``(seq, ops)`` for every fully committed transaction, in order.
 
     Tolerates — silently truncates at — a torn or corrupt tail: the scan
     stops at the first frame that fails its CRC or runs past end-of-file,
     and any operations buffered since the last commit marker are discarded.
-    A record that frames correctly but does not decode (CRC collision, a
-    record kind from the future) also ends the scan rather than guessing.
+    A record that frames correctly but does not decode (a record kind from
+    the future, a CRC collision) raises :class:`StorageError` instead of
+    guessing — see :class:`WalReplay`.
+    """
+    return iter(WalReplay(path))
+
+
+def truncate_torn_tail(path: str, committed_offset: int,
+                       fsync: bool = True) -> int:
+    """Truncate ``path`` to its committed prefix; returns the bytes dropped.
+
+    Recovery must call this before it reattaches a live WAL: the new handle
+    opens in append mode, so any garbage left past the last committed frame
+    would sit BETWEEN the old commits and every new one — and the next
+    recovery scan, stopping at the first bad frame, would silently lose
+    every transaction committed after this recovery.  Cutting the tail off
+    (and fsyncing the cut) is what keeps "durable iff the commit record is
+    on disk" true across repeated crashes.
     """
     try:
-        with open(path, "rb") as handle:
-            data = handle.read()
-    except FileNotFoundError:
-        return
-    pending: List[WalOp] = []
-    for payload, _ in iter_frames(data):
-        try:
-            record = _decode_record(payload)
-        except Exception:  # noqa: BLE001 — any decode failure ends the scan
-            return
-        if isinstance(record, tuple) and record[0] == "commit":
-            yield record[1], pending
-            pending = []
-        else:
-            pending.append(record)
-    # `pending` non-empty here means a transaction never committed: dropped.
+        size = os.path.getsize(path)
+    except OSError:
+        return 0
+    if size <= committed_offset:
+        return 0
+    with open(path, "r+b") as handle:
+        handle.truncate(committed_offset)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    return size - committed_offset

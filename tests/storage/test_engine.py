@@ -223,6 +223,8 @@ class TestStorageEngine:
         assert engine._wal.failed is True
         with pytest.raises(StorageError):
             engine.dataset.default_graph.add(_triple(9))
+        # The rejected write must NOT have touched the live state.
+        assert _triple(9) not in engine.dataset.default_graph
         monkeypatch.undo()
         # A later successful checkpoint (admin/persist) heals the latch and
         # makes the loaded data durable.
@@ -230,7 +232,75 @@ class TestStorageEngine:
         assert engine._wal.failed is False
         engine.close()
         with StorageEngine(directory) as engine2:
-            assert len(engine2.open().default_graph) == 3  # 0, b, 9
+            assert len(engine2.open().default_graph) == 2  # 0, b
+
+    def test_fail_stopped_wal_rejects_writes_without_applying_them(self, tmp_path):
+        """A rejected mutation must leave the in-memory dataset unchanged.
+
+        Regression: the journal used to be appended AFTER the index
+        mutation, so a fail-stopped WAL raised StorageError while the change
+        was already visible to readers — a failed operation that took
+        effect, silently diverging the live state from anything recovery
+        could reconstruct.  Every journalled mutation path must reject
+        cleanly: add, remove, clear, graph create, graph drop.
+        """
+        engine = StorageEngine(str(tmp_path / "s"))
+        engine.open()
+        dataset = engine.dataset
+        dataset.default_graph.add(_triple(1))
+        dataset.graph(EX + "g").add(_triple(2))
+        engine._wal.failed = True
+
+        with pytest.raises(StorageError):
+            dataset.default_graph.add(_triple(3))
+        assert _triple(3) not in dataset.default_graph
+        with pytest.raises(StorageError):
+            dataset.default_graph.remove(*_triple(1))
+        assert _triple(1) in dataset.default_graph
+        with pytest.raises(StorageError):
+            dataset.graph(EX + "g").clear()
+        assert len(dataset.graph(EX + "g")) == 1
+        with pytest.raises(StorageError):
+            dataset.graph(EX + "new")
+        assert not dataset.has_graph(EX + "new")
+        with pytest.raises(StorageError):
+            dataset.drop_graph(EX + "g")
+        assert dataset.has_graph(EX + "g")
+
+        # Healing via checkpoint re-admits writers on the unchanged state.
+        engine.checkpoint()
+        dataset.default_graph.add(_triple(3))
+        state = sorted(t.n3() for t in dataset.default_graph)
+        engine.close()
+        with StorageEngine(str(tmp_path / "s")) as engine2:
+            assert sorted(t.n3() for t in engine2.open().default_graph) == state
+
+    def test_bulk_load_crash_before_checkpoint_leaves_no_created_graph(
+            self, tmp_path, monkeypatch):
+        """A crash mid-bulk_load must recover the PRE-load state exactly.
+
+        Regression: the implicit ``dataset.graph(graph_iri)`` used to run
+        with the journal attached, committing a CREATE record to the WAL
+        before the load's checkpoint — so a crash before the checkpoint
+        rename recovered an empty named graph the pre-load state never had.
+        """
+        import repro.storage.engine as engine_mod
+        directory = str(tmp_path / "s")
+        engine = StorageEngine(directory)
+        engine.open()
+        engine.dataset.default_graph.add(_triple(0))
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(engine_mod, "write_checkpoint", boom)
+        with pytest.raises(OSError):
+            engine.bulk_load(f"<{EX}x> <{EX}p> <{EX}o> .", graph_iri=EX + "g")
+        engine.close()
+        with StorageEngine(directory) as engine2:
+            dataset = engine2.open()
+            assert not dataset.has_graph(EX + "g")
+            assert len(dataset.default_graph) == 1
 
     def test_wal_fail_stop_after_commit_failure(self, tmp_path):
         """After a lost commit the WAL refuses work until checkpoint/reopen."""

@@ -230,6 +230,91 @@ def test_garbage_tail_is_tolerated(tmp_path):
     assert recovered == _WAL_ONLY.expected_state(len(_WAL_ONLY.wal_bytes))
 
 
+@pytest.mark.parametrize("kind", ["garbage", "torn", "uncommitted", "zerofill"])
+def test_recovery_truncates_tail_so_new_commits_survive(kind, tmp_path):
+    """Commits made AFTER recovering from a damaged tail must stay durable.
+
+    Regression: recovery used to leave the damaged tail in place and the
+    reopened WAL appended behind it, so the NEXT recovery scan — stopping at
+    the first bad frame — silently dropped every transaction committed since
+    the first recovery.  The engine now truncates the log to the committed
+    prefix before attaching the new WAL.
+    """
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    engine.dataset.default_graph.add(
+        Triple(IRI(EX + "a"), IRI(EX + "p0"), Literal(1)))
+    engine.close()
+    wal_path = os.path.join(directory, "wal.log")
+    with open(wal_path, "rb") as handle:
+        committed = handle.read()
+    if kind == "garbage":
+        tail = b"\xde\xad\xbe\xef" * 4
+    elif kind == "torn":
+        # Replays as intact op frame(s) followed by a torn commit frame.
+        tail = committed[:-1]
+    elif kind == "zerofill":
+        # Zero-extended tail blocks (delayed-allocation crash artifact).
+        # The all-zero header reads as a CRC-valid EMPTY frame
+        # (crc32(b"") == 0) — it must count as tail damage, not as an
+        # undecodable intact frame that aborts recovery.
+        tail = b"\x00" * 4096
+    else:
+        # Intact op frames with no commit marker at all.
+        from repro.storage.format import iter_frames
+        ends = [0] + [end for _, end in iter_frames(committed)]
+        tail = committed[:ends[-2]]
+        assert tail
+    with open(wal_path, "ab") as handle:
+        handle.write(tail)
+
+    engine2 = StorageEngine(directory)
+    engine2.open()
+    assert engine2.recovered_truncated_bytes == len(tail)
+    engine2.dataset.default_graph.add(
+        Triple(IRI(EX + "b"), IRI(EX + "p0"), Literal(2)))
+    state = dataset_state(engine2.dataset)
+    engine2.close()
+
+    engine3 = StorageEngine(directory)
+    assert dataset_state(engine3.open()) == state
+    assert engine3.recovered_truncated_bytes == 0
+    assert engine3.recovered_transactions == 2
+    engine3.close()
+
+
+def test_intact_undecodable_frame_fails_recovery_loudly(tmp_path):
+    """A CRC-valid frame of an unknown record kind must abort recovery.
+
+    Version skew — a WAL written by a newer build with a new record kind —
+    is not crash damage: truncating at the unknown frame would permanently
+    destroy committed transactions a matching decoder could still replay.
+    Recovery must raise and leave the log byte-for-byte untouched.
+    """
+    from repro.exceptions import StorageError
+    from repro.storage.format import encode_frame
+
+    directory = str(tmp_path / "store")
+    engine = StorageEngine(directory)
+    engine.open()
+    engine.dataset.default_graph.add(
+        Triple(IRI(EX + "a"), IRI(EX + "p0"), Literal(1)))
+    engine.close()
+    wal_path = os.path.join(directory, "wal.log")
+    with open(wal_path, "ab") as handle:
+        handle.write(encode_frame(b"\x7afrom-a-newer-build"))
+    with open(wal_path, "rb") as handle:
+        before = handle.read()
+    with pytest.raises(StorageError) as excinfo:
+        StorageEngine(directory).open()
+    # The reported offset must be the FRAME start (header), not the payload.
+    frame_start = len(before) - len(encode_frame(b"\x7afrom-a-newer-build"))
+    assert f"offset {frame_start}" in str(excinfo.value)
+    with open(wal_path, "rb") as handle:
+        assert handle.read() == before
+
+
 def test_corrupt_checkpoint_is_rejected(tmp_path):
     directory = str(tmp_path / "store")
     engine = StorageEngine(directory)
