@@ -1,0 +1,224 @@
+"""HTTP serving benchmark: the network path vs in-process dispatch.
+
+Boots a real :class:`~repro.server.http.KGNetHTTPServer` on loopback and
+measures the same SPARQL SELECT workload three ways:
+
+* ``inprocess`` — ``router.dispatch`` in a plain loop (the PR-1 baseline
+  every envelope rides on; no sockets, no serialization),
+* ``http_sequential`` — one :class:`~repro.server.RemoteClient` on one
+  keep-alive connection (per-request wire overhead),
+* ``http_concurrent`` — N clients on N keep-alive connections hammering the
+  worker-pool-threaded server (aggregate QPS + p50/p99 as a client sees
+  them),
+
+plus ``http_stream_large`` — a big SELECT negotiated to JSON and streamed
+chunked, reported as rows/s end to end.
+
+Usage (from the ``benchmarks/`` directory)::
+
+    PYTHONPATH=../src python bench_http_serving.py            # full run
+    PYTHONPATH=../src python bench_http_serving.py --smoke    # CI-sized
+
+Each run appends one record to ``BENCH_http_serving.json`` next to this
+script and refreshes ``results/bench_http_serving.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import percentile, save_report  # noqa: E402
+from repro.kgnet import KGNet  # noqa: E402
+from repro.kgnet.api import APIRequest  # noqa: E402
+from repro.rdf import IRI, Literal, Triple  # noqa: E402
+from repro.server import RemoteClient, serve  # noqa: E402
+
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_http_serving.json")
+
+EX = "http://example.org/bench/http/"
+HOT_QUERY = f"SELECT ?s ?o WHERE {{ ?s <{EX}p1> ?o }} LIMIT 20"
+LARGE_QUERY = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+def build_platform(triples: int) -> KGNet:
+    platform = KGNet()
+    platform.load_graph([
+        Triple(IRI(f"{EX}s{i % (triples // 4 or 1)}"),
+               IRI(f"{EX}p{i % 8}"),
+               Literal(f"value {i % 101}"))
+        for i in range(triples)
+    ])
+    return platform
+
+
+def bench_inprocess(platform: KGNet, requests: int) -> Dict[str, object]:
+    router = platform.api
+    started = time.perf_counter()
+    for _ in range(requests):
+        response = router.dispatch(APIRequest(op="sparql",
+                                              params={"query": HOT_QUERY}))
+        assert response.ok
+    elapsed = time.perf_counter() - started
+    return {"leg": "inprocess", "requests": requests,
+            "seconds": round(elapsed, 4),
+            "qps": round(requests / elapsed, 1)}
+
+
+def bench_http_sequential(base_url: str, requests: int) -> Dict[str, object]:
+    client = RemoteClient(base_url)
+    latencies: List[float] = []
+    started = time.perf_counter()
+    for _ in range(requests):
+        t0 = time.perf_counter()
+        client.protocol_select(HOT_QUERY)
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - started
+    client.close()
+    latencies.sort()
+    return {"leg": "http_sequential", "requests": requests,
+            "seconds": round(elapsed, 4),
+            "qps": round(requests / elapsed, 1),
+            "p50_ms": round(percentile(latencies, 0.5) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3)}
+
+
+def bench_http_concurrent(base_url: str, requests: int,
+                          clients: int) -> Dict[str, object]:
+    per_client = max(1, requests // clients)
+    all_latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+
+    def worker(slot: int) -> None:
+        client = RemoteClient(base_url)
+        try:
+            bucket = all_latencies[slot]
+            for _ in range(per_client):
+                t0 = time.perf_counter()
+                client.protocol_select(HOT_QUERY)
+                bucket.append(time.perf_counter() - t0)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    latencies = sorted(lat for bucket in all_latencies for lat in bucket)
+    total = len(latencies)
+    return {"leg": f"http_concurrent_x{clients}", "requests": total,
+            "seconds": round(elapsed, 4),
+            "qps": round(total / elapsed, 1),
+            "p50_ms": round(percentile(latencies, 0.5) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3)}
+
+
+def bench_stream_large(base_url: str, repeats: int) -> Dict[str, object]:
+    client = RemoteClient(base_url)
+    rows = 0
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        bindings = client.protocol_select(LARGE_QUERY)
+        best = min(best, time.perf_counter() - t0)
+        rows = len(bindings)
+    client.close()
+    return {"leg": "http_stream_large", "requests": repeats,
+            "seconds": round(best, 4),
+            "rows": rows,
+            "rows_per_s": round(rows / best, 1) if best > 0 else 0.0}
+
+
+def run(triples: int, requests: int, clients: int) -> Dict[str, object]:
+    platform = build_platform(triples)
+    server = serve(platform.api, max_workers=max(8, clients + 2))
+    try:
+        # Warm the plan cache so every leg measures serving, not parsing.
+        platform.sparql(HOT_QUERY)
+        legs = [
+            bench_inprocess(platform, requests),
+            bench_http_sequential(server.base_url, requests),
+            bench_http_concurrent(server.base_url, requests, clients),
+            bench_stream_large(server.base_url, repeats=3),
+        ]
+    finally:
+        server.stop()
+    by_leg = {leg["leg"]: leg for leg in legs}
+    overhead = (by_leg["inprocess"]["qps"]
+                / by_leg["http_sequential"]["qps"])
+    record = {
+        "benchmark": "http_serving",
+        "triples": triples,
+        "requests": requests,
+        "clients": clients,
+        "legs": legs,
+        "http_overhead_x": round(overhead, 2),
+        "concurrent_speedup_vs_sequential": round(
+            by_leg[f"http_concurrent_x{clients}"]["qps"]
+            / by_leg["http_sequential"]["qps"], 2),
+    }
+    return record
+
+
+def append_trajectory(record: Dict[str, object]) -> None:
+    trajectory: List[Dict[str, object]] = []
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    record = dict(record)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer triples and requests)")
+    args = parser.parse_args()
+    triples = 2_000 if args.smoke else 20_000
+    requests = 150 if args.smoke else 1_500
+    clients = 4 if args.smoke else 8
+
+    record = run(triples, requests, clients)
+    append_trajectory(record)
+
+    rows = []
+    for leg in record["legs"]:
+        row = {"leg": leg["leg"], "requests": leg["requests"],
+               "qps": leg.get("qps", leg.get("rows_per_s")),
+               "p50_ms": leg.get("p50_ms", ""), "p99_ms": leg.get("p99_ms", "")}
+        rows.append(row)
+    save_report("bench_http_serving",
+                "SPARQL serving: HTTP path vs in-process dispatch",
+                rows, headers=["leg", "requests", "qps", "p50_ms", "p99_ms"],
+                notes=[f"{record['triples']} triples, "
+                       f"{record['clients']} concurrent clients",
+                       f"HTTP overhead {record['http_overhead_x']}x, "
+                       "concurrent speedup "
+                       f"{record['concurrent_speedup_vs_sequential']}x"])
+    print(f"HTTP overhead vs in-process: {record['http_overhead_x']}x; "
+          f"{record['clients']} concurrent clients = "
+          f"{record['concurrent_speedup_vs_sequential']}x sequential QPS")
+    print(f"trajectory appended to {TRAJECTORY_PATH}")
+
+
+if __name__ == "__main__":
+    main()

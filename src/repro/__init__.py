@@ -13,6 +13,9 @@ Reproduction of "Towards a GML-Enabled Knowledge Graph Platform"
 * :mod:`repro.concurrency` -- serving-layer primitives: atomic counters,
   a bounded worker pool, and in-flight inference batching (snapshot
   isolation itself lives on :class:`repro.rdf.Graph` / ``Dataset``),
+* :mod:`repro.server` -- the network service layer: a stdlib HTTP server
+  speaking the W3C SPARQL 1.1 Protocol and the kgnet/v1 envelope API, with
+  streaming content-negotiated results and a pure-stdlib ``RemoteClient``,
 * :mod:`repro.datasets` -- synthetic DBLP-like and YAGO4-like KG generators
   and task definitions.
 """
@@ -33,6 +36,7 @@ from repro.kgnet.kgmeta.governor import ModelMetadata
 from repro.kgnet.meta_sampler import MetaSamplingConfig
 from repro.kgnet.platform import KGNet
 from repro.kgnet.sparqlml.service import DeleteReport, SelectReport, TrainReport
+from repro.server import KGNetHTTPServer, RemoteClient, serve
 from repro.storage import StorageEngine
 
 __all__ = [
@@ -46,6 +50,9 @@ __all__ = [
     "DeleteReport",
     "InflightBatcher",
     "KGNet",
+    "KGNetHTTPServer",
+    "RemoteClient",
+    "serve",
     "MetaSamplingConfig",
     "ModelMetadata",
     "SelectReport",

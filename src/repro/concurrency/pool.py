@@ -15,7 +15,7 @@ from __future__ import annotations
 import queue
 import threading
 from concurrent.futures import Future
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = ["WorkerPool"]
 
@@ -85,6 +85,27 @@ class WorkerPool:
             self._queue.put((future, fn, args, kwargs))
         return future
 
+    def try_submit(self, fn: Callable, *args,
+                   timeout: float = 0.0, **kwargs) -> Optional["Future"]:
+        """Like :meth:`submit`, but give up after ``timeout`` seconds.
+
+        Returns None when the pending queue stayed full for the whole wait —
+        the caller keeps control instead of blocking indefinitely (the HTTP
+        accept loop needs this: a saturated pool must not wedge the loop
+        past the server's shutdown request).  Note the bounded wait happens
+        under the shutdown lock, so a concurrent ``shutdown()`` can stall up
+        to ``timeout`` — keep timeouts short.
+        """
+        with self._shutdown_lock:
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down WorkerPool")
+            future: Future = Future()
+            try:
+                self._queue.put((future, fn, args, kwargs), timeout=timeout)
+            except queue.Full:
+                return None
+        return future
+
     def map_ordered(self, fn: Callable, items: Sequence) -> List[object]:
         """Apply ``fn`` to every item concurrently; results in input order.
 
@@ -95,16 +116,53 @@ class WorkerPool:
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True,
+                 cancel_pending: bool = False) -> List[Tuple]:
+        """Stop the pool; returns the cancelled ``(fn, args, kwargs)`` tasks.
+
+        ``cancel_pending=True`` drains queued-but-unstarted tasks first,
+        cancelling their futures.  That matters for two reasons: the tasks
+        never run (the caller gets them back to release whatever resources
+        — sockets, handles — ride in their arguments), and — crucially —
+        the ``_STOP`` sentinels below go into the queue, so on a FULL queue
+        a plain shutdown blocks until busy workers drain it.  A server
+        stopping under load (workers wedged on slow connections, queue full
+        of unserved ones) needs the non-waiting variant to actually not
+        wait.
+
+        With ``wait=False`` the sentinel insertion itself is delegated to a
+        daemon thread, so the caller never blocks even if the queue cannot
+        accept all sentinels immediately.
+        """
+        cancelled: List[Tuple] = []
         with self._shutdown_lock:
             if self._shutdown:
-                return
+                return cancelled
             self._shutdown = True
-        for _ in self._threads:
-            self._queue.put(_STOP)
+        if cancel_pending:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    future, fn, args, kwargs = item
+                    future.cancel()
+                    cancelled.append((fn, args, kwargs))
+                self._queue.task_done()
+
+        def plant_sentinels() -> None:
+            for _ in self._threads:
+                self._queue.put(_STOP)
+
         if wait:
+            plant_sentinels()
             for thread in self._threads:
                 thread.join()
+        else:
+            threading.Thread(target=plant_sentinels,
+                             name="kgnet-pool-reaper", daemon=True).start()
+        return cancelled
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -48,6 +48,19 @@ __all__ = ["RouteMetrics", "APIRouter"]
 #: Oldest cursors are dropped beyond this many live result pages.
 MAX_LIVE_CURSORS = 64
 
+#: Latency samples kept per route for the percentile estimates — a sliding
+#: window over the most recent calls, sized so the p99 rests on real
+#: observations (~2-3 tail samples) while one idle route costs ~2 KB.
+LATENCY_RESERVOIR_SIZE = 256
+
+
+def _percentile(ordered: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    rank = int(quantile * len(ordered) + 0.999999)  # ceil without math import
+    return ordered[min(len(ordered), max(rank, 1)) - 1]
+
 
 @dataclass
 class RouteMetrics:
@@ -57,6 +70,11 @@ class RouteMetrics:
     method takes the per-route lock — serving threads hammering one route
     must never lose an update (``tests/concurrency/test_contention.py``
     fails on any drift).
+
+    Besides the running totals, each route keeps a small sliding reservoir
+    of recent latencies (:data:`LATENCY_RESERVOIR_SIZE` samples) from which
+    ``as_dict`` reports p50/p99 — the numbers to watch once requests arrive
+    over HTTP, where the mean hides connection-level tail pain.
     """
 
     calls: int = 0
@@ -69,6 +87,8 @@ class RouteMetrics:
     cache_misses: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
+    _samples: List[float] = field(default_factory=list, repr=False,
+                                  compare=False)
 
     def record(self, elapsed: float, ok: bool) -> None:
         with self._lock:
@@ -77,6 +97,12 @@ class RouteMetrics:
                 self.errors += 1
             self.total_seconds += elapsed
             self.max_seconds = max(self.max_seconds, elapsed)
+            if len(self._samples) < LATENCY_RESERVOIR_SIZE:
+                self._samples.append(elapsed)
+            else:
+                # Ring overwrite: deterministic sliding window of the most
+                # recent LATENCY_RESERVOIR_SIZE calls.
+                self._samples[(self.calls - 1) % LATENCY_RESERVOIR_SIZE] = elapsed
 
     def record_cache(self, hit: bool) -> None:
         with self._lock:
@@ -88,12 +114,15 @@ class RouteMetrics:
     def as_dict(self) -> Dict[str, object]:
         with self._lock:
             mean = self.total_seconds / self.calls if self.calls else 0.0
+            ordered = sorted(self._samples)
             return {
                 "calls": self.calls,
                 "errors": self.errors,
                 "total_seconds": round(self.total_seconds, 6),
                 "mean_seconds": round(mean, 6),
                 "max_seconds": round(self.max_seconds, 6),
+                "p50_seconds": round(_percentile(ordered, 0.50), 6),
+                "p99_seconds": round(_percentile(ordered, 0.99), 6),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
             }
@@ -207,7 +236,8 @@ class APIRouter:
         self._allowed_params: Dict[str, frozenset] = {
             "ping": frozenset(),
             "load": frozenset({"triples", "ntriples", "graph_iri"}),
-            "sparql": frozenset({"query", "page_size"}),
+            "sparql": frozenset({"query", "page_size", "default_graph_uris",
+                                 "require"}),
             "sparqlml": frozenset({"query", "page_size", "method",
                                    "meta_sampling", "use_meta_sampling",
                                    "objective", "force_plan"}),
@@ -446,7 +476,20 @@ class APIRouter:
     def _handle_sparql(self, params: Dict[str, object]) -> Tuple[object, object]:
         query = str(_require(params, "query"))
         page_size = self._coerce_page_size(params.get("page_size"))
-        value = self.endpoint.execute(query)
+        default_graphs = params.get("default_graph_uris")
+        if default_graphs is not None:
+            if (not isinstance(default_graphs, (list, tuple))
+                    or not default_graphs):
+                raise BadRequestError(
+                    "'default_graph_uris' must be a non-empty list of IRI strings")
+            default_graphs = [_as_iri_text(g, "default_graph_uris[]")
+                              for g in default_graphs]
+        require = params.get("require")
+        if require is not None and require not in ("query", "update"):
+            raise BadRequestError("'require' must be 'query' or 'update'")
+        value = self.endpoint.execute(query,
+                                      default_graph_iris=default_graphs,
+                                      require=require)
         # thread_statistics() is this thread's own request record, so the
         # hit/miss split stays exact under concurrent serving.
         stats = self.endpoint.thread_statistics()

@@ -10,6 +10,9 @@ reproduction's knowledge graphs:
 * predicate lists (``;``) and object lists (``,``),
 * blank node labels (``_:b1``) and anonymous blank nodes (``[...]``,
   including nested predicate lists inside the brackets),
+* the full string-escape repertoire in literals (``\\n``, ``\\t``, ``\\"``,
+  ...) plus numeric ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes in literals *and*
+  IRIs (where Turtle permits only the numeric forms),
 * comments (``# ...``).
 
 That subset is a strict superset of N-Triples, so the same parser reads both.
@@ -101,14 +104,67 @@ def _tokenize(text: str) -> Iterator[_Token]:
         yield _Token(kind, value, line)
 
 
-def _unescape(value: str) -> str:
-    return (
-        value.replace("\\n", "\n")
-        .replace("\\r", "\r")
-        .replace("\\t", "\t")
-        .replace('\\"', '"')
-        .replace("\\\\", "\\")
-    )
+#: One pass over every escape form: numeric (``\uXXXX`` / ``\UXXXXXXXX``)
+#: and single-character string escapes.  A single regex substitution is the
+#: only correct shape here — sequential ``str.replace`` calls re-scan their
+#: own output, so ``\\n`` (an escaped backslash before an ``n``) would decode
+#: to a newline instead of ``\n``.
+_ESCAPE_RE = re.compile(
+    r"\\(?:u([0-9A-Fa-f]{4})|U([0-9A-Fa-f]{8})|(.))", re.DOTALL)
+
+_STRING_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+def _decode_codepoint(hex_digits: str, line: Optional[int]) -> str:
+    """One validated ``\\u``/``\\U`` code point.
+
+    Surrogates are rejected here, not merely discouraged: ``chr(0xD800)``
+    builds a Python string that cannot be UTF-8 encoded, so letting one
+    through turns into a ``UnicodeEncodeError`` deep inside the WAL or the
+    HTTP response writer instead of a parse error at the offending line
+    (Turtle's UCHAR production excludes surrogates for exactly this reason).
+    """
+    code_point = int(hex_digits, 16)
+    if code_point > 0x10FFFF:
+        raise ParseError(f"\\U escape beyond U+10FFFF: \\U{hex_digits}",
+                         line=line or 0)
+    if 0xD800 <= code_point <= 0xDFFF:
+        raise ParseError(
+            f"numeric escape names a surrogate code point U+{code_point:04X}",
+            line=line or 0)
+    return chr(code_point)
+
+
+def _unescape(value: str, line: Optional[int] = None) -> str:
+    """Decode string-literal escapes, including ``\\u``/``\\U`` code points."""
+    def replace(match: "re.Match[str]") -> str:
+        short_hex, long_hex, char = match.groups()
+        if short_hex is not None:
+            return _decode_codepoint(short_hex, line)
+        if long_hex is not None:
+            return _decode_codepoint(long_hex, line)
+        try:
+            return _STRING_ESCAPES[char]
+        except KeyError:
+            raise ParseError(f"illegal escape sequence \\{char}", line=line or 0)
+    return _ESCAPE_RE.sub(replace, value)
+
+
+def _unescape_iri(value: str, line: Optional[int] = None) -> str:
+    """Decode IRIREF escapes: Turtle allows ONLY ``\\u``/``\\U`` inside ``<>``."""
+    def replace(match: "re.Match[str]") -> str:
+        short_hex, long_hex, char = match.groups()
+        if short_hex is not None:
+            return _decode_codepoint(short_hex, line)
+        if long_hex is not None:
+            return _decode_codepoint(long_hex, line)
+        raise ParseError(
+            f"illegal escape sequence \\{char} in IRI (only \\uXXXX and "
+            "\\UXXXXXXXX are allowed)", line=line or 0)
+    return _ESCAPE_RE.sub(replace, value)
 
 
 class _TurtleParser:
@@ -162,12 +218,13 @@ class _TurtleParser:
             iri_token = self._next()
             if iri_token.kind != "iri":
                 raise ParseError("expected IRI after prefix name", line=iri_token.line)
-            self.namespaces.bind(prefix, iri_token.value[1:-1])
+            self.namespaces.bind(
+                prefix, _unescape_iri(iri_token.value[1:-1], line=iri_token.line))
         elif keyword == "base":
             iri_token = self._next()
             if iri_token.kind != "iri":
                 raise ParseError("expected IRI after @base", line=iri_token.line)
-            self.base = iri_token.value[1:-1]
+            self.base = _unescape_iri(iri_token.value[1:-1], line=iri_token.line)
         else:  # pragma: no cover - unreachable given the token regex
             raise ParseError(f"unknown directive {directive.value!r}", line=directive.line)
         token = self._peek()
@@ -256,7 +313,7 @@ class _TurtleParser:
                                  line=token.line)
             return self._parse_anon_body(token.line)
         if token.kind == "iri":
-            value = token.value[1:-1]
+            value = _unescape_iri(token.value[1:-1], line=token.line)
             if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
                 value = self.base + value
             return IRI(value)
@@ -270,7 +327,7 @@ class _TurtleParser:
         if token.kind == "bnode":
             return BNode(token.value[2:])
         if token.kind == "literal":
-            lexical = _unescape(token.value[1:-1])
+            lexical = _unescape(token.value[1:-1], line=token.line)
             nxt = self._peek()
             if nxt is not None and nxt.kind == "langtag":
                 self._next()
@@ -279,7 +336,8 @@ class _TurtleParser:
                 self._next()
                 dt_token = self._next()
                 if dt_token.kind == "iri":
-                    datatype = IRI(dt_token.value[1:-1])
+                    datatype = IRI(_unescape_iri(dt_token.value[1:-1],
+                                                 line=dt_token.line))
                 elif dt_token.kind == "qname":
                     datatype = self.namespaces.expand(dt_token.value)
                 else:

@@ -142,6 +142,20 @@ class IRI(Term):
         return self.value
 
 
+#: N-Triples STRING_LITERAL_QUOTE escaping.  The named ECHAR escapes cover
+#: the common controls; every OTHER C0 control must leave as ``\u00XX`` —
+#: emitting it raw would produce output conformant external parsers (the
+#: audience of the HTTP serving layer) reject.
+_ECHAR = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\r": "\\r", "\t": "\\t",
+          "\b": "\\b", "\f": "\\f"}
+_LEXICAL_ESCAPE_RE = re.compile(r'[\\"\n\r\t\b\f\x00-\x1f]')
+
+
+def _escape_lexical(text: str) -> str:
+    return _LEXICAL_ESCAPE_RE.sub(
+        lambda m: _ECHAR.get(m.group(0)) or f"\\u{ord(m.group(0)):04X}", text)
+
+
 XSD = "http://www.w3.org/2001/XMLSchema#"
 RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
 
@@ -204,13 +218,7 @@ class Literal(Term):
         return self.lexical
 
     def n3(self) -> str:
-        escaped = (
-            self.lexical.replace("\\", "\\\\")
-            .replace('"', '\\"')
-            .replace("\n", "\\n")
-            .replace("\r", "\\r")
-            .replace("\t", "\\t")
-        )
+        escaped = _escape_lexical(self.lexical)
         if self.language:
             return f'"{escaped}"@{self.language}'
         if self.datatype == XSD_STRING:

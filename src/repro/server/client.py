@@ -1,0 +1,213 @@
+"""A pure-stdlib network client for a served KGNet platform.
+
+:class:`RemoteClient` *is* an :class:`~repro.kgnet.api.client.APIClient`
+whose transport posts envelopes to a live server's ``/kgnet/v1`` endpoint
+over a persistent :mod:`http.client` connection — every envelope operation
+(``ping``, ``sparql``, ``train``, ``infer_*``, pagination, the ``admin/*``
+storage routes) works over the wire exactly as in-process, including
+``raise_for_error()`` rebuilding the server's exception class from the
+stable error code.
+
+On top of the envelope surface it speaks the raw SPARQL 1.1 Protocol:
+:meth:`protocol_query` / :meth:`protocol_update` hit ``/sparql`` like any
+stock SPARQL client would, with ``Accept``-header content negotiation, and
+:meth:`protocol_select` parses the negotiated JSON results document.
+
+The client keeps ONE connection and serialises requests over it with a
+lock: it is safe to share across threads, but concurrent callers queue.
+For concurrency benchmarks use one client per thread (each holds its own
+keep-alive connection, which is also how real HTTP clients behave).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import quote, urlsplit
+
+from repro.exceptions import APIError
+from repro.kgnet.api.client import APIClient
+from repro.sparql.results.serialize import MEDIA_JSON
+
+__all__ = ["RemoteClient"]
+
+_FORM = "application/x-www-form-urlencoded"
+
+
+class RemoteClient(APIClient):
+    """Talks to a :class:`~repro.server.http.KGNetHTTPServer` over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        if "://" not in base_url:
+            # Accept bare "host:port" the way curl does (a plain urlsplit
+            # would read "localhost:8080" as scheme "localhost").
+            base_url = "http://" + base_url
+        split = urlsplit(base_url)
+        if split.scheme != "http":
+            raise APIError(f"RemoteClient speaks plain http, got {base_url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.base_path = split.path.rstrip("/")
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.Lock()
+        super().__init__(transport=self._post_envelope)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _request(self, method: str, target: str, body: Optional[bytes] = None,
+                 headers: Optional[Dict[str, str]] = None
+                 ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange on the persistent connection.
+
+        A stale keep-alive socket (idle timeout, server restart) is retried
+        once on a fresh connection — but only when the retry cannot
+        double-execute: the failure happened while *sending* (the request
+        never fully left), or the method is idempotent (GET).  A POST whose
+        response was lost mid-read propagates instead: the server may
+        already have applied it, and replaying an update/train/bulk-load
+        behind the caller's back is worse than an exception.
+        """
+        target = self.base_path + target
+        with self._lock:
+            while True:
+                reused = self._conn is not None
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout)
+                    try:
+                        self._conn.connect()
+                        # Headers and body leave in separate writes; without
+                        # TCP_NODELAY the body write can stall ~40ms behind
+                        # the server's delayed ACK (Nagle interaction).
+                        self._conn.sock.setsockopt(
+                            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    except OSError:
+                        self._drop_connection()
+                        raise
+                sent = False
+                try:
+                    self._conn.request(method, target, body=body,
+                                       headers=headers or {})
+                    sent = True
+                    response = self._conn.getresponse()
+                    payload = response.read()
+                except (http.client.HTTPException, ConnectionError, OSError):
+                    self._drop_connection()
+                    if reused and (not sent or method == "GET"):
+                        continue
+                    raise
+                if response.will_close:
+                    self._drop_connection()
+                return (response.status,
+                        {k.lower(): v for k, v in response.getheaders()},
+                        payload)
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Envelope transport (the APIClient surface rides on this)
+    # ------------------------------------------------------------------
+    def _post_envelope(self, raw: str) -> str:
+        status, headers, body = self._request(
+            "POST", "/kgnet/v1", body=raw.encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        text = body.decode("utf-8")
+        content_type = headers.get("content-type", "")
+        if "json" not in content_type:
+            raise APIError(
+                f"server answered HTTP {status} with non-envelope body "
+                f"({content_type!r}): {text[:200]!r}")
+        return text
+
+    # ------------------------------------------------------------------
+    # Raw SPARQL 1.1 Protocol
+    # ------------------------------------------------------------------
+    def protocol_query(self, query: str, accept: str = MEDIA_JSON,
+                       default_graph_uris: Optional[List[str]] = None,
+                       method: str = "GET",
+                       ) -> Tuple[int, str, str]:
+        """Run ``query`` through ``/sparql``; returns (status, type, body).
+
+        ``method="GET"`` sends ``?query=``; ``method="POST"`` sends a direct
+        ``application/sparql-query`` body (dataset URIs then travel in the
+        query string, as the protocol prescribes).
+        """
+        pairs = [("default-graph-uri", uri)
+                 for uri in (default_graph_uris or [])]
+        if method.upper() == "GET":
+            pairs.insert(0, ("query", query))
+            target = "/sparql?" + "&".join(
+                f"{name}={quote(value, safe='')}" for name, value in pairs)
+            status, headers, body = self._request(
+                "GET", target, headers={"Accept": accept})
+        else:
+            target = "/sparql"
+            if pairs:
+                target += "?" + "&".join(
+                    f"{name}={quote(value, safe='')}" for name, value in pairs)
+            status, headers, body = self._request(
+                "POST", target, body=query.encode("utf-8"),
+                headers={"Accept": accept,
+                         "Content-Type": "application/sparql-query"})
+        content_type = headers.get("content-type", "").split(";", 1)[0].strip()
+        return status, content_type, body.decode("utf-8")
+
+    def protocol_select(self, query: str,
+                        default_graph_uris: Optional[List[str]] = None,
+                        ) -> List[Dict[str, Dict[str, str]]]:
+        """SELECT via the protocol; returns the JSON results bindings."""
+        status, content_type, body = self.protocol_query(
+            query, accept=MEDIA_JSON, default_graph_uris=default_graph_uris)
+        if status != 200:
+            raise APIError(f"SPARQL protocol query failed: HTTP {status}: "
+                           f"{body[:500]}")
+        document = json.loads(body)
+        return document.get("results", {}).get("bindings", [])
+
+    def protocol_ask(self, query: str) -> bool:
+        status, _, body = self.protocol_query(query, accept=MEDIA_JSON)
+        if status != 200:
+            raise APIError(f"SPARQL protocol ASK failed: HTTP {status}: "
+                           f"{body[:500]}")
+        return bool(json.loads(body).get("boolean"))
+
+    def protocol_update(self, update: str,
+                        via_form: bool = False) -> Dict[str, object]:
+        """Apply ``update`` via POST; returns the response envelope dict."""
+        if via_form:
+            body = "update=" + quote(update, safe="")
+            status, _, text = self._request(
+                "POST", "/sparql", body=body.encode("utf-8"),
+                headers={"Content-Type": _FORM})
+        else:
+            status, _, text = self._request(
+                "POST", "/sparql", body=update.encode("utf-8"),
+                headers={"Content-Type": "application/sparql-update"})
+        payload = json.loads(text)
+        if status != 200 or not payload.get("ok", False):
+            raise APIError(f"SPARQL protocol update failed: HTTP {status}: "
+                           f"{text[:500]}")
+        return payload
+
+    def __repr__(self) -> str:
+        return f"<RemoteClient http://{self.host}:{self.port}{self.base_path}>"

@@ -1,0 +1,363 @@
+"""A pure-stdlib HTTP/1.1 server for the KGNet service boundary.
+
+:class:`KGNetHTTPServer` glues three existing pieces together and adds no
+policy of its own:
+
+* :class:`http.server.BaseHTTPRequestHandler` parses HTTP,
+* :class:`~repro.server.service.ServiceHandler` decides everything
+  (routing, negotiation, status codes),
+* the PR-3 :class:`~repro.concurrency.WorkerPool` runs connections: each
+  accepted socket is handed to the bounded pool, so a burst of clients
+  queues at the accept loop (TCP backlog + pool back-pressure) instead of
+  spawning an unbounded thread per connection.
+
+Connections are persistent (HTTP/1.1 keep-alive): one worker serves one
+connection for its lifetime, which means the concurrency limit is *open
+connections*, not requests.  Responses with byte bodies carry
+``Content-Length``; streaming bodies (negotiated SPARQL results) go out with
+chunked transfer encoding, coalesced into ~16 KB chunks so a million-row
+result neither buffers in memory nor drowns in per-row syscalls.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import socket
+import threading
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.concurrency import WorkerPool
+from repro.kgnet.api.router import APIRouter
+from repro.server.service import ServiceHandler, ServiceRequest, ServiceResponse
+
+__all__ = ["KGNetHTTPServer", "serve"]
+
+#: Streaming fragments are coalesced into chunks of about this many bytes.
+STREAM_CHUNK_BYTES = 16 * 1024
+
+#: Default cap on request bodies (see KGNetHTTPServer.max_request_bytes).
+MAX_REQUEST_BODY_BYTES = 256 * 1024 * 1024
+
+#: Per-connection idle timeout: a keep-alive client that goes quiet for this
+#: long has its connection closed so the worker slot frees up.
+CONNECTION_TIMEOUT_SECONDS = 60.0
+
+
+def _coalesce(chunks: Iterable[bytes], size: int) -> Iterator[bytes]:
+    """Re-chunk a byte stream into pieces of roughly ``size`` bytes."""
+    buffer = bytearray()
+    for chunk in chunks:
+        buffer += chunk
+        if len(buffer) >= size:
+            yield bytes(buffer)
+            buffer.clear()
+    if buffer:
+        yield bytes(buffer)
+
+
+class _RequestHandler(http.server.BaseHTTPRequestHandler):
+    """Adapts one HTTP exchange to the ServiceRequest/ServiceResponse pair."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "KGNetHTTP/1.0"
+    timeout = CONNECTION_TIMEOUT_SECONDS
+    # A response goes out as several small writes (status+headers, then
+    # body); with Nagle on, the second write can sit behind the peer's
+    # delayed ACK for ~40ms — a 1000x latency tax on loopback round-trips.
+    disable_nagle_algorithm = True
+
+    # The service handler answers every method the same way; unrouted ones
+    # get their 405 from it, with the Allow header filled in.
+    def do_GET(self) -> None:
+        self._dispatch()
+
+    def do_POST(self) -> None:
+        self._dispatch()
+
+    def do_PUT(self) -> None:
+        self._dispatch()
+
+    def do_DELETE(self) -> None:
+        self._dispatch()
+
+    def do_HEAD(self) -> None:
+        self._dispatch(drop_body=True)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Per-request stderr lines would swamp test output and benchmarks;
+        # observability lives in the router's RouteMetrics instead.
+        pass
+
+    # ------------------------------------------------------------------
+    def _reject(self, status: int, code: str, message: str) -> None:
+        """Answer an unreadable request and drop the connection.
+
+        The body bytes were never consumed, so keeping the connection alive
+        would let them be parsed as the *next* request line — close instead.
+        """
+        body = json.dumps({"ok": False,
+                           "error": {"code": code, "message": message}}
+                          ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+        self.close_connection = True
+
+    def _dispatch(self, drop_body: bool = False) -> None:
+        if "chunked" in self.headers.get("Transfer-Encoding", "").lower():
+            # Request bodies must be length-delimited: silently treating a
+            # chunked body as empty would leave its bytes in the stream to
+            # be misread as the next request on this keep-alive connection.
+            self._reject(411, "LENGTH_REQUIRED",
+                         "chunked request bodies are not supported; "
+                         "send Content-Length")
+            return
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header else 0
+        except ValueError:
+            self._reject(400, "BAD_REQUEST",
+                         f"unreadable Content-Length {length_header!r}")
+            return
+        if length < 0:
+            # RFC 9110: negative lengths are invalid.  Accepting one would
+            # leave the declared body unread in the stream, to be parsed as
+            # the NEXT request on this connection — request smuggling.
+            self._reject(400, "BAD_REQUEST",
+                         f"invalid negative Content-Length {length}")
+            return
+        limit = self.server.max_request_bytes  # type: ignore[attr-defined]
+        if length > limit:
+            # Refuse BEFORE buffering: one declared-gigantic body must not
+            # be read into memory just to be rejected.
+            self._reject(413, "PAYLOAD_TOO_LARGE",
+                         f"request body of {length} bytes exceeds the "
+                         f"server limit of {limit}")
+            return
+        body = self.rfile.read(length) if length > 0 else b""
+        request = ServiceRequest(
+            method=self.command,
+            target=self.path,
+            headers=dict(self.headers.items()),
+            body=body,
+        )
+        response = self.server.service.handle(request)  # type: ignore[attr-defined]
+        try:
+            self._write_response(response, drop_body=drop_body)
+        except (ConnectionError, BrokenPipeError, socket.timeout):
+            # The client went away mid-response; nothing to salvage.
+            self.close_connection = True
+
+    def _write_response(self, response: ServiceResponse,
+                        drop_body: bool) -> None:
+        if not response.is_streaming:
+            body = response.read_body()
+            self.send_response(response.status)
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if body and not drop_body:
+                self.wfile.write(body)
+            return
+        # Streaming bodies are never materialised — not even for HEAD or
+        # HTTP/1.0, where buffering "just to get Content-Length" would mean
+        # a result-sized memory spike per request:
+        if drop_body:
+            # HEAD: headers only, generator closed unconsumed.  With
+            # neither Content-Length nor Transfer-Encoding, no body is
+            # expected and the connection stays usable.
+            close = getattr(response.body, "close", None)
+            if close is not None:
+                close()
+            self.send_response(response.status)
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.end_headers()
+            return
+        if self.request_version == "HTTP/1.0":
+            # No chunked encoding before HTTP/1.1: close-delimited stream.
+            self.send_response(response.status)
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.send_header("Connection", "close")
+            self.end_headers()
+            for chunk in _coalesce(response.body, STREAM_CHUNK_BYTES):
+                self.wfile.write(chunk)
+            self.close_connection = True
+            return
+        self.send_response(response.status)
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for chunk in _coalesce(response.body, STREAM_CHUNK_BYTES):
+            self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
+            self.wfile.write(chunk)
+            self.wfile.write(b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
+
+
+class KGNetHTTPServer(http.server.HTTPServer):
+    """The platform's HTTP front door, worker-pool threaded.
+
+    Construct it over an :class:`~repro.kgnet.api.router.APIRouter` (or a
+    ready :class:`ServiceHandler`), then either call :meth:`start` for a
+    background accept thread or :meth:`serve_forever` to own the thread::
+
+        server = KGNetHTTPServer(("127.0.0.1", 0), router=platform.api)
+        with server.start() as running:
+            requests.get(running.base_url + "/sparql?query=...")
+
+    ``port=0`` binds an ephemeral port; read it back via :attr:`base_url`.
+    """
+
+    allow_reuse_address = True
+    # Accepted-but-unserved connections wait here while the pool is busy.
+    request_queue_size = 64
+
+    def __init__(self, address: Tuple[str, int],
+                 router: Optional[APIRouter] = None,
+                 service: Optional[ServiceHandler] = None,
+                 max_workers: int = 8) -> None:
+        if service is None:
+            if router is None:
+                raise ValueError("KGNetHTTPServer needs a router or a service")
+            service = ServiceHandler(router)
+        self.service = service
+        self._accept_thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._stopping = False
+        #: Largest request body accepted before answering 413.  Generous —
+        #: envelope bulk-loads legitimately carry whole KGs — but bounded,
+        #: so one client cannot buffer the process into the ground.
+        self.max_request_bytes = MAX_REQUEST_BODY_BYTES
+        # Bind BEFORE spawning workers: a failed bind (port in use) raises
+        # out of the constructor, where stop() can never run — worker
+        # threads started first would leak for the process lifetime.
+        super().__init__(address, _RequestHandler)
+        self._pool = WorkerPool(max_workers=max_workers,
+                                max_pending=4 * max_workers,
+                                name="kgnet-http")
+
+    # ------------------------------------------------------------------
+    # socketserver integration
+    # ------------------------------------------------------------------
+    def process_request(self, request, client_address) -> None:
+        """Hand the accepted connection to the worker pool.
+
+        A full pending queue stalls the accept loop — further clients wait
+        in the TCP backlog, which is exactly the back-pressure story the
+        pool exists for — but the wait is taken in bounded slices so a
+        saturated pool can never wedge the loop past a shutdown request:
+        an unbounded ``submit`` here would leave ``stop()`` waiting forever
+        on an accept thread that never returns to ``serve_forever``.
+        """
+        while True:
+            try:
+                future = self._pool.try_submit(
+                    self._serve_connection, request, client_address,
+                    timeout=0.5)
+            except RuntimeError:
+                # Pool already shut down (server stopping): refuse politely.
+                self.shutdown_request(request)
+                return
+            if future is not None:
+                return
+            if self._stopping:
+                self.shutdown_request(request)
+                return
+
+    def _serve_connection(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:  # noqa: BLE001 — a dying connection is not fatal
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        # Clients dropping keep-alive sockets mid-read are routine; keep the
+        # default traceback spew for anything that is not a connection issue.
+        import sys
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, BrokenPipeError, socket.timeout)):
+            return
+        super().handle_error(request, client_address)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        if ":" in str(host):  # IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{port}"
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def start(self) -> "KGNetHTTPServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._accept_thread is not None:
+            return self
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name="kgnet-http-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, and release pool workers.
+
+        Safe to call on a server that was never started — ``shutdown`` only
+        runs when an accept loop is live, because HTTPServer.shutdown()
+        otherwise blocks forever on an event only serve_forever sets.
+        In-flight keep-alive connections are served by daemon threads and
+        die with the process; orderly clients close their side first.
+        """
+        self._stopping = True
+        if self._serving or self._accept_thread is not None:
+            # With an accept thread the flag may not be set yet, but
+            # shutdown() is still safe: serve_forever observes the request
+            # even when it arrives before the loop starts.
+            self.shutdown()
+        self.server_close()
+        # cancel_pending: without it a full pending queue would block the
+        # sentinel insertion behind busy workers; the drained tasks carry
+        # the accepted-but-unserved client sockets, which must be closed
+        # here or a long-lived embedding process leaks one fd per abandoned
+        # connection on every stop-under-load.
+        for _, args, _ in self._pool.shutdown(wait=False, cancel_pending=True):
+            try:
+                self.shutdown_request(args[0])
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "KGNetHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+def serve(router: APIRouter, host: str = "127.0.0.1", port: int = 0,
+          max_workers: int = 8) -> KGNetHTTPServer:
+    """Build and start a background server over ``router``; returns it.
+
+    The caller owns shutdown: ``server.stop()`` (or use it as a context
+    manager).  ``port=0`` picks a free port — read ``server.base_url``.
+    """
+    return KGNetHTTPServer((host, port), router=router,
+                           max_workers=max_workers).start()

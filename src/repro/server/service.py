@@ -1,0 +1,430 @@
+"""The transport-agnostic service boundary.
+
+:class:`ServiceHandler` is the whole HTTP API expressed over plain value
+objects: a :class:`ServiceRequest` in, a :class:`ServiceResponse` out, no
+sockets anywhere.  The stdlib HTTP server in :mod:`repro.server.http` is one
+transport for it; the protocol-conformance tests drive it directly, and any
+other transport (ASGI, a test harness, a message queue) could too.
+
+Routes
+------
+
+``GET /`` / ``GET /health``
+    Service description: API version, operations, endpoint paths.
+
+``GET/POST /sparql``
+    The W3C SPARQL 1.1 Protocol.  Queries arrive as ``query=`` (GET or
+    form-encoded POST) or as a direct ``application/sparql-query`` body;
+    updates as ``update=`` (POST only) or ``application/sparql-update``.
+    ``default-graph-uri=`` composes the protocol dataset.  Results are
+    content-negotiated on ``Accept`` across the SPARQL 1.1 JSON/XML/CSV/TSV
+    result formats (N-Triples/Turtle for CONSTRUCT) and stream row-by-row.
+
+``POST /kgnet/v1/<op>`` and ``POST /kgnet/v1``
+    The versioned JSON envelope API: the body is either the operation's bare
+    ``params`` object (op taken from the path) or a full
+    :class:`~repro.kgnet.api.envelopes.APIRequest` envelope.  Every response
+    body is the :class:`~repro.kgnet.api.envelopes.APIResponse` envelope.
+
+Error contract
+--------------
+
+Everything dispatches through the :class:`~repro.kgnet.api.router.APIRouter`,
+so failures come back as envelopes carrying the stable error codes of
+:mod:`repro.kgnet.api.errors`; :data:`HTTP_STATUS_BY_CODE` maps those codes
+onto HTTP statuses by one principle — *who must act to fix it*: malformed
+input is 4xx (400 bad request / parse / query errors, 404 unknown things,
+406 not acceptable, 410 expired cursors, 413 exhausted budgets, 415 wrong
+media type), missing capability is 5xx (501 unsupported features, 500
+everything the server broke).  The JSON error envelope always rides along as
+the response body, so a client can match on ``error.code`` regardless of
+transport.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.exceptions import BadRequestError, UnsupportedFeatureError
+from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
+from repro.kgnet.api.errors import error_payload
+from repro.kgnet.api.router import APIRouter
+from repro.sparql.results.serialize import (
+    ALL_MEDIA_TYPES,
+    MEDIA_JSON,
+    NotAcceptable,
+    negotiate,
+    negotiate_media_type,
+    serialize_result,
+)
+
+__all__ = [
+    "HTTP_STATUS_BY_CODE",
+    "http_status_for_error",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceHandler",
+    "SPARQL_PATH",
+    "ENVELOPE_PATH",
+]
+
+SPARQL_PATH = "/sparql"
+ENVELOPE_PATH = "/kgnet/v1"
+
+MEDIA_SPARQL_QUERY = "application/sparql-query"
+MEDIA_SPARQL_UPDATE = "application/sparql-update"
+MEDIA_FORM = "application/x-www-form-urlencoded"
+
+#: Stable error code -> HTTP status.  Codes absent here are server faults
+#: (500); the table must only ever grow, like the code registry it mirrors.
+HTTP_STATUS_BY_CODE: Dict[str, int] = {
+    # The client sent something malformed: fix the request.
+    "BAD_REQUEST": 400,
+    "PARSE_ERROR": 400,
+    "QUERY_ERROR": 400,
+    "UPDATE_ERROR": 400,
+    "TERM_ERROR": 400,
+    "SPARQL_ERROR": 400,
+    "UDF_ERROR": 400,
+    "SPARQLML_ERROR": 400,
+    "MODEL_SELECTION_ERROR": 400,
+    "META_SAMPLING_ERROR": 400,
+    # The client named something that does not exist.
+    "UNKNOWN_OPERATION": 404,
+    "MODEL_NOT_FOUND": 404,
+    # The client's preferences cannot be met.
+    "NOT_ACCEPTABLE": 406,
+    # The resource existed once and is gone for good.
+    "CURSOR_ERROR": 410,
+    # The request was fine but exceeded its declared resource budget.
+    "BUDGET_EXCEEDED": 413,
+    # The server understands the request but lacks the capability.
+    "UNSUPPORTED_FEATURE": 501,
+}
+
+#: Status for NotAcceptable failures, which carry the API_ERROR family code.
+_NOT_ACCEPTABLE = 406
+
+
+def http_status_for_error(code: str) -> int:
+    """HTTP status for a stable API error code (500 for server faults)."""
+    return HTTP_STATUS_BY_CODE.get(code, 500)
+
+
+def _decode_utf8(body: bytes) -> str:
+    """Decode a protocol request body, mapping bad bytes to a 400, not a 500.
+
+    The body is client input: undecodable bytes are the client's fault and
+    must surface as BAD_REQUEST per the status contract above (the envelope
+    path already does this; the raw-protocol paths must match).
+    """
+    try:
+        return body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BadRequestError(f"request body is not valid UTF-8: {exc}")
+
+
+@dataclass
+class ServiceRequest:
+    """One transport-independent request.
+
+    ``target`` is the raw request target (path plus optional query string);
+    ``headers`` keys are lower-cased on construction so lookups are
+    case-insensitive, as HTTP requires.
+    """
+
+    method: str
+    target: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        self.headers = {k.lower(): v for k, v in self.headers.items()}
+        split = urlsplit(self.target)
+        #: Percent-decoded path, without the query string (a client may
+        #: legally encode any path character; routing must not care).
+        self.path: str = unquote(split.path) or "/"
+        #: Query-string parameters, each name mapped to its value list.
+        self.query_params: Dict[str, List[str]] = parse_qs(
+            split.query, keep_blank_values=True)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+    def content_type(self) -> Optional[str]:
+        """The media type of the body, without parameters, lower-cased."""
+        raw = self.header("content-type")
+        if raw is None:
+            return None
+        return raw.split(";", 1)[0].strip().lower() or None
+
+
+@dataclass
+class ServiceResponse:
+    """One transport-independent response.
+
+    ``body`` is either bytes (transports send ``Content-Length``) or an
+    iterable of byte chunks (transports stream, e.g. with chunked transfer
+    encoding).  ``headers`` always includes ``Content-Type``.
+    """
+
+    status: int
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: Union[bytes, Iterable[bytes]] = b""
+
+    @property
+    def is_streaming(self) -> bool:
+        return not isinstance(self.body, (bytes, bytearray))
+
+    def read_body(self) -> bytes:
+        """Materialise the body (drains a streaming body)."""
+        if isinstance(self.body, (bytes, bytearray)):
+            return bytes(self.body)
+        self.body = b"".join(self.body)
+        return self.body
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def json(cls, payload: object, status: int = 200,
+             headers: Optional[List[Tuple[str, str]]] = None) -> "ServiceResponse":
+        body = json.dumps(payload).encode("utf-8")
+        all_headers = [("Content-Type", "application/json; charset=utf-8")]
+        all_headers.extend(headers or [])
+        return cls(status=status, headers=all_headers, body=body)
+
+    @classmethod
+    def stream(cls, fragments: Iterable[str], content_type: str,
+               status: int = 200) -> "ServiceResponse":
+        def encode() -> Iterator[bytes]:
+            for fragment in fragments:
+                yield fragment.encode("utf-8")
+        return cls(status=status,
+                   headers=[("Content-Type",
+                             f"{content_type}; charset=utf-8")],
+                   body=encode())
+
+
+class ServiceHandler:
+    """Routes service requests through one :class:`APIRouter`.
+
+    The handler is stateless beyond the router reference and safe to share
+    across serving threads (the router's dispatch already is).  It never
+    raises: every failure — including transport-level ones like an unknown
+    path — becomes a JSON error envelope with a mapped status.
+    """
+
+    def __init__(self, router: APIRouter) -> None:
+        self.router = router
+
+    # ------------------------------------------------------------------
+    def handle(self, request: ServiceRequest) -> ServiceResponse:
+        try:
+            path = request.path.rstrip("/") or "/"
+            if path == SPARQL_PATH:
+                return self._handle_sparql_protocol(request)
+            if path == ENVELOPE_PATH or path.startswith(ENVELOPE_PATH + "/"):
+                return self._handle_envelope(request, path)
+            if path in ("/", "/health"):
+                return self._handle_description(request)
+            return self._error_response(
+                "NOT_FOUND", f"no route for {request.path!r}; serve paths are "
+                f"{SPARQL_PATH}, {ENVELOPE_PATH}/<op>, /health", 404)
+        except NotAcceptable as exc:
+            payload = error_payload(exc)
+            payload["code"] = "NOT_ACCEPTABLE"
+            payload["supported"] = list(exc.offered)
+            return ServiceResponse.json({"ok": False, "error": payload},
+                                        status=_NOT_ACCEPTABLE)
+        except Exception as exc:  # noqa: BLE001 — the boundary never raises
+            payload = error_payload(exc)
+            status = http_status_for_error(str(payload.get("code")))
+            return ServiceResponse.json({"ok": False, "error": payload},
+                                        status=status)
+
+    # ------------------------------------------------------------------
+    # Simple routes
+    # ------------------------------------------------------------------
+    def _handle_description(self, request: ServiceRequest) -> ServiceResponse:
+        if request.method not in ("GET", "HEAD"):
+            return self._method_not_allowed(request, allow="GET")
+        return ServiceResponse.json({
+            "service": "kgnet",
+            "api_version": API_VERSION,
+            "protocol": {"sparql": SPARQL_PATH, "envelopes": ENVELOPE_PATH},
+            "operations": self.router.operations(),
+        })
+
+    def _method_not_allowed(self, request: ServiceRequest,
+                            allow: str) -> ServiceResponse:
+        response = self._error_response(
+            "METHOD_NOT_ALLOWED",
+            f"{request.method} is not allowed on {request.path!r}", 405)
+        response.headers.append(("Allow", allow))
+        return response
+
+    @staticmethod
+    def _error_response(code: str, message: str, status: int) -> ServiceResponse:
+        return ServiceResponse.json(
+            {"ok": False, "error": {"code": code, "message": message}},
+            status=status)
+
+    # ------------------------------------------------------------------
+    # SPARQL 1.1 Protocol
+    # ------------------------------------------------------------------
+    def _handle_sparql_protocol(self, request: ServiceRequest) -> ServiceResponse:
+        # HEAD is GET minus the body (RFC 9110 requires it wherever GET
+        # works); the HTTP transport drops the body, this layer must not 405.
+        method = "GET" if request.method == "HEAD" else request.method
+        if method not in ("GET", "POST"):
+            return self._method_not_allowed(request, allow="GET, HEAD, POST")
+        params = {name: list(values)
+                  for name, values in request.query_params.items()}
+        query: Optional[str] = None
+        update: Optional[str] = None
+
+        if method == "GET":
+            if "update" in params:
+                raise BadRequestError(
+                    "SPARQL updates must use POST (protocol §2.2)")
+        else:
+            content_type = request.content_type()
+            if content_type == MEDIA_FORM:
+                body_params = parse_qs(_decode_utf8(request.body),
+                                       keep_blank_values=True)
+                for name, values in body_params.items():
+                    params.setdefault(name, []).extend(values)
+            elif content_type == MEDIA_SPARQL_QUERY:
+                query = _decode_utf8(request.body)
+            elif content_type == MEDIA_SPARQL_UPDATE:
+                update = _decode_utf8(request.body)
+            else:
+                payload = {
+                    "ok": False,
+                    "error": {
+                        "code": "UNSUPPORTED_MEDIA_TYPE",
+                        "message": (
+                            f"unsupported Content-Type {content_type!r} for "
+                            f"POST {SPARQL_PATH}; use {MEDIA_FORM}, "
+                            f"{MEDIA_SPARQL_QUERY} or {MEDIA_SPARQL_UPDATE}"),
+                    },
+                }
+                return ServiceResponse.json(payload, status=415)
+
+        if query is None and "query" in params:
+            query = self._single(params, "query")
+        if update is None and "update" in params:
+            update = self._single(params, "update")
+        if (query is None) == (update is None):
+            raise BadRequestError(
+                "exactly one of 'query' or 'update' must be supplied")
+        for unsupported in ("named-graph-uri", "using-graph-uri",
+                            "using-named-graph-uri"):
+            if params.get(unsupported):
+                # Dropping these silently would run the request against the
+                # WRONG dataset (e.g. a DELETE meant for one graph wiping
+                # the default graph) — refuse loudly instead.
+                raise UnsupportedFeatureError(
+                    f"{unsupported} dataset selection is not supported yet; "
+                    "address named graphs with GRAPH patterns (or "
+                    "default-graph-uri for queries)")
+        default_graphs = params.get("default-graph-uri") or None
+
+        if update is not None:
+            if default_graphs:
+                raise BadRequestError(
+                    "default-graph-uri does not apply to updates "
+                    "(use using-graph-uri semantics via USING/WITH)")
+            return self._dispatch_update(update)
+        return self._dispatch_query(query, default_graphs,
+                                    request.header("accept"))
+
+    @staticmethod
+    def _single(params: Dict[str, List[str]], name: str) -> str:
+        values = params[name]
+        if len(values) != 1:
+            raise BadRequestError(
+                f"parameter {name!r} must appear exactly once, got {len(values)}")
+        return values[0]
+
+    def _dispatch_query(self, query: str,
+                        default_graphs: Optional[List[str]],
+                        accept: Optional[str]) -> ServiceResponse:
+        if accept is not None and negotiate(accept, ALL_MEDIA_TYPES) is None:
+            # Hopeless Accept header: refuse BEFORE evaluating — a client
+            # polling with the wrong Accept must cost a 406, not a full
+            # query execution per request.  (The exact per-result-kind
+            # negotiation still runs on the result below.)
+            raise NotAcceptable(accept, ALL_MEDIA_TYPES)
+        api_params: Dict[str, object] = {"query": query, "require": "query"}
+        if default_graphs:
+            api_params["default_graph_uris"] = default_graphs
+        response = self.router.dispatch(APIRequest(op="sparql",
+                                                   params=api_params))
+        if not response.ok:
+            return self._envelope_response(response)
+        # In-process dispatch rides the rich result along as the attachment:
+        # serialization streams straight off the ResultSet/Graph without the
+        # JSON projection the envelope transport would pay for.
+        result = response.attachment
+        media_type = negotiate_media_type(accept, result)
+        return ServiceResponse.stream(serialize_result(result, media_type),
+                                      content_type=media_type)
+
+    def _dispatch_update(self, update: str) -> ServiceResponse:
+        response = self.router.dispatch(APIRequest(
+            op="sparql", params={"query": update, "require": "update"}))
+        if not response.ok:
+            return self._envelope_response(response)
+        return ServiceResponse.json(response.to_dict())
+
+    # ------------------------------------------------------------------
+    # kgnet/v1 JSON envelopes
+    # ------------------------------------------------------------------
+    def _handle_envelope(self, request: ServiceRequest,
+                         path: str) -> ServiceResponse:
+        if request.method != "POST":
+            return self._method_not_allowed(request, allow="POST")
+        path_op = path[len(ENVELOPE_PATH):].lstrip("/") or None
+        if request.body:
+            try:
+                payload = json.loads(request.body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise BadRequestError(f"request body is not valid JSON: {exc}")
+        else:
+            payload = {}
+        if not isinstance(payload, dict):
+            raise BadRequestError(
+                f"request body must be a JSON object, got {type(payload).__name__}")
+
+        if "op" in payload:
+            envelope = APIRequest.from_dict(payload)
+            if path_op is not None and envelope.op != path_op:
+                raise BadRequestError(
+                    f"envelope op {envelope.op!r} contradicts the request "
+                    f"path op {path_op!r}")
+        else:
+            if path_op is None:
+                raise BadRequestError(
+                    f"POST {ENVELOPE_PATH} requires a full request envelope; "
+                    f"POST {ENVELOPE_PATH}/<op> accepts bare params")
+            envelope = APIRequest(op=path_op, params=payload)
+        return self._envelope_response(self.router.dispatch(envelope))
+
+    def _envelope_response(self, response: APIResponse) -> ServiceResponse:
+        if response.ok:
+            status = 200
+        else:
+            status = http_status_for_error(
+                str((response.error or {}).get("code")))
+        return ServiceResponse.json(response.to_dict(), status=status)

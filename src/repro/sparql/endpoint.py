@@ -273,19 +273,44 @@ class SPARQLEndpoint:
         self.plan_cache.store(key, parsed, plan, epoch)
         return parsed, plan, False
 
-    def execute(self, text: str):
+    def execute(self, text: str,
+                default_graph_iris: Optional[List[Union[str, IRI]]] = None,
+                require: Optional[str] = None):
         """Parse once and route a query *or* an update from the AST.
 
         Unlike :meth:`query` / :meth:`update`, which require the caller to
         know the request kind up front, ``execute`` lets the parser decide:
         SELECT / ASK / CONSTRUCT requests return their evaluation result,
         update requests return the number of affected triples.
+
+        ``default_graph_iris`` is the SPARQL 1.1 *Protocol* dataset override
+        (``default-graph-uri=``): when given, the query evaluates against the
+        union of exactly those named graphs (overriding any ``FROM`` clause,
+        as the protocol prescribes).  It never applies to updates.
+
+        ``require`` pins the request kind before anything executes: pass
+        ``"query"`` or ``"update"`` to reject the other kind with a
+        :class:`~repro.exceptions.QueryError` — the HTTP protocol endpoint
+        must not let an update smuggled into ``query=`` mutate the store.
         """
         parsed, plan, cache_hit = self._cached_parse(text)
         if isinstance(parsed, list):
+            if require == "query":
+                raise QueryError(
+                    "the request is a SPARQL update, not a query; "
+                    "send it through the update operation")
+            if default_graph_iris:
+                raise QueryError(
+                    "protocol dataset selection (default-graph-uri) does not "
+                    "apply to updates; use USING / WITH in the request")
             return self._run_updates(parsed, text, cache_hit=cache_hit)
+        if require == "update":
+            raise QueryError(
+                "the request is a SPARQL query, not an update; "
+                "send it through the query operation")
         return self._run_query(parsed, text, graph_iri=None, plan=plan,
-                               cache_hit=cache_hit)
+                               cache_hit=cache_hit,
+                               default_graph_iris=default_graph_iris)
 
     def query(self, text: str, graph_iri: Optional[Union[str, IRI]] = None):
         """Parse and evaluate a SELECT / ASK / CONSTRUCT query.
@@ -301,12 +326,29 @@ class SPARQLEndpoint:
         return self._run_query(parsed, text, graph_iri=graph_iri, plan=plan,
                                cache_hit=cache_hit)
 
+    def _protocol_graph(self, graph_iris: List[Union[str, IRI]]):
+        """Pin the dataset a protocol ``default-graph-uri`` request names.
+
+        Delegates to :meth:`DatasetSnapshot.union_of
+        <repro.rdf.dataset.DatasetSnapshot.union_of>`: a logical, pinned,
+        per-epoch-cached view — never a per-request copy, and
+        identity-stable so repeated protocol queries reuse their compiled
+        plans.  Graph IRIs the dataset does not hold contribute nothing —
+        per the protocol the service composes the dataset from the
+        documents it can resolve, and an unknown one is empty here.
+        """
+        iris = tuple(IRI(g) if isinstance(g, str) else g for g in graph_iris)
+        return self.dataset.snapshot().union_of(iris)
+
     def _run_query(self, query: Query, text: str,
                    graph_iri: Optional[Union[str, IRI]] = None,
                    plan: Optional[QueryPlan] = None,
-                   cache_hit: bool = False):
+                   cache_hit: bool = False,
+                   default_graph_iris: Optional[List[Union[str, IRI]]] = None):
         """Evaluate an already-parsed query, recording statistics."""
-        if graph_iri is not None:
+        if default_graph_iris:
+            graph = self._protocol_graph(default_graph_iris)
+        elif graph_iri is not None:
             # Pin like every other path: a concurrent writer must not mutate
             # the buckets this query's join pipeline is iterating.
             graph = self.dataset.graph(graph_iri).snapshot()

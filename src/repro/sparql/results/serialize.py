@@ -1,0 +1,382 @@
+"""Streaming SPARQL 1.1 result serialization and content negotiation.
+
+This module is the wire half of the results API: it turns the in-memory
+evaluation results (:class:`~repro.sparql.results.core.ResultSet`, the ASK
+``bool``, the CONSTRUCT :class:`~repro.rdf.graph.Graph`) into the standard
+SPARQL 1.1 response formats a stock client understands:
+
+* ``application/sparql-results+json``  (SPARQL 1.1 Query Results JSON),
+* ``application/sparql-results+xml``   (SPARQL Query Results XML),
+* ``text/csv`` / ``text/tab-separated-values`` (SELECT only, per the W3C
+  CSV/TSV results note),
+* ``application/n-triples`` / ``text/turtle`` for CONSTRUCT graphs.
+
+Every writer is a generator yielding string fragments — header first, then
+one fragment per solution row — so an HTTP transport can stream an
+arbitrarily large result with chunked transfer encoding while holding only
+one row's serialization in memory.  :func:`negotiate_media_type` implements
+``Accept``-header negotiation (q-values, ``type/*`` and ``*/*`` ranges) over
+the formats applicable to a given result kind and raises
+:class:`NotAcceptable` when the client's preferences cannot be met.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape as _xml_escape
+from xml.sax.saxutils import quoteattr as _xml_attr
+
+from repro.exceptions import APIError, QueryError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, Variable, XSD_STRING
+from repro.sparql.results.core import ResultSet, Solution
+
+__all__ = [
+    "MEDIA_JSON",
+    "MEDIA_XML",
+    "MEDIA_CSV",
+    "MEDIA_TSV",
+    "MEDIA_NTRIPLES",
+    "MEDIA_TURTLE",
+    "RESULT_MEDIA_TYPES",
+    "BOOLEAN_MEDIA_TYPES",
+    "GRAPH_MEDIA_TYPES",
+    "NotAcceptable",
+    "parse_accept",
+    "negotiate",
+    "negotiate_media_type",
+    "binding_json",
+    "serialize_result",
+]
+
+MEDIA_JSON = "application/sparql-results+json"
+MEDIA_XML = "application/sparql-results+xml"
+MEDIA_CSV = "text/csv"
+MEDIA_TSV = "text/tab-separated-values"
+MEDIA_NTRIPLES = "application/n-triples"
+MEDIA_TURTLE = "text/turtle"
+
+#: Formats offered for SELECT results, in server preference order (the first
+#: acceptable one wins ties).  ``application/json`` is a courtesy alias many
+#: generic HTTP clients send; it serves the SPARQL JSON format.
+RESULT_MEDIA_TYPES: Tuple[str, ...] = (
+    MEDIA_JSON, MEDIA_XML, MEDIA_CSV, MEDIA_TSV, "application/json")
+
+#: Formats offered for ASK results (the CSV/TSV note covers SELECT only).
+BOOLEAN_MEDIA_TYPES: Tuple[str, ...] = (MEDIA_JSON, MEDIA_XML, "application/json")
+
+#: Formats offered for CONSTRUCT graphs.
+GRAPH_MEDIA_TYPES: Tuple[str, ...] = (MEDIA_NTRIPLES, MEDIA_TURTLE, "text/plain")
+
+#: Every media type some result kind can serialize to — the cheap pre-check
+#: a server runs BEFORE executing a query, so a hopeless ``Accept`` header
+#: costs a 406, not a full evaluation (exact per-kind negotiation still
+#: happens on the result).
+ALL_MEDIA_TYPES: Tuple[str, ...] = tuple(dict.fromkeys(
+    RESULT_MEDIA_TYPES + BOOLEAN_MEDIA_TYPES + GRAPH_MEDIA_TYPES))
+
+_XMLNS = "http://www.w3.org/2005/sparql-results#"
+
+
+class NotAcceptable(APIError):
+    """No offered media type satisfies the request's ``Accept`` header."""
+
+    def __init__(self, accept: str, offered: Sequence[str]) -> None:
+        self.accept = accept
+        self.offered = tuple(offered)
+        super().__init__(
+            f"no acceptable result format for Accept: {accept!r}; "
+            f"supported: {', '.join(offered)}")
+
+
+# ---------------------------------------------------------------------------
+# Content negotiation
+# ---------------------------------------------------------------------------
+
+def parse_accept(header: Optional[str]) -> List[Tuple[str, float]]:
+    """Parse an ``Accept`` header into ``(media_range, q)`` pairs.
+
+    Pairs come back in client preference order: descending q, then more
+    specific ranges before wildcards, then header order.  Malformed entries
+    (bad q-values, empty ranges) are skipped rather than rejected — the
+    header is advisory and a sloppy client should still get an answer.
+    """
+    if not header:
+        return []
+    entries: List[Tuple[str, float, int, int]] = []
+    for index, part in enumerate(header.split(",")):
+        pieces = part.strip().split(";")
+        media = pieces[0].strip().lower()
+        if not media or "/" not in media:
+            continue
+        quality = 1.0
+        for param in pieces[1:]:
+            name, _, value = param.strip().partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    quality = float(value.strip())
+                except ValueError:
+                    quality = 1.0
+                quality = min(max(quality, 0.0), 1.0)
+        if media == "*/*":
+            specificity = 0
+        elif media.endswith("/*"):
+            specificity = 1
+        else:
+            specificity = 2
+        entries.append((media, quality, specificity, index))
+    entries.sort(key=lambda e: (-e[1], -e[2], e[3]))
+    return [(media, quality) for media, quality, _, _ in entries]
+
+
+def _range_matches(media_range: str, offered: str) -> bool:
+    if media_range == "*/*":
+        return True
+    if media_range.endswith("/*"):
+        return offered.split("/", 1)[0] == media_range.split("/", 1)[0]
+    return media_range == offered
+
+
+def negotiate(accept: Optional[str], offered: Sequence[str]) -> Optional[str]:
+    """Pick the best of ``offered`` for an ``Accept`` header.
+
+    No header (or an empty one) means "anything": the server's first offer
+    wins.  Per RFC 9110 each offered type's effective quality comes from the
+    *most specific* matching range — so ``type;q=0, */*`` excludes ``type``
+    while still accepting everything else (a plain first-match walk would
+    hand back exactly the format the client vetoed).  Ties in quality break
+    toward the server's offer order.  Returns None when nothing survives.
+    """
+    ranges = parse_accept(accept)
+    if not ranges:
+        return offered[0] if offered else None
+    best: Optional[str] = None
+    best_quality = 0.0
+    for candidate in offered:
+        quality = 0.0
+        specificity = -1
+        for media_range, range_quality in ranges:
+            if not _range_matches(media_range, candidate):
+                continue
+            if media_range == "*/*":
+                range_spec = 0
+            elif media_range.endswith("/*"):
+                range_spec = 1
+            else:
+                range_spec = 2
+            # parse_accept sorts by descending q, so the first match at the
+            # highest specificity carries that specificity's best q.
+            if range_spec > specificity:
+                specificity = range_spec
+                quality = range_quality
+        if quality > best_quality:
+            best = candidate
+            best_quality = quality
+    return best
+
+
+def negotiate_media_type(accept: Optional[str], result: object) -> str:
+    """Negotiate the response format for one evaluation result.
+
+    ``result`` decides the offer: :class:`ResultSet` offers the four SELECT
+    formats, ``bool`` the JSON/XML boolean formats, :class:`Graph` the RDF
+    serializations.  Raises :class:`NotAcceptable` when negotiation fails.
+    """
+    if isinstance(result, ResultSet):
+        offered: Sequence[str] = RESULT_MEDIA_TYPES
+    elif isinstance(result, bool):
+        offered = BOOLEAN_MEDIA_TYPES
+    elif isinstance(result, Graph):
+        offered = GRAPH_MEDIA_TYPES
+    else:
+        raise QueryError(
+            f"no media types exist for result type {type(result).__name__}")
+    chosen = negotiate(accept, offered)
+    if chosen is None:
+        raise NotAcceptable(accept or "", offered)
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Term encodings
+# ---------------------------------------------------------------------------
+
+def binding_json(term: Term) -> dict:
+    """One RDF term as a SPARQL JSON results binding object."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.id}
+    if isinstance(term, Literal):
+        obj = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            obj["xml:lang"] = term.language
+        elif term.datatype != XSD_STRING:
+            obj["datatype"] = term.datatype.value
+        return obj
+    raise QueryError(f"cannot serialize term type {type(term).__name__}")
+
+
+#: Code points XML 1.0 cannot carry at all — not even as character
+#: references.  Literals may legitimately hold them (the Turtle parser
+#: accepts the ``\u0001`` escape); emitting them raw would make every conformant
+#: client's XML parser reject the whole response, so they degrade to
+#: U+FFFD in this one format (JSON/CSV/TSV represent them losslessly).
+_XML_UNREPRESENTABLE = re.compile(r"[\x00-\x08\x0B\x0C\x0E-\x1F]")
+
+
+def _xml_text(text: str) -> str:
+    return _xml_escape(_XML_UNREPRESENTABLE.sub("�", text))
+
+
+def _binding_xml(name: str, term: Term) -> str:
+    if isinstance(term, IRI):
+        body = f"<uri>{_xml_text(term.value)}</uri>"
+    elif isinstance(term, BNode):
+        body = f"<bnode>{_xml_text(term.id)}</bnode>"
+    elif isinstance(term, Literal):
+        text = _xml_text(term.lexical)
+        if term.language is not None:
+            body = f"<literal xml:lang={_xml_attr(term.language)}>{text}</literal>"
+        elif term.datatype != XSD_STRING:
+            body = (f"<literal datatype={_xml_attr(term.datatype.value)}>"
+                    f"{text}</literal>")
+        else:
+            body = f"<literal>{text}</literal>"
+    else:
+        raise QueryError(f"cannot serialize term type {type(term).__name__}")
+    return f"<binding name={_xml_attr(name)}>{body}</binding>"
+
+
+def _csv_value(term: Optional[Term]) -> str:
+    """W3C CSV results encoding: raw lexical forms, RFC 4180 quoting."""
+    if term is None:
+        return ""
+    if isinstance(term, BNode):
+        value = f"_:{term.id}"
+    elif isinstance(term, IRI):
+        value = term.value
+    else:
+        value = term.lexical  # type: ignore[union-attr]
+    if any(ch in value for ch in (",", '"', "\n", "\r")):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def _tsv_value(term: Optional[Term]) -> str:
+    """W3C TSV results encoding: full SPARQL term syntax, empty if unbound."""
+    return "" if term is None else term.n3()
+
+
+# ---------------------------------------------------------------------------
+# Streaming writers (generators of string fragments)
+# ---------------------------------------------------------------------------
+
+def write_select_json(variables: Sequence[Variable],
+                      solutions: Iterable[Solution]) -> Iterator[str]:
+    head = json.dumps({"head": {"vars": [v.name for v in variables]}},
+                      separators=(",", ":"))
+    yield head[:-1] + ',"results":{"bindings":['
+    first = True
+    for solution in solutions:
+        row = {var.name: binding_json(term) for var, term in solution.items()}
+        fragment = json.dumps(row, separators=(",", ":"))
+        yield fragment if first else "," + fragment
+        first = False
+    yield "]}}"
+
+
+def write_ask_json(value: bool) -> Iterator[str]:
+    yield json.dumps({"head": {}, "boolean": bool(value)},
+                     separators=(",", ":"))
+
+
+def write_select_xml(variables: Sequence[Variable],
+                     solutions: Iterable[Solution]) -> Iterator[str]:
+    head = "".join(f'<variable name={_xml_attr(v.name)}/>' for v in variables)
+    yield (f'<?xml version="1.0"?>\n<sparql xmlns="{_XMLNS}">'
+           f"<head>{head}</head><results>")
+    for solution in solutions:
+        bindings = "".join(
+            _binding_xml(var.name, solution[var])
+            for var in variables if var in solution)
+        yield f"<result>{bindings}</result>"
+    yield "</results></sparql>"
+
+
+def write_ask_xml(value: bool) -> Iterator[str]:
+    yield (f'<?xml version="1.0"?>\n<sparql xmlns="{_XMLNS}">'
+           f"<head></head><boolean>{'true' if value else 'false'}</boolean>"
+           "</sparql>")
+
+
+def write_select_csv(variables: Sequence[Variable],
+                     solutions: Iterable[Solution]) -> Iterator[str]:
+    yield ",".join(v.name for v in variables) + "\r\n"
+    for solution in solutions:
+        yield ",".join(_csv_value(solution.get(v)) for v in variables) + "\r\n"
+
+
+def write_select_tsv(variables: Sequence[Variable],
+                     solutions: Iterable[Solution]) -> Iterator[str]:
+    yield "\t".join(f"?{v.name}" for v in variables) + "\n"
+    for solution in solutions:
+        yield "\t".join(_tsv_value(solution.get(v)) for v in variables) + "\n"
+
+
+def write_graph_ntriples(graph: Graph) -> Iterator[str]:
+    for triple in graph:
+        yield triple.n3() + "\n"
+
+
+def write_graph_turtle(graph: Graph) -> Iterator[str]:
+    # Turtle groups statements by subject, which needs the whole graph in
+    # hand anyway; reuse the canonical writer and yield it in one fragment.
+    from repro.rdf.io import serialize_turtle
+    yield serialize_turtle(graph)
+
+
+_SELECT_WRITERS = {
+    MEDIA_JSON: write_select_json,
+    "application/json": write_select_json,
+    MEDIA_XML: write_select_xml,
+    MEDIA_CSV: write_select_csv,
+    MEDIA_TSV: write_select_tsv,
+}
+
+_BOOLEAN_WRITERS = {
+    MEDIA_JSON: write_ask_json,
+    "application/json": write_ask_json,
+    MEDIA_XML: write_ask_xml,
+}
+
+_GRAPH_WRITERS = {
+    MEDIA_NTRIPLES: write_graph_ntriples,
+    "text/plain": write_graph_ntriples,
+    MEDIA_TURTLE: write_graph_turtle,
+}
+
+
+def serialize_result(result: object, media_type: str) -> Iterator[str]:
+    """Serialize one evaluation result in ``media_type`` as a fragment stream.
+
+    ``media_type`` must have come from :func:`negotiate_media_type` (or be
+    one of the constants above); an inapplicable combination — CSV for an
+    ASK, JSON for a graph — raises :class:`~repro.exceptions.QueryError`.
+    """
+    if isinstance(result, ResultSet):
+        writer = _SELECT_WRITERS.get(media_type)
+        if writer is not None:
+            return writer(result.variables, iter(result))
+    elif isinstance(result, bool):
+        writer = _BOOLEAN_WRITERS.get(media_type)
+        if writer is not None:
+            return writer(result)
+    elif isinstance(result, Graph):
+        writer = _GRAPH_WRITERS.get(media_type)
+        if writer is not None:
+            return writer(result)
+    raise QueryError(
+        f"cannot serialize a {type(result).__name__} result as {media_type!r}")

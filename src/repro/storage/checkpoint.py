@@ -23,7 +23,16 @@ acceptance bar is ≥ 5× on a 100k-triple KG).
 
 File layout::
 
-    MAGIC "KGCKPT01"  | u32 crc32(payload) | u64 len(payload) | payload
+    v1: MAGIC "KGCKPT01"             | u32 crc32(payload) | u64 len | payload
+    v2: MAGIC "KGCKPT02" | u8 flags  | u32 crc32(payload) | u64 len | payload
+
+``flags`` bit 0 (v2) marks the pickled sections — the term-table columns and
+each graph's index state — as zlib-framed: the section's varint length then
+counts *compressed* bytes, and the reader inflates before unpickling.  The
+writer emits v2 by default (``compress=False`` produces byte-identical v1
+files); the reader dispatches on the magic, so every old checkpoint on disk
+stays readable.  Compression is per-section, not whole-file, so the restore
+path keeps its shape: one inflate + one C-level unpickle per section.
 
 The file is written to a temp sibling and atomically renamed into place, so
 a crash mid-checkpoint leaves the previous checkpoint untouched; a torn or
@@ -39,6 +48,7 @@ import pickle
 import struct
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -65,7 +75,15 @@ from repro.storage.format import (
 __all__ = ["CheckpointInfo", "write_checkpoint", "read_checkpoint"]
 
 MAGIC = b"KGCKPT01"
+MAGIC_V2 = b"KGCKPT02"
 _HEADER = struct.Struct("<IQ")  # crc32(payload), len(payload)
+
+#: v2 flag bit: pickled sections are zlib-framed.
+FLAG_ZLIB_SECTIONS = 0x01
+
+#: zlib level for checkpoint sections: 6 is the sweet spot for pickled index
+#: dumps (levels beyond it buy <2% size for ~2x CPU on this data).
+_ZLIB_LEVEL = 6
 
 
 @dataclass
@@ -79,6 +97,11 @@ class CheckpointInfo:
     named_graphs: int
     bytes: int
     seconds: float
+    #: Section compression accounting (v2 files): raw pickled bytes vs the
+    #: zlib-framed bytes actually stored.  Equal on uncompressed/v1 files.
+    compressed: bool = False
+    section_raw_bytes: int = 0
+    section_stored_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -89,11 +112,28 @@ class CheckpointInfo:
             "named_graphs": self.named_graphs,
             "bytes": self.bytes,
             "seconds": round(self.seconds, 6),
+            "compressed": self.compressed,
+            "section_raw_bytes": self.section_raw_bytes,
+            "section_stored_bytes": self.section_stored_bytes,
         }
 
 
-def _encode_graph(buffer: bytearray, graph: Graph) -> int:
-    """Append one graph section; returns the number of triples written.
+def _frame_section(buffer: bytearray, blob: bytes,
+                   compress: bool) -> Tuple[int, int]:
+    """Append one pickled section, optionally zlib-framed.
+
+    Returns ``(raw_bytes, stored_bytes)`` for the compression accounting
+    the storage engine surfaces through its stats.
+    """
+    stored = zlib.compress(blob, _ZLIB_LEVEL) if compress else blob
+    encode_varint(buffer, len(stored))
+    buffer += stored
+    return len(blob), len(stored)
+
+
+def _encode_graph(buffer: bytearray, graph: Graph,
+                  compress: bool = False) -> Tuple[int, int, int]:
+    """Append one graph section; returns (triples, raw_bytes, stored_bytes).
 
     The section body is a *data-only* pickle of the graph's three id-space
     indexes plus the maintained cardinality counters — nested dicts / sets
@@ -111,9 +151,8 @@ def _encode_graph(buffer: bytearray, graph: Graph) -> int:
         (graph._spo, graph._pos, graph._osp, graph._s_counts,
          graph._p_counts, graph._o_counts, len(graph)),
         protocol=pickle.HIGHEST_PROTOCOL)
-    encode_varint(buffer, len(blob))
-    buffer += blob
-    return len(graph)
+    raw, stored = _frame_section(buffer, blob, compress)
+    return len(graph), raw, stored
 
 
 class _DataOnlyUnpickler(pickle.Unpickler):
@@ -131,30 +170,53 @@ class _DataOnlyUnpickler(pickle.Unpickler):
             "index pickles must be pure data")
 
 
-def _decode_graph_state(data: bytes, offset: int):
-    """Decode one graph section's pickled index state; returns (state, end)."""
+def _read_section(data: bytes, offset: int, compressed: bool,
+                  what: str) -> Tuple[bytes, int, int]:
+    """Slice (and inflate, for v2 files) one pickled section.
+
+    Returns ``(blob, end, stored_bytes)`` — the raw size is ``len(blob)``;
+    together they let the restore path report the same raw/stored
+    accounting the write path does.
+    """
     length, offset = decode_varint(data, offset)
     end = offset + length
     if end > len(data):
-        raise CorruptCheckpointError("graph section runs past end of payload")
+        raise CorruptCheckpointError(f"{what} runs past end of payload")
+    blob = data[offset:end]
+    if compressed:
+        try:
+            blob = zlib.decompress(blob)
+        except zlib.error as exc:
+            raise CorruptCheckpointError(f"undecompressable {what}: {exc}")
+    return blob, end, length
+
+
+def _decode_graph_state(data: bytes, offset: int, compressed: bool = False):
+    """Decode one graph section; returns (state, end, raw_bytes, stored_bytes)."""
+    blob, end, stored = _read_section(data, offset, compressed, "graph section")
     try:
-        state = _DataOnlyUnpickler(io.BytesIO(data[offset:end])).load()
+        state = _DataOnlyUnpickler(io.BytesIO(blob)).load()
     except CorruptCheckpointError:
         raise
     except Exception as exc:
         raise CorruptCheckpointError(f"undecodable graph section: {exc}")
     if not (isinstance(state, tuple) and len(state) == 7):
         raise CorruptCheckpointError("malformed graph section state")
-    return state, end
+    return state, end, len(blob), stored
 
 
 def write_checkpoint(dataset: Dataset, path: str,
-                     last_commit_seq: int = 0) -> CheckpointInfo:
+                     last_commit_seq: int = 0,
+                     compress: bool = True) -> CheckpointInfo:
     """Serialise ``dataset`` to ``path`` in one sequential pass.
 
     The caller is expected to hold the dataset's write lock (the storage
     engine does); the dump then observes one consistent commit point, and
     ``last_commit_seq`` records which WAL transactions it already covers.
+
+    ``compress=True`` (the default) writes the v2 format with zlib-framed
+    sections; ``compress=False`` writes a v1 file bit-identical to what
+    pre-compression builds produced.
     """
     started = time.perf_counter()
     payload = bytearray()
@@ -173,18 +235,25 @@ def write_checkpoint(dataset: Dataset, path: str,
     # over the triples serialised below.
     table = list(dataset.dictionary)
     encode_varint(payload, len(table))
-    payload += _encode_term_table(table)
+    raw_bytes, stored_bytes = _encode_term_table(payload, table, compress)
 
     graphs = [dataset.default_graph] + list(dataset.named_graphs())
     encode_varint(payload, len(graphs))
     triples = 0
     for graph in graphs:
-        triples += _encode_graph(payload, graph)
+        count, raw, stored = _encode_graph(payload, graph, compress)
+        triples += count
+        raw_bytes += raw
+        stored_bytes += stored
 
     blob = bytes(payload)
     tmp_path = path + ".tmp"
     with open(tmp_path, "wb") as handle:
-        handle.write(MAGIC)
+        if compress:
+            handle.write(MAGIC_V2)
+            handle.write(bytes([FLAG_ZLIB_SECTIONS]))
+        else:
+            handle.write(MAGIC)
         handle.write(_HEADER.pack(crc32(blob), len(blob)))
         handle.write(blob)
         handle.flush()
@@ -196,11 +265,15 @@ def write_checkpoint(dataset: Dataset, path: str,
     # checkpoint next to an already-empty log.
     fsync_directory(os.path.dirname(os.path.abspath(path)))
     elapsed = time.perf_counter() - started
+    header_bytes = len(MAGIC_V2) + 1 if compress else len(MAGIC)
     return CheckpointInfo(path=path, last_commit_seq=last_commit_seq,
                           triples=triples, terms=len(table),
                           named_graphs=len(graphs) - 1,
-                          bytes=len(MAGIC) + _HEADER.size + len(blob),
-                          seconds=elapsed)
+                          bytes=header_bytes + _HEADER.size + len(blob),
+                          seconds=elapsed,
+                          compressed=compress,
+                          section_raw_bytes=raw_bytes,
+                          section_stored_bytes=stored_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -229,13 +302,15 @@ def _trusted_literal(lexical: str, datatype: IRI,
     return literal
 
 
-def _encode_term_table(table) -> bytes:
-    """Serialise the id-ordered term list as three pickled parallel columns.
+def _encode_term_table(buffer: bytearray, table,
+                       compress: bool = False) -> Tuple[int, int]:
+    """Append the id-ordered term list as three pickled parallel columns.
 
     ``(tags: bytes, texts: list[str], extras: list[str|None])`` — a pure-data
     pickle, so the restore side gets every string materialised by one
     C-level :func:`pickle.load` and only the term-object construction itself
-    stays Python (see :func:`_decode_term_table`).
+    stays Python (see :func:`_decode_term_table`).  Returns the
+    ``(raw, stored)`` byte accounting like :func:`_encode_graph`.
     """
     tags = bytearray()
     texts = []
@@ -265,21 +340,15 @@ def _encode_term_table(table) -> bytes:
                 f"cannot checkpoint term type {type(term).__name__}")
     blob = pickle.dumps((bytes(tags), texts, extras),
                         protocol=pickle.HIGHEST_PROTOCOL)
-    framed = bytearray()
-    encode_varint(framed, len(blob))
-    framed += blob
-    return bytes(framed)
+    return _frame_section(buffer, blob, compress)
 
 
-def _decode_term_table(data: bytes, offset: int, n_terms: int):
-    """Decode the dictionary section into an id-ordered term list."""
-    length, offset = decode_varint(data, offset)
-    end = offset + length
-    if end > len(data):
-        raise CorruptCheckpointError("term table runs past end of payload")
+def _decode_term_table(data: bytes, offset: int, n_terms: int,
+                       compressed: bool = False):
+    """Decode the dictionary section; returns (terms, end, raw, stored)."""
+    blob, end, stored = _read_section(data, offset, compressed, "term table")
     try:
-        tags, texts, extras = _DataOnlyUnpickler(
-            io.BytesIO(data[offset:end])).load()
+        tags, texts, extras = _DataOnlyUnpickler(io.BytesIO(blob)).load()
     except CorruptCheckpointError:
         raise
     except Exception as exc:
@@ -313,7 +382,7 @@ def _decode_term_table(data: bytes, offset: int, n_terms: int):
         else:
             raise CorruptCheckpointError(f"unknown term tag {tag} in checkpoint")
         append(term)
-    return terms, end
+    return terms, end, len(blob), stored
 
 
 def read_checkpoint(path: str,
@@ -332,10 +401,24 @@ def read_checkpoint(path: str,
             raw = handle.read()
     except OSError as exc:
         raise CorruptCheckpointError(f"cannot read checkpoint {path!r}: {exc}")
-    if len(raw) < len(MAGIC) + _HEADER.size or not raw.startswith(MAGIC):
+    if raw.startswith(MAGIC_V2):
+        header_offset = len(MAGIC_V2) + 1
+        if len(raw) < header_offset + _HEADER.size:
+            raise CorruptCheckpointError(f"{path!r} is truncated inside its header")
+        flags = raw[len(MAGIC_V2)]
+        if flags & ~FLAG_ZLIB_SECTIONS:
+            raise CorruptCheckpointError(
+                f"checkpoint {path!r} carries unknown format flags {flags:#x}")
+        compressed = bool(flags & FLAG_ZLIB_SECTIONS)
+    elif raw.startswith(MAGIC):
+        if len(raw) < len(MAGIC) + _HEADER.size:
+            raise CorruptCheckpointError(f"{path!r} is truncated inside its header")
+        header_offset = len(MAGIC)
+        compressed = False
+    else:
         raise CorruptCheckpointError(f"{path!r} is not a KGNet checkpoint")
-    checksum, length = _HEADER.unpack_from(raw, len(MAGIC))
-    data = raw[len(MAGIC) + _HEADER.size:]
+    checksum, length = _HEADER.unpack_from(raw, header_offset)
+    data = raw[header_offset + _HEADER.size:]
     if len(data) != length:
         raise CorruptCheckpointError(
             f"checkpoint {path!r} is truncated: expected {length} payload "
@@ -354,7 +437,8 @@ def read_checkpoint(path: str,
         namespaces.bind(prefix, base)
 
     n_terms, offset = decode_varint(data, offset)
-    terms, offset = _decode_term_table(data, offset, n_terms)
+    terms, offset, raw_bytes, stored_bytes = _decode_term_table(
+        data, offset, n_terms, compressed=compressed)
     dictionary = TermDictionary.restore(terms)
 
     dataset = Dataset(namespaces=namespaces, dictionary=dictionary, lock=lock)
@@ -371,11 +455,16 @@ def read_checkpoint(path: str,
         else:
             iri, offset = decode_string(data, offset)
             graph = dataset.graph(IRI(iri))
-        state, offset = _decode_graph_state(data, offset)
+        state, offset, raw_len, stored_len = _decode_graph_state(
+            data, offset, compressed=compressed)
+        raw_bytes += raw_len
+        stored_bytes += stored_len
         triples += graph._adopt_indexes(*state)
     elapsed = time.perf_counter() - started
     info = CheckpointInfo(path=path, last_commit_seq=last_commit_seq,
                           triples=triples, terms=n_terms,
                           named_graphs=n_graphs - 1, bytes=len(raw),
-                          seconds=elapsed)
+                          seconds=elapsed, compressed=compressed,
+                          section_raw_bytes=raw_bytes,
+                          section_stored_bytes=stored_bytes)
     return dataset, last_commit_seq, info

@@ -101,12 +101,16 @@ class StorageEngine:
 
     def __init__(self, directory: str,
                  namespaces: Optional[NamespaceManager] = None,
-                 fsync: bool = True) -> None:
+                 fsync: bool = True, compress: bool = True) -> None:
         self.directory = directory
         self.checkpoint_path = os.path.join(directory, CHECKPOINT_NAME)
         self.wal_path = os.path.join(directory, WAL_NAME)
         self._namespaces = namespaces
         self._fsync = fsync
+        #: zlib-frame checkpoint sections and oversized WAL records.  Purely
+        #: a write-side knob: the readers auto-detect per file/record, so an
+        #: engine opened with either setting reads everything ever written.
+        self._compress = compress
         self._dataset: Optional[Dataset] = None
         self._wal: Optional[WriteAheadLog] = None
         self._lock_obj: Optional[JournalledLock] = None
@@ -180,7 +184,8 @@ class StorageEngine:
             self.recovered_truncated_bytes = truncate_torn_tail(
                 self.wal_path, replay.committed_offset, fsync=self._fsync)
 
-            wal = WriteAheadLog(self.wal_path, fsync=self._fsync)
+            wal = WriteAheadLog(self.wal_path, fsync=self._fsync,
+                                compress=self._compress)
             wal.attach_dictionary(dataset.dictionary)
             wal.last_seq = last_seq
             dataset.attach_journal(wal)
@@ -255,7 +260,8 @@ class StorageEngine:
             wal = self._wal
             with dataset.write_lock:
                 info = write_checkpoint(dataset, self.checkpoint_path,
-                                        last_commit_seq=wal.last_seq)
+                                        last_commit_seq=wal.last_seq,
+                                        compress=self._compress)
                 wal.rotate()
                 wal.failed = False
             self.last_checkpoint = info
@@ -335,6 +341,7 @@ class StorageEngine:
         stats: Dict[str, object] = {
             "directory": self.directory,
             "open": self.is_open,
+            "compress": self._compress,
             "recovered_transactions": self.recovered_transactions,
             "recovered_ops": self.recovered_ops,
             "recovered_truncated_bytes": self.recovered_truncated_bytes,
@@ -350,6 +357,8 @@ class StorageEngine:
                 "commits": wal.commits,
                 "ops_logged": wal.ops_logged,
                 "bytes_written": wal.bytes_written,
+                "compressed_records": wal.compressed_records,
+                "bytes_saved": wal.bytes_saved,
             }
         return stats
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import threading
+import zlib
 from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.exceptions import StorageError
@@ -62,6 +63,14 @@ _OP_CLEAR = ord("C")
 _OP_CREATE = ord("G")
 _OP_DROP = ord("D")
 _OP_COMMIT = ord("T")
+#: Envelope kind: the rest of the payload is one zlib-deflated record.
+_OP_ZLIB = ord("Z")
+
+#: Records shorter than this are never worth deflating: the zlib header/
+#: dictionary overhead eats the gain and the common A/R record for short
+#: IRIs sits well under it.  Long literals (document bodies, embeddings
+#: serialised as text) are where the ROADMAP's 3-4x disk win lives.
+WAL_COMPRESS_MIN_BYTES = 256
 
 _KIND_NAMES = {
     _OP_ADD: "add",
@@ -108,9 +117,15 @@ class WriteAheadLog:
     :meth:`close` from an admin route.
     """
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    def __init__(self, path: str, fsync: bool = True,
+                 compress: bool = True) -> None:
         self.path = path
         self.fsync = fsync
+        #: Deflate record payloads over :data:`WAL_COMPRESS_MIN_BYTES`.
+        #: Readers do not care about this flag: compressed records announce
+        #: themselves with the ``Z`` kind byte, so logs written with either
+        #: setting (or a mix, across restarts) always replay.
+        self.compress = compress
         self._dictionary: Optional[TermDictionary] = None
         self._buffer = bytearray()
         self._buffered_ops = 0
@@ -122,6 +137,9 @@ class WriteAheadLog:
         self.commits = 0
         self.ops_logged = 0
         self.bytes_written = 0
+        self.compressed_records = 0
+        #: Payload bytes compression avoided writing (before CRC framing).
+        self.bytes_saved = 0
         #: Fail-stop latch: set when a commit failed to reach disk.  Once a
         #: transaction is lost, accepting later commits would produce a log
         #: whose replay was never any committed prefix of the in-memory
@@ -152,6 +170,17 @@ class WriteAheadLog:
                 "write-ahead log is fail-stopped after a commit failure; "
                 "recover via StorageEngine.reopen() / admin/restore")
 
+    def _append_record(self, payload: bytes) -> None:
+        """Frame one record into the transaction buffer, deflating big ones."""
+        if self.compress and len(payload) >= WAL_COMPRESS_MIN_BYTES:
+            packed = zlib.compress(payload, 1)
+            if len(packed) + 1 < len(payload):
+                self.compressed_records += 1
+                self.bytes_saved += len(payload) - len(packed) - 1
+                payload = bytes([_OP_ZLIB]) + packed
+        self._buffer += encode_frame(payload)
+        self._buffered_ops += 1
+
     def _log_triple(self, op: int, identifier: Optional[IRI],
                     si: int, pi: int, oi: int) -> None:
         self._check_usable()
@@ -164,8 +193,7 @@ class WriteAheadLog:
         encode_term(payload, decode(si))
         encode_term(payload, decode(pi))
         encode_term(payload, decode(oi))
-        self._buffer += encode_frame(bytes(payload))
-        self._buffered_ops += 1
+        self._append_record(bytes(payload))
 
     def log_add(self, identifier: Optional[IRI], si: int, pi: int, oi: int) -> None:
         self._log_triple(_OP_ADD, identifier, si, pi, oi)
@@ -178,8 +206,7 @@ class WriteAheadLog:
         payload = bytearray()
         payload.append(op)
         _encode_graph_ref(payload, identifier)
-        self._buffer += encode_frame(bytes(payload))
-        self._buffered_ops += 1
+        self._append_record(bytes(payload))
 
     def log_clear(self, identifier: Optional[IRI]) -> None:
         self._log_graph_op(_OP_CLEAR, identifier)
@@ -290,6 +317,15 @@ def _decode_record(payload: bytes):
         raise StorageError("empty WAL record")
     op = payload[0]
     offset = 1
+    if op == _OP_ZLIB:
+        # The frame CRC already vouched for the deflated bytes; a failure
+        # here is version skew or a CRC collision, and the replay scan
+        # escalates it instead of truncating (see WalReplay).
+        try:
+            inner = zlib.decompress(payload[1:])
+        except zlib.error as exc:
+            raise StorageError(f"undecompressable WAL record: {exc}")
+        return _decode_record(inner)
     if op == _OP_COMMIT:
         seq, offset = decode_varint(payload, offset)
         return ("commit", seq)

@@ -1,0 +1,76 @@
+"""Per-route latency percentiles (ISSUE-5 satellite).
+
+The reservoir is a deterministic sliding window over the most recent
+:data:`LATENCY_RESERVOIR_SIZE` calls; p50/p99 must reflect it exactly and
+surface through both the ``metrics`` and ``stats`` routes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.kgnet import KGNet
+from repro.kgnet.api.router import (
+    LATENCY_RESERVOIR_SIZE,
+    RouteMetrics,
+    _percentile,
+)
+
+
+class TestPercentileMath:
+    def test_empty_reservoir_reports_zero(self):
+        metrics = RouteMetrics()
+        snapshot = metrics.as_dict()
+        assert snapshot["p50_seconds"] == 0.0
+        assert snapshot["p99_seconds"] == 0.0
+
+    def test_nearest_rank_on_known_distribution(self):
+        ordered = [float(i) for i in range(1, 101)]  # 1..100
+        assert _percentile(ordered, 0.50) == 50.0
+        assert _percentile(ordered, 0.99) == 99.0
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_reservoir_tracks_known_latencies(self):
+        metrics = RouteMetrics()
+        for value in range(1, 101):
+            metrics.record(value / 1000.0, ok=True)
+        snapshot = metrics.as_dict()
+        assert snapshot["p50_seconds"] == 0.05
+        assert snapshot["p99_seconds"] == 0.099
+        assert snapshot["calls"] == 100
+
+    def test_window_slides_over_old_samples(self):
+        metrics = RouteMetrics()
+        for _ in range(LATENCY_RESERVOIR_SIZE):
+            metrics.record(100.0, ok=True)
+        # A full window of fast calls must push the slow era out entirely.
+        for _ in range(LATENCY_RESERVOIR_SIZE):
+            metrics.record(0.001, ok=True)
+        snapshot = metrics.as_dict()
+        assert snapshot["p99_seconds"] == 0.001
+        assert snapshot["max_seconds"] == 100.0  # the all-time max remains
+
+    def test_concurrent_recording_loses_no_samples(self):
+        metrics = RouteMetrics()
+        threads = [threading.Thread(
+            target=lambda: [metrics.record(0.001, ok=True)
+                            for _ in range(200)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.as_dict()["calls"] == 1600
+
+
+class TestSurfacedThroughRoutes:
+    def test_stats_and_metrics_routes_expose_percentiles(self):
+        platform = KGNet()
+        for _ in range(5):
+            platform.client.ping()
+        routes = platform.client.metrics()
+        assert routes["ping"]["calls"] >= 5
+        assert routes["ping"]["p50_seconds"] >= 0.0
+        assert "p99_seconds" in routes["ping"]
+        stats = platform.client.stats()
+        assert "p99_seconds" in stats["api"]["ping"]

@@ -1,0 +1,167 @@
+"""Turtle string/IRI escape handling, incl. ``\\u``/``\\U`` (ROADMAP gap).
+
+The satellite contract: numeric escapes decode in literals AND IRIs, the
+single-character escapes keep working (without the replace-chain bug where
+``\\\\n`` decoded to a newline), illegal escapes raise
+:class:`~repro.exceptions.ParseError`, and everything the N-Triples writer
+emits round-trips through the parser term-for-term (property-tested).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError, TermError
+from repro.rdf.graph import Graph
+from repro.rdf.io import parse_turtle, serialize_ntriples
+from repro.rdf.terms import IRI, Literal, Triple
+
+S, P = "<http://e/s>", "<http://e/p>"
+
+
+def only_object(text: str):
+    graph = parse_turtle(text)
+    assert len(graph) == 1
+    return next(iter(graph)).object
+
+
+def only_subject(text: str):
+    graph = parse_turtle(text)
+    return next(iter(graph)).subject
+
+
+class TestLiteralEscapes:
+    @pytest.mark.parametrize("escaped,expected", [
+        (r"A", "A"),
+        (r"é", "é"),
+        (r"café", "café"),
+        (r"\U0001F600", "😀"),
+        (r"a\tb", "a\tb"),
+        (r"a\nb", "a\nb"),
+        (r"a\rb", "a\rb"),
+        (r"a\bb", "a\bb"),
+        (r"a\fb", "a\fb"),
+        (r"quote \" here", 'quote " here'),
+        (r"\\u0041", "\\u0041"),  # escaped backslash shields the u
+        (r"\\n", r"\n"),              # the classic replace-chain bug
+        (r"\\\\", "\\\\"),
+        (r"A\U00000042C", "ABC"),
+    ])
+    def test_decodes(self, escaped, expected):
+        assert only_object(f'{S} {P} "{escaped}" .') == Literal(expected)
+
+    def test_language_and_datatype_still_apply(self, ):
+        assert only_object(f'{S} {P} "caf\\u00e9"@fr .') == \
+            Literal("café", language="fr")
+
+    @pytest.mark.parametrize("bad", [r"\q", r"\x41", r"\u12", r"\u12g4",
+                                     r"\U0001F60"])
+    def test_illegal_escapes_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_turtle(f'{S} {P} "{bad}" .')
+
+    def test_astral_escape_beyond_unicode_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f'{S} {P} "\\UFFFFFFFF" .')
+
+    @pytest.mark.parametrize("bad", [r"\uD800", r"\uDFFF", r"\U0000DC80"])
+    def test_surrogate_escapes_raise_at_parse_time(self, bad):
+        # chr(0xD800) would be un-encodable to UTF-8 and explode later in
+        # the WAL or the HTTP writer; Turtle's UCHAR excludes surrogates.
+        with pytest.raises(ParseError):
+            parse_turtle(f'{S} {P} "{bad}" .')
+        with pytest.raises(ParseError):
+            parse_turtle(f'<http://e/{bad}> {P} "x" .')
+
+    def test_control_characters_round_trip_escaped(self):
+        # The writer must emit \b/\f (and \u00XX for other C0 controls) so
+        # its output stays valid for conformant external N-Triples parsers.
+        literal = Literal("a\bb\fc\x01d")
+        rendered = literal.n3()
+        assert "\\b" in rendered and "\\f" in rendered
+        assert "\\u0001" in rendered
+        assert not any(ord(ch) < 0x20 for ch in rendered)
+        assert only_object(f"{S} {P} {rendered} .") == literal
+
+
+class TestIRIEscapes:
+    def test_numeric_escapes_decode_in_iris(self):
+        subject = only_subject(f'<http://e/caf\\u00e9> {P} "x" .')
+        assert subject == IRI("http://e/café")
+
+    def test_long_escape_in_iri(self):
+        subject = only_subject(f'<http://e/\\U0001F600> {P} "x" .')
+        assert subject == IRI("http://e/😀")
+
+    def test_escapes_decode_in_prefix_and_datatype_iris(self):
+        graph = parse_turtle(
+            '@prefix ex: <http://e/caf\\u00e9/> .\n'
+            f'ex:s {P} "1"^^<http://e/dt\\u00e9> .')
+        triple = next(iter(graph))
+        assert triple.subject == IRI("http://e/café/s")
+        assert triple.object.datatype == IRI("http://e/dté")
+
+    def test_string_escapes_are_illegal_in_iris(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f'<http://e/a\\nb> {P} "x" .')
+
+    def test_escape_decoding_to_forbidden_char_raises(self):
+        #   decodes to a space, which an IRI may not contain.
+        with pytest.raises((ParseError, TermError)):
+            parse_turtle(f'<http://e/a\\u0020b> {P} "x" .')
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property against the N-Triples writer
+# ---------------------------------------------------------------------------
+
+# Codepoints the writer emits raw and the reader must preserve: anything
+# printable plus the escaped control characters.  Surrogates are excluded
+# (not encodable to UTF-8); double quotes and backslashes exercise the
+# writer's own escaping.
+_literal_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",),
+                           blacklist_characters="\x00"),
+    max_size=40)
+
+_iri_suffix = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x2FFF,
+                           blacklist_characters='<>"{}|^`\\',
+                           blacklist_categories=("Cs", "Zs")),
+    max_size=20)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_literal_text, lang=st.sampled_from([None, "en", "de-AT"]))
+def test_literal_roundtrip_through_ntriples(text, lang):
+    triple = Triple(IRI("http://e/s"), IRI("http://e/p"),
+                    Literal(text, language=lang))
+    graph = Graph()
+    graph.add(*triple)
+    parsed = parse_turtle(serialize_ntriples(graph))
+    assert set(parsed) == {triple}
+
+
+@settings(max_examples=200, deadline=None)
+@given(suffix=_iri_suffix)
+def test_iri_roundtrip_through_ntriples(suffix):
+    triple = Triple(IRI("http://e/" + suffix), IRI("http://e/p"),
+                    Literal("x"))
+    graph = Graph()
+    graph.add(*triple)
+    parsed = parse_turtle(serialize_ntriples(graph))
+    assert set(parsed) == {triple}
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=_literal_text)
+def test_escaped_form_roundtrips_via_writer(text):
+    """Parse an explicitly \\u-escaped literal, re-serialize, re-parse."""
+    escaped = "".join(f"\\u{ord(ch):04x}" if ord(ch) <= 0xFFFF
+                      else f"\\U{ord(ch):08x}" for ch in text)
+    graph = parse_turtle(f'{S} {P} "{escaped}" .')
+    assert next(iter(graph)).object == Literal(text)
+    reparsed = parse_turtle(serialize_ntriples(graph))
+    assert set(reparsed) == set(graph)

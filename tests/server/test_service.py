@@ -1,0 +1,498 @@
+"""SPARQL 1.1 Protocol conformance suite over the transport-agnostic layer.
+
+Drives :class:`repro.server.service.ServiceHandler` directly with
+:class:`ServiceRequest` values — no sockets — so every protocol rule
+(content negotiation, method/media-type validation, dataset selection,
+error-status mapping) is pinned independently of the HTTP plumbing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import xml.etree.ElementTree as ET
+from urllib.parse import quote
+
+import pytest
+
+from repro.kgnet import KGNet
+from repro.kgnet.api.errors import ERROR_CODES
+from repro.server.service import (
+    HTTP_STATUS_BY_CODE,
+    ServiceHandler,
+    ServiceRequest,
+    http_status_for_error,
+)
+from repro.sparql.results.serialize import (
+    MEDIA_CSV,
+    MEDIA_JSON,
+    MEDIA_NTRIPLES,
+    MEDIA_TSV,
+    MEDIA_TURTLE,
+    MEDIA_XML,
+)
+
+SELECT_TITLES = ("SELECT ?title WHERE { ?p <https://www.dblp.org/title> ?title } "
+                 "ORDER BY ?title")
+ASK_QUERY = "ASK { ?p a <https://www.dblp.org/Publication> }"
+CONSTRUCT_QUERY = ("CONSTRUCT { ?p a <https://www.dblp.org/Publication> } "
+                   "WHERE { ?p a <https://www.dblp.org/Publication> }")
+
+NSM = "http://www.w3.org/2005/sparql-results#"
+
+
+@pytest.fixture()
+def handler(tiny_graph):
+    platform = KGNet()
+    platform.load_graph(tiny_graph)
+    return ServiceHandler(platform.api)
+
+
+def get(handler, target, accept=None, method="GET"):
+    headers = {"Accept": accept} if accept else {}
+    return handler.handle(ServiceRequest(method=method, target=target,
+                                         headers=headers))
+
+
+def post(handler, target, body, content_type=None, accept=None):
+    headers = {}
+    if content_type:
+        headers["Content-Type"] = content_type
+    if accept:
+        headers["Accept"] = accept
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    return handler.handle(ServiceRequest(method="POST", target=target,
+                                         headers=headers, body=body))
+
+
+def sparql_get(handler, query, accept=None, extra=""):
+    return get(handler, f"/sparql?query={quote(query, safe='')}" + extra,
+               accept=accept)
+
+
+def body_text(response):
+    return response.read_body().decode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Content negotiation matrix
+# ---------------------------------------------------------------------------
+
+
+class TestContentNegotiation:
+    @pytest.mark.parametrize("accept,expected", [
+        (MEDIA_JSON, MEDIA_JSON),
+        (MEDIA_XML, MEDIA_XML),
+        (MEDIA_CSV, MEDIA_CSV),
+        (MEDIA_TSV, MEDIA_TSV),
+        ("application/json", "application/json"),
+        (None, MEDIA_JSON),                      # no Accept -> server default
+        ("*/*", MEDIA_JSON),
+        ("text/*", MEDIA_CSV),                   # first text/ offer
+        (f"{MEDIA_CSV};q=0.5, {MEDIA_XML};q=0.9", MEDIA_XML),
+        (f"{MEDIA_CSV};q=0.5, */*;q=0.1", MEDIA_CSV),
+    ])
+    def test_select_matrix(self, handler, accept, expected):
+        response = sparql_get(handler, SELECT_TITLES, accept=accept)
+        assert response.status == 200
+        content_type = response.header("Content-Type")
+        assert content_type.split(";")[0] == expected
+
+    def test_not_acceptable(self, handler):
+        response = sparql_get(handler, SELECT_TITLES, accept="image/png")
+        assert response.status == 406
+        payload = json.loads(body_text(response))
+        assert payload["error"]["code"] == "NOT_ACCEPTABLE"
+        assert MEDIA_JSON in payload["error"]["supported"]
+
+    def test_q_zero_excludes_a_format(self, handler):
+        accept = f"{MEDIA_JSON};q=0, {MEDIA_TSV}"
+        response = sparql_get(handler, SELECT_TITLES, accept=accept)
+        assert response.header("Content-Type").startswith(MEDIA_TSV)
+
+    def test_q_zero_vetoes_even_under_a_wildcard(self, handler):
+        # RFC 9110: the most specific matching range decides a type's
+        # quality — 'json;q=0, */*' means "anything BUT json".
+        accept = f"{MEDIA_JSON};q=0, */*"
+        response = sparql_get(handler, SELECT_TITLES, accept=accept)
+        content_type = response.header("Content-Type").split(";")[0]
+        assert content_type == MEDIA_XML  # next offer in server order
+
+    def test_hopeless_accept_is_406_without_executing(self, handler):
+        before = handler.router.metrics().get("sparql", {}).get("calls", 0)
+        response = sparql_get(handler, SELECT_TITLES, accept="image/png")
+        assert response.status == 406
+        after = handler.router.metrics().get("sparql", {}).get("calls", 0)
+        # The query never reached the router: a misconfigured poller must
+        # cost a header check, not an evaluation per request.
+        assert after == before
+
+    # -- body validity per format ------------------------------------------
+    def test_json_body_is_the_w3c_document(self, handler):
+        response = sparql_get(handler, SELECT_TITLES, accept=MEDIA_JSON)
+        document = json.loads(body_text(response))
+        assert document["head"]["vars"] == ["title"]
+        values = [row["title"]["value"]
+                  for row in document["results"]["bindings"]]
+        assert values == ["Graph Machine Learning", "Knowledge Graphs"]
+        assert all(row["title"]["type"] == "literal"
+                   for row in document["results"]["bindings"])
+
+    def test_xml_body_parses_with_the_w3c_namespace(self, handler):
+        response = sparql_get(handler, SELECT_TITLES, accept=MEDIA_XML)
+        root = ET.fromstring(body_text(response))
+        assert root.tag == f"{{{NSM}}}sparql"
+        names = [v.get("name")
+                 for v in root.findall(f"{{{NSM}}}head/{{{NSM}}}variable")]
+        assert names == ["title"]
+        literals = root.findall(
+            f"{{{NSM}}}results/{{{NSM}}}result/{{{NSM}}}binding/{{{NSM}}}literal")
+        assert [lit.text for lit in literals] == [
+            "Graph Machine Learning", "Knowledge Graphs"]
+
+    def test_csv_body_is_rfc4180(self, handler):
+        response = sparql_get(handler, SELECT_TITLES, accept=MEDIA_CSV)
+        rows = list(csv.reader(io.StringIO(body_text(response))))
+        assert rows == [["title"], ["Graph Machine Learning"],
+                        ["Knowledge Graphs"]]
+
+    def test_tsv_body_uses_term_syntax(self, handler):
+        response = sparql_get(handler, SELECT_TITLES, accept=MEDIA_TSV)
+        lines = body_text(response).splitlines()
+        assert lines[0] == "?title"
+        assert lines[1] == '"Graph Machine Learning"'
+
+    # -- ASK and CONSTRUCT --------------------------------------------------
+    def test_ask_json_and_xml(self, handler):
+        response = sparql_get(handler, ASK_QUERY, accept=MEDIA_JSON)
+        assert json.loads(body_text(response))["boolean"] is True
+        response = sparql_get(handler, ASK_QUERY, accept=MEDIA_XML)
+        root = ET.fromstring(body_text(response))
+        assert root.find(f"{{{NSM}}}boolean").text == "true"
+
+    def test_ask_rejects_csv(self, handler):
+        response = sparql_get(handler, ASK_QUERY, accept=MEDIA_CSV)
+        assert response.status == 406
+
+    def test_construct_ntriples_and_turtle(self, handler, tiny_graph):
+        response = sparql_get(handler, CONSTRUCT_QUERY, accept=MEDIA_NTRIPLES)
+        assert response.status == 200
+        from repro.rdf.io import parse_ntriples
+        graph = parse_ntriples(body_text(response))
+        assert len(graph) == 2
+        response = sparql_get(handler, CONSTRUCT_QUERY, accept=MEDIA_TURTLE)
+        assert response.header("Content-Type").startswith(MEDIA_TURTLE)
+
+    def test_construct_defaults_to_ntriples(self, handler):
+        response = sparql_get(handler, CONSTRUCT_QUERY)
+        assert response.header("Content-Type").startswith(MEDIA_NTRIPLES)
+
+
+# ---------------------------------------------------------------------------
+# Protocol request forms and validation
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolRequests:
+    def test_direct_post_sparql_query(self, handler):
+        response = post(handler, "/sparql", SELECT_TITLES,
+                        content_type="application/sparql-query",
+                        accept=MEDIA_JSON)
+        assert response.status == 200
+        assert len(json.loads(body_text(response))["results"]["bindings"]) == 2
+
+    def test_form_post_query(self, handler):
+        response = post(handler, "/sparql",
+                        "query=" + quote(SELECT_TITLES, safe=""),
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 200
+
+    def test_form_post_update_and_direct_update(self, handler):
+        update = ('INSERT DATA { <http://example.org/x> '
+                  '<http://example.org/p> 7 }')
+        response = post(handler, "/sparql", "update=" + quote(update, safe=""),
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 200
+        payload = json.loads(body_text(response))
+        assert payload["ok"] is True
+        assert payload["result"]["affected_triples"] == 1
+        response = post(handler, "/sparql",
+                        'DELETE DATA { <http://example.org/x> '
+                        '<http://example.org/p> 7 }',
+                        content_type="application/sparql-update")
+        assert json.loads(body_text(response))["result"]["affected_triples"] == 1
+
+    def test_malformed_query_is_400_with_protocol_body(self, handler):
+        response = sparql_get(handler, "SELECT ?x WHERE {", accept=MEDIA_JSON)
+        assert response.status == 400
+        payload = json.loads(response.read_body())
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "PARSE_ERROR"
+        assert payload["error"]["message"]
+
+    def test_update_smuggled_as_query_is_rejected_without_executing(self, handler):
+        update = ('INSERT DATA { <http://example.org/smuggled> '
+                  '<http://example.org/p> 1 }')
+        response = sparql_get(handler, update)
+        assert response.status == 400
+        # And the store must be untouched:
+        check = sparql_get(handler,
+                           "ASK { <http://example.org/smuggled> ?p ?o }",
+                           accept=MEDIA_JSON)
+        assert json.loads(body_text(check))["boolean"] is False
+
+    def test_query_smuggled_as_update_is_rejected(self, handler):
+        response = post(handler, "/sparql", SELECT_TITLES,
+                        content_type="application/sparql-update")
+        assert response.status == 400
+
+    def test_update_via_get_is_rejected(self, handler):
+        response = get(handler, "/sparql?update=" + quote(
+            "INSERT DATA { <http://e/s> <http://e/p> 1 }", safe=""))
+        assert response.status == 400
+
+    def test_missing_and_duplicate_query_params(self, handler):
+        assert get(handler, "/sparql").status == 400
+        target = ("/sparql?query=" + quote(ASK_QUERY, safe="")
+                  + "&query=" + quote(ASK_QUERY, safe=""))
+        assert get(handler, target).status == 400
+
+    def test_both_query_and_update_is_400(self, handler):
+        body = ("query=" + quote(ASK_QUERY, safe="")
+                + "&update=" + quote("INSERT DATA { <http://e/s> <http://e/p> 1 }",
+                                     safe=""))
+        response = post(handler, "/sparql", body,
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 400
+
+    @pytest.mark.parametrize("content_type", [
+        "application/sparql-query", "application/sparql-update",
+        "application/x-www-form-urlencoded"])
+    def test_invalid_utf8_body_is_400_not_500(self, handler, content_type):
+        response = post(handler, "/sparql", b"\xff\xfe\xfd",
+                        content_type=content_type)
+        assert response.status == 400
+        assert json.loads(body_text(response))["error"]["code"] == \
+            "BAD_REQUEST"
+
+    def test_unsupported_media_type_is_415(self, handler):
+        response = post(handler, "/sparql", SELECT_TITLES,
+                        content_type="text/plain")
+        assert response.status == 415
+
+    def test_unrouted_method_is_405_with_allow(self, handler):
+        response = get(handler, "/sparql?query=x", method="PUT")
+        assert response.status == 405
+        assert "GET" in response.header("Allow")
+
+    def test_head_works_wherever_get_does(self, handler):
+        # RFC 9110: HEAD must be supported wherever GET is.  The transport
+        # drops the body; this layer must produce the same status/headers.
+        response = sparql_get(handler, SELECT_TITLES, accept=MEDIA_JSON)
+        head = handler.handle(ServiceRequest(
+            method="HEAD", target=f"/sparql?query={quote(SELECT_TITLES, safe='')}",
+            headers={"Accept": MEDIA_JSON}))
+        assert head.status == response.status == 200
+        assert head.header("Content-Type") == response.header("Content-Type")
+
+    def test_xml_survives_control_characters_in_literals(self, handler):
+        # Loaded through the Turtle parser, whose backslash-u escape decodes to a
+        # raw C0 control character in the stored literal.
+        post(handler, "/kgnet/v1/load", json.dumps(
+            {"ntriples": '<http://e/ctrl> <http://e/p> "bad\\u0001char" .'}))
+        response = sparql_get(
+            handler, "SELECT ?o WHERE { <http://e/ctrl> ?p ?o }",
+            accept=MEDIA_XML)
+        # XML 1.0 cannot carry U+0001 at all: the writer must degrade it to
+        # U+FFFD so the document stays well-formed for conformant parsers.
+        root = ET.fromstring(body_text(response))
+        literal = root.find(f"{{{NSM}}}results/{{{NSM}}}result/"
+                            f"{{{NSM}}}binding/{{{NSM}}}literal")
+        assert literal.text == "bad�char"
+        # JSON keeps the code point losslessly.
+        response = sparql_get(
+            handler, "SELECT ?o WHERE { <http://e/ctrl> ?p ?o }",
+            accept=MEDIA_JSON)
+        bindings = json.loads(body_text(response))["results"]["bindings"]
+        assert bindings[0]["o"]["value"] == "bad\x01char"
+
+    def test_unknown_path_is_404(self, handler):
+        assert get(handler, "/nope").status == 404
+
+    def test_service_description(self, handler):
+        response = get(handler, "/")
+        payload = json.loads(body_text(response))
+        assert payload["protocol"]["sparql"] == "/sparql"
+        assert "sparql" in payload["operations"]
+
+
+class TestDatasetSelection:
+    def test_default_graph_uri_selects_a_named_graph(self, handler):
+        update = ('INSERT DATA { GRAPH <http://example.org/g1> '
+                  '{ <http://e/a> <http://e/p> 1 } }')
+        post(handler, "/sparql", update,
+             content_type="application/sparql-update")
+        extra = "&default-graph-uri=" + quote("http://example.org/g1", safe="")
+        response = sparql_get(handler, "SELECT ?s WHERE { ?s ?p ?o }",
+                              accept=MEDIA_JSON, extra=extra)
+        bindings = json.loads(body_text(response))["results"]["bindings"]
+        assert [b["s"]["value"] for b in bindings] == ["http://e/a"]
+
+    def test_unknown_default_graph_uri_is_an_empty_dataset(self, handler):
+        extra = "&default-graph-uri=" + quote("http://example.org/absent",
+                                              safe="")
+        response = sparql_get(handler, "SELECT ?s WHERE { ?s ?p ?o }",
+                              accept=MEDIA_JSON, extra=extra)
+        assert json.loads(body_text(response))["results"]["bindings"] == []
+
+    def test_two_default_graph_uris_union_without_copying(self, handler):
+        for graph, value in (("gA", "1"), ("gB", "2")):
+            post(handler, "/sparql",
+                 f'INSERT DATA {{ GRAPH <http://example.org/{graph}> '
+                 f'{{ <http://e/{graph}> <http://e/p> {value} }} }}',
+                 content_type="application/sparql-update")
+        extra = ("&default-graph-uri=" + quote("http://example.org/gA", safe="")
+                 + "&default-graph-uri=" + quote("http://example.org/gB",
+                                                 safe=""))
+        response = sparql_get(handler, "SELECT ?s WHERE { ?s ?p ?o }",
+                              accept=MEDIA_JSON, extra=extra)
+        bindings = json.loads(body_text(response))["results"]["bindings"]
+        assert {b["s"]["value"] for b in bindings} == \
+            {"http://e/gA", "http://e/gB"}
+
+    def test_protocol_union_is_identity_stable_per_epoch(self, handler):
+        for graph in ("gU1", "gU2"):
+            post(handler, "/sparql",
+                 f'INSERT DATA {{ GRAPH <http://example.org/{graph}> '
+                 f'{{ <http://e/{graph}> <http://e/p> 1 }} }}',
+                 content_type="application/sparql-update")
+        endpoint = handler.router.endpoint
+        iris = ("http://example.org/gU1", "http://example.org/gU2")
+        first = endpoint._protocol_graph(list(iris))
+        second = endpoint._protocol_graph(list(iris))
+        # Same epoch -> the SAME view object, so compiled plans (keyed on
+        # (id(graph), epoch)) reuse across repeated protocol requests.
+        assert first is second
+
+    def test_named_graph_uri_is_501(self, handler):
+        extra = "&named-graph-uri=" + quote("http://example.org/g1", safe="")
+        response = sparql_get(handler, ASK_QUERY, extra=extra)
+        assert response.status == 501
+
+    @pytest.mark.parametrize("param", ["using-graph-uri",
+                                       "using-named-graph-uri"])
+    def test_using_graph_uri_on_updates_is_501_not_silent(self, handler, param):
+        # Silently dropping these would run the update against the WRONG
+        # dataset (a DELETE for one graph wiping the default graph).
+        body = ("update=" + quote(
+            "DELETE WHERE { ?s ?p ?o }", safe="")
+            + f"&{param}=" + quote("http://example.org/g1", safe=""))
+        response = post(handler, "/sparql", body,
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 501
+        # Nothing executed: the store still answers the ASK.
+        check = sparql_get(handler, ASK_QUERY, accept=MEDIA_JSON)
+        assert json.loads(body_text(check))["boolean"] is True
+
+    def test_default_graph_uri_on_update_is_400(self, handler):
+        body = ("update=" + quote("INSERT DATA { <http://e/s> <http://e/p> 1 }",
+                                  safe="")
+                + "&default-graph-uri=" + quote("http://example.org/g1",
+                                               safe=""))
+        response = post(handler, "/sparql", body,
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Envelope routes over the service boundary
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelopeRoutes:
+    def test_bare_params_with_path_op(self, handler):
+        response = post(handler, "/kgnet/v1/ping", "{}",
+                        content_type="application/json")
+        assert response.status == 200
+        payload = json.loads(body_text(response))
+        assert payload["ok"] is True
+        assert payload["result"]["status"] == "ok"
+
+    def test_full_envelope_at_the_root(self, handler):
+        envelope = {"api_version": "kgnet/v1", "op": "sparql",
+                    "params": {"query": ASK_QUERY}}
+        response = post(handler, "/kgnet/v1", json.dumps(envelope))
+        payload = json.loads(body_text(response))
+        assert payload["result"] == {"kind": "ASK", "answer": True}
+
+    def test_admin_routes_reachable(self, handler):
+        response = post(handler, "/kgnet/v1/admin/persist", "{}")
+        # No storage engine configured on this platform: a clean 400, not a 500.
+        assert response.status == 400
+        payload = json.loads(body_text(response))
+        assert payload["error"]["code"] == "BAD_REQUEST"
+
+    def test_op_path_mismatch(self, handler):
+        envelope = {"api_version": "kgnet/v1", "op": "ping", "params": {}}
+        response = post(handler, "/kgnet/v1/stats", json.dumps(envelope))
+        assert response.status == 400
+
+    def test_unknown_op_is_404(self, handler):
+        response = post(handler, "/kgnet/v1/nope", "{}")
+        assert response.status == 404
+        assert json.loads(body_text(response))["error"]["code"] == \
+            "UNKNOWN_OPERATION"
+
+    def test_expired_cursor_is_410(self, handler):
+        response = post(handler, "/kgnet/v1/next_page",
+                        json.dumps({"cursor": "cur-999-p5"}))
+        assert response.status == 410
+
+    def test_invalid_json_body_is_400(self, handler):
+        response = post(handler, "/kgnet/v1/ping", "{not json")
+        assert response.status == 400
+
+    def test_envelope_required_at_root(self, handler):
+        response = post(handler, "/kgnet/v1", json.dumps({"params": {}}))
+        assert response.status == 400
+
+    def test_get_on_envelope_path_is_405(self, handler):
+        response = get(handler, "/kgnet/v1/ping")
+        assert response.status == 405
+
+    def test_pagination_round_trip(self, handler):
+        first = post(handler, "/kgnet/v1/sparql", json.dumps(
+            {"query": "SELECT ?s WHERE { ?s ?p ?o }", "page_size": 3}))
+        result = json.loads(body_text(first))["result"]
+        assert len(result["rows"]) == 3
+        cursor = result["next_cursor"]
+        assert cursor
+        second = post(handler, "/kgnet/v1/next_page",
+                      json.dumps({"cursor": cursor}))
+        assert json.loads(body_text(second))["result"]["items"]
+
+
+# ---------------------------------------------------------------------------
+# Status mapping
+# ---------------------------------------------------------------------------
+
+
+class TestStatusMapping:
+    def test_every_mapped_code_is_a_registered_or_transport_code(self):
+        registered = set(ERROR_CODES.values()) | {"NOT_ACCEPTABLE"}
+        for code in HTTP_STATUS_BY_CODE:
+            assert code in registered, code
+
+    def test_client_errors_are_4xx_server_errors_5xx(self):
+        for code, status in HTTP_STATUS_BY_CODE.items():
+            assert 400 <= status < 600
+        assert http_status_for_error("PARSE_ERROR") == 400
+        assert http_status_for_error("MODEL_NOT_FOUND") == 404
+        assert http_status_for_error("CURSOR_ERROR") == 410
+        assert http_status_for_error("UNSUPPORTED_FEATURE") == 501
+
+    def test_unregistered_codes_default_to_500(self):
+        assert http_status_for_error("SOME_FUTURE_CODE") == 500
+        assert http_status_for_error("INTERNAL_ERROR") == 500
