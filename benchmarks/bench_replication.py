@@ -1,0 +1,260 @@
+"""Replication benchmark: read scale-out and follower catch-up speed.
+
+Boots a real multi-process cluster via ``python -m repro.replication`` —
+one primary and up to four replicas, each its own OS process on loopback —
+and measures:
+
+* **read QPS at 0/1/2/4 replicas** — concurrent readers behind a
+  :class:`~repro.replication.ReplicaSetClient`; 0 replicas is the
+  single-node baseline every scale-out factor is reported against.
+  Separate processes matter here: in-process replicas would share one
+  interpreter and scale nothing,
+* **catch-up speed** — a fresh follower joins after the primary has
+  accumulated its history and tail-applies everything; reported normalised
+  as seconds per 10k commits,
+* **write throughput through the router** (context for the catch-up rate:
+  the follower must apply at least this fast to ever converge).
+
+Usage (from the ``benchmarks/`` directory)::
+
+    PYTHONPATH=../src python bench_replication.py            # full run
+    PYTHONPATH=../src python bench_replication.py --smoke    # CI-sized
+
+Each run appends one record to ``BENCH_replication.json`` next to this
+script and refreshes ``results/bench_replication.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import percentile, save_report  # noqa: E402
+from repro.replication import ReplicaSetClient  # noqa: E402
+from repro.server import RemoteClient  # noqa: E402
+
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "BENCH_replication.json")
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                   os.pardir, "src")
+
+EX = "http://example.org/bench/repl/"
+#: Server-CPU-heavy with a one-row response: the cost of a read lives on
+#: the node that serves it, so aggregate QPS grows with serving processes
+#: (given the cores to run them — see the cpu_count note in the record).
+HOT_QUERY = f'SELECT (COUNT(?s) AS ?n) WHERE {{ ?s ?p ?o }}'
+
+
+def spawn_node(role: str, directory: str, *extra: str
+               ) -> Tuple[subprocess.Popen, str]:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.replication", role,
+         "--dir", directory, "--port", "0", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    line = proc.stdout.readline().strip()
+    parts = line.split()
+    if len(parts) != 3 or parts[0] != "KGNET_NODE":
+        proc.kill()
+        raise RuntimeError(f"bad node banner {line!r}: "
+                           f"{proc.stderr.read()[:2000]}")
+    return proc, parts[2]
+
+
+def wait_caught_up(url: str, seq: int, timeout: float = 300.0) -> float:
+    """Poll the node's status until ``applied_seq`` reaches ``seq``."""
+    client = RemoteClient(url)
+    deadline = time.time() + timeout
+    try:
+        while time.time() < deadline:
+            if int(client.replication_status()["applied_seq"]) >= seq:
+                return time.time()
+            time.sleep(0.02)
+    finally:
+        client.close()
+    raise RuntimeError(f"{url} did not reach seq {seq} in {timeout}s")
+
+
+def load_commits(primary_url: str, commits: int) -> Dict[str, object]:
+    """One INSERT per commit (the WAL shape replication actually ships)."""
+    client = RemoteClient(primary_url)
+    started = time.perf_counter()
+    for n in range(commits):
+        client.protocol_update(
+            f'INSERT DATA {{ <{EX}s{n}> <{EX}p{n % 8}> "value {n % 101}" }}')
+    elapsed = time.perf_counter() - started
+    seq = int(client.replication_status()["last_seq"])
+    client.close()
+    return {"leg": "write_throughput", "commits": commits,
+            "seconds": round(elapsed, 4),
+            "qps": round(commits / elapsed, 1),
+            "last_seq": seq}
+
+
+def bench_read_qps(primary_url: str, replica_urls: List[str],
+                   requests: int, workers: int) -> Dict[str, object]:
+    """Aggregate read QPS through the router at this replica count."""
+    per_worker = max(1, requests // workers)
+    buckets: List[List[float]] = [[] for _ in range(workers)]
+    errors: List[BaseException] = []
+
+    def worker(slot: int) -> None:
+        # One router per thread: each holds its own keep-alive connections,
+        # exactly how independent application sessions behave.
+        router = ReplicaSetClient(primary_url, list(replica_urls))
+        try:
+            for _ in range(per_worker):
+                t0 = time.perf_counter()
+                router.select(HOT_QUERY)
+                buckets[slot].append(time.perf_counter() - t0)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+        finally:
+            router.close()
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(workers)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    latencies = sorted(lat for bucket in buckets for lat in bucket)
+    total = len(latencies)
+    return {"leg": f"read_x{len(replica_urls)}_replicas",
+            "replicas": len(replica_urls), "requests": total,
+            "seconds": round(elapsed, 4),
+            "qps": round(total / elapsed, 1),
+            "p50_ms": round(percentile(latencies, 0.5) * 1000, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1000, 3)}
+
+
+def run(commits: int, requests: int, workers: int) -> Dict[str, object]:
+    procs: List[subprocess.Popen] = []
+    tmp = tempfile.mkdtemp(prefix="bench-replication-")
+    try:
+        primary, primary_url = spawn_node(
+            "primary", os.path.join(tmp, "primary"), "--no-fsync",
+            "--retain-segments", "64")
+        procs.append(primary)
+
+        write_leg = load_commits(primary_url, commits)
+        last_seq = write_leg["last_seq"]
+
+        # Followers join AFTER the history exists: the first one's
+        # convergence time is the catch-up measurement.
+        replica_urls: List[str] = []
+        catch_up_seconds = None
+        for i in range(4):
+            t0 = time.time()
+            proc, url = spawn_node(
+                "replica", os.path.join(tmp, f"replica{i}"),
+                "--primary", primary_url, "--poll-interval", "0.02")
+            procs.append(proc)
+            done = wait_caught_up(url, last_seq)
+            if catch_up_seconds is None:
+                catch_up_seconds = done - t0
+            replica_urls.append(url)
+
+        legs = [write_leg]
+        for count in (0, 1, 2, 4):
+            legs.append(bench_read_qps(primary_url, replica_urls[:count],
+                                       requests, workers))
+
+        by_replicas = {leg.get("replicas"): leg for leg in legs[1:]}
+        baseline = by_replicas[0]["qps"]
+        record = {
+            "benchmark": "replication",
+            "commits": commits,
+            "requests": requests,
+            "workers": workers,
+            # Scale-out is process-per-node: aggregate read QPS can only
+            # exceed single-node when there are cores to put nodes on.
+            "cpu_count": os.cpu_count(),
+            "legs": legs,
+            "catch_up_seconds": round(catch_up_seconds, 4),
+            "catch_up_seconds_per_10k_commits": round(
+                catch_up_seconds * 10_000 / commits, 4),
+            "speedup_1_replica": round(by_replicas[1]["qps"] / baseline, 2),
+            "speedup_2_replicas": round(by_replicas[2]["qps"] / baseline, 2),
+            "speedup_4_replicas": round(by_replicas[4]["qps"] / baseline, 2),
+        }
+        return record
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def append_trajectory(record: Dict[str, object]) -> None:
+    trajectory: List[Dict[str, object]] = []
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    record = dict(record)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    trajectory.append(record)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer commits and requests)")
+    args = parser.parse_args()
+    commits = 1_000 if args.smoke else 10_000
+    requests = 240 if args.smoke else 2_000
+    workers = 6 if args.smoke else 8
+
+    record = run(commits, requests, workers)
+    append_trajectory(record)
+
+    rows = []
+    for leg in record["legs"]:
+        rows.append({"leg": leg["leg"], "requests": leg.get("requests",
+                                                           leg.get("commits")),
+                     "qps": leg["qps"],
+                     "p50_ms": leg.get("p50_ms", ""),
+                     "p99_ms": leg.get("p99_ms", "")})
+    save_report("bench_replication",
+                "Scale-out serving: read QPS by replica count + catch-up",
+                rows, headers=["leg", "requests", "qps", "p50_ms", "p99_ms"],
+                notes=[f"{record['commits']} commits shipped; catch-up "
+                       f"{record['catch_up_seconds']}s "
+                       f"({record['catch_up_seconds_per_10k_commits']}s "
+                       "per 10k commits)",
+                       f"read speedup vs single node: "
+                       f"1 replica {record['speedup_1_replica']}x, "
+                       f"2 replicas {record['speedup_2_replicas']}x, "
+                       f"4 replicas {record['speedup_4_replicas']}x "
+                       f"(on {record['cpu_count']} cores)"])
+    print(f"2-replica aggregate read QPS = "
+          f"{record['speedup_2_replicas']}x single node; "
+          f"catch-up {record['catch_up_seconds_per_10k_commits']}s "
+          "per 10k commits")
+    print(f"trajectory appended to {TRAJECTORY_PATH}")
+
+
+if __name__ == "__main__":
+    main()
+
+

@@ -16,6 +16,9 @@ Reproduction of "Towards a GML-Enabled Knowledge Graph Platform"
 * :mod:`repro.server` -- the network service layer: a stdlib HTTP server
   speaking the W3C SPARQL 1.1 Protocol and the kgnet/v1 envelope API, with
   streaming content-negotiated results and a pure-stdlib ``RemoteClient``,
+* :mod:`repro.replication` -- scale-out serving: WAL log-shipping read
+  replicas (``ReplicaEngine``) and the replica-aware ``ReplicaSetClient``
+  router with per-session read-your-writes,
 * :mod:`repro.datasets` -- synthetic DBLP-like and YAGO4-like KG generators
   and task definitions.
 """
@@ -36,6 +39,7 @@ from repro.kgnet.kgmeta.governor import ModelMetadata
 from repro.kgnet.meta_sampler import MetaSamplingConfig
 from repro.kgnet.platform import KGNet
 from repro.kgnet.sparqlml.service import DeleteReport, SelectReport, TrainReport
+from repro.replication import ReplicaEngine, ReplicaSetClient
 from repro.server import KGNetHTTPServer, RemoteClient, serve
 from repro.storage import StorageEngine
 
@@ -55,6 +59,8 @@ __all__ = [
     "serve",
     "MetaSamplingConfig",
     "ModelMetadata",
+    "ReplicaEngine",
+    "ReplicaSetClient",
     "SelectReport",
     "StorageEngine",
     "TaskBudget",

@@ -168,3 +168,25 @@ class StorageError(KGNetError):
 
 class CorruptCheckpointError(StorageError):
     """A checkpoint file is unreadable: bad magic, length, or CRC."""
+
+
+class WalTruncatedError(StorageError):
+    """The requested WAL range was compacted away by segment retention.
+
+    A follower asking for "commits after seq S" gets this when S predates
+    the oldest retained segment; the only way forward is a snapshot
+    bootstrap from the latest checkpoint.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Replication errors
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(KGNetError):
+    """Base class for errors in the log-shipping replication layer."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A write operation reached a read-only replica instead of the primary."""

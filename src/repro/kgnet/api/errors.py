@@ -57,6 +57,10 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     # Durable storage
     X.StorageError: "STORAGE_ERROR",
     X.CorruptCheckpointError: "CORRUPT_CHECKPOINT",
+    X.WalTruncatedError: "WAL_TRUNCATED",
+    # Replication
+    X.ReplicationError: "REPLICATION_ERROR",
+    X.ReadOnlyReplicaError: "READ_ONLY_REPLICA",
     # Service API
     X.APIError: "API_ERROR",
     X.BadRequestError: "BAD_REQUEST",

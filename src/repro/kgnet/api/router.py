@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.concurrency import InflightBatcher, WorkerPool
-from repro.exceptions import BadRequestError, CursorError, UnknownOperationError
+from repro.exceptions import (
+    BadRequestError,
+    CursorError,
+    ReadOnlyReplicaError,
+    UnknownOperationError,
+)
 from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
 from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
@@ -43,7 +48,15 @@ from repro.rdf.terms import IRI
 from repro.sparql.endpoint import SPARQLEndpoint
 from repro.sparql.results import ResultSet
 
-__all__ = ["RouteMetrics", "APIRouter"]
+__all__ = ["RouteMetrics", "APIRouter", "WRITE_OPS"]
+
+#: Operations a read-only replica refuses outright.  ``sparql``/``sparqlml``
+#: are not listed: they are read ops unless the query text is an update,
+#: which the handlers police per-request.
+WRITE_OPS = frozenset({
+    "load", "train", "delete_models",
+    "admin/persist", "admin/restore", "admin/bulk_load",
+})
 
 #: Oldest cursors are dropped beyond this many live result pages.
 MAX_LIVE_CURSORS = 64
@@ -194,6 +207,16 @@ class APIRouter:
         #: Optional :class:`repro.storage.engine.StorageEngine` backing the
         #: endpoint's dataset; enables the ``admin/*`` persistence routes.
         self.storage = storage
+        #: Read-only replica mode: write operations are refused with
+        #: :class:`~repro.exceptions.ReadOnlyReplicaError`.  Set by
+        #: :class:`~repro.replication.replica.ReplicaEngine` after
+        #: construction; False on a primary.
+        self.read_only = False
+        #: Optional replication provider (the ReplicaEngine on a follower):
+        #: anything with a ``replication_status()`` dict method.  Drives the
+        #: ``replication/status`` op when set; a primary reports from its
+        #: storage engine instead.
+        self.replication = None
         self._metrics: Dict[str, RouteMetrics] = {}
         self._metrics_lock = threading.Lock()
         self._cursors: "OrderedDict[str, List[object]]" = OrderedDict()
@@ -230,6 +253,7 @@ class APIRouter:
             "admin/persist": self._handle_admin_persist,
             "admin/restore": self._handle_admin_restore,
             "admin/bulk_load": self._handle_admin_bulk_load,
+            "replication/status": self._handle_replication_status,
         }
         #: Accepted param keys per op; anything else is rejected so typo'd
         #: options fail loudly instead of being silently ignored.
@@ -259,6 +283,7 @@ class APIRouter:
             "admin/persist": frozenset(),
             "admin/restore": frozenset(),
             "admin/bulk_load": frozenset({"turtle", "graph_iri", "batch_size"}),
+            "replication/status": frozenset(),
         }
 
     # ------------------------------------------------------------------
@@ -284,6 +309,10 @@ class APIRouter:
                 f"unknown operation {request.op!r}; supported: {', '.join(self.operations())}")
             return self._finish(request, APIResponse.failure(request, error), started)
         try:
+            if self.read_only and request.op in WRITE_OPS:
+                raise ReadOnlyReplicaError(
+                    f"operation {request.op!r} is not available on a "
+                    "read-only replica; send writes to the primary")
             unknown = set(request.params) - self._allowed_params[request.op]
             if unknown:
                 raise BadRequestError(
@@ -487,9 +516,23 @@ class APIRouter:
         require = params.get("require")
         if require is not None and require not in ("query", "update"):
             raise BadRequestError("'require' must be 'query' or 'update'")
+        if self.read_only:
+            if require == "update":
+                raise ReadOnlyReplicaError(
+                    "SPARQL updates are not available on a read-only "
+                    "replica; send writes to the primary")
+            require = "query"  # an update text must fail, not slip through
         value = self.endpoint.execute(query,
                                       default_graph_iris=default_graphs,
                                       require=require)
+        # For updates, capture the WAL commit seq the write landed at (an
+        # upper bound is fine): clients use it for read-your-writes routing
+        # across replicas.
+        commit_seq: Optional[int] = None
+        if isinstance(value, int) and self.storage is not None:
+            wal = getattr(self.storage, "_wal", None)
+            if wal is not None:
+                commit_seq = wal.last_seq
         # thread_statistics() is this thread's own request record, so the
         # hit/miss split stays exact under concurrent serving.
         stats = self.endpoint.thread_statistics()
@@ -497,7 +540,12 @@ class APIRouter:
             self._route_metrics("sparql").record_cache(stats.plan_cache_hit)
         # The JSON projection (row conversion, graph serialisation) is built
         # lazily: in-process callers consume the attachment and skip it.
-        return (lambda: self._project_query_result(value, page_size)), value
+        def project() -> Dict[str, object]:
+            result = self._project_query_result(value, page_size)
+            if commit_seq is not None:
+                result["commit_seq"] = commit_seq
+            return result
+        return project, value
 
     def _sparqlml_kwargs(self, params: Dict[str, object]) -> Dict[str, object]:
         kwargs: Dict[str, object] = {}
@@ -534,6 +582,10 @@ class APIRouter:
         page_size = self._coerce_page_size(params.get("page_size"))
         kwargs = self._sparqlml_kwargs(params)
         kind = self.sparqlml.parser.classify(query)
+        if self.read_only and kind in ("train", "delete"):
+            raise ReadOnlyReplicaError(
+                f"SPARQL-ML {kind} statements are not available on a "
+                "read-only replica; send writes to the primary")
         if kind == "select":
             kwargs.pop("method", None)
             kwargs.pop("meta_sampling", None)
@@ -645,7 +697,34 @@ class APIRouter:
             "api": self.metrics(),
             "inference_coalescing": self.coalescing_stats(),
         }
+        stats["replication"] = self._replication_status_doc()
         return stats, stats
+
+    def _replication_status_doc(self) -> Dict[str, object]:
+        """The role/seq/lag document behind ``replication/status``.
+
+        On a follower the attached :class:`ReplicaEngine` answers (applied
+        seq, lag); on a primary the storage engine's WAL window does; a
+        memory-only platform reports a standalone role with no history.
+        """
+        if self.replication is not None:
+            return dict(self.replication.replication_status())
+        if self.storage is not None and self.storage.is_open:
+            oldest, last_seq = self.storage.wal_window()
+            return {
+                "role": "primary",
+                "read_only": self.read_only,
+                "last_seq": last_seq,
+                "applied_seq": last_seq,
+                "oldest_streamable_seq": oldest,
+                "segments": self.storage.archive.stats(),
+            }
+        return {"role": "standalone", "read_only": self.read_only,
+                "last_seq": 0, "applied_seq": 0}
+
+    def _handle_replication_status(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
+        doc = self._replication_status_doc()
+        return doc, doc
 
     def _handle_metrics(self, params: Dict[str, object]) -> Tuple[Dict[str, object], object]:
         metrics = self.metrics()

@@ -1,0 +1,89 @@
+"""Run one replication node: ``python -m repro.replication primary|replica``.
+
+The process model is one node per process, each with its own data directory
+(the storage LOCK file refuses a shared one) and its own HTTP port:
+
+    python -m repro.replication primary --dir /data/p --port 8100
+    python -m repro.replication replica --dir /data/r1 --port 8101 \
+        --primary http://127.0.0.1:8100
+
+The first stdout line is ``KGNET_NODE <role> <base_url>`` (flushed), which
+is how the multi-process tests, the example, and the benchmark discover the
+ephemeral port when started with ``--port 0``.  The process then serves
+until SIGTERM/SIGINT, shutting the node down cleanly so a primary's WAL is
+never left with a torn frame that a restart would have to truncate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.kgnet.platform import KGNet
+from repro.replication.replica import ReplicaEngine
+from repro.server.http import KGNetHTTPServer
+from repro.storage.engine import StorageEngine
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication",
+        description="Run one KGNet replication node (primary or replica).")
+    sub = parser.add_subparsers(dest="role", required=True)
+
+    primary = sub.add_parser("primary", help="writable primary node")
+    primary.add_argument("--dir", required=True, help="data directory")
+    primary.add_argument("--port", type=int, default=0,
+                         help="HTTP port (0 = ephemeral, printed on stdout)")
+    primary.add_argument("--host", default="127.0.0.1")
+    primary.add_argument("--retain-segments", type=int, default=8,
+                         help="archived WAL segments kept for followers")
+    primary.add_argument("--no-fsync", action="store_true",
+                         help="skip per-commit fsync (tests/benchmarks)")
+
+    replica = sub.add_parser("replica", help="read-only follower node")
+    replica.add_argument("--dir", required=True, help="data directory")
+    replica.add_argument("--port", type=int, default=0,
+                         help="HTTP port (0 = ephemeral, printed on stdout)")
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument("--primary", required=True,
+                         help="base URL of the primary, e.g. http://127.0.0.1:8100")
+    replica.add_argument("--poll-interval", type=float, default=0.1,
+                         help="seconds between WAL polls")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda _s, _f: stop.set())
+
+    if args.role == "primary":
+        storage = StorageEngine(args.dir, fsync=not args.no_fsync,
+                                retain_segments=args.retain_segments)
+        platform = KGNet(storage=storage)
+        router = platform.api
+        shutdown = storage.close
+    else:
+        engine = ReplicaEngine(args.dir, args.primary,
+                               poll_interval=args.poll_interval)
+        platform = engine.start()
+        router = platform.api
+        shutdown = engine.stop
+
+    server = KGNetHTTPServer((args.host, args.port), router=router)
+    server.start()
+    print(f"KGNET_NODE {args.role} {server.base_url}", flush=True)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,13 @@ stable error code.
 On top of the envelope surface it speaks the raw SPARQL 1.1 Protocol:
 :meth:`protocol_query` / :meth:`protocol_update` hit ``/sparql`` like any
 stock SPARQL client would, with ``Accept``-header content negotiation, and
-:meth:`protocol_select` parses the negotiated JSON results document.
+:meth:`protocol_select` parses whichever results format was negotiated —
+JSON, XML, CSV or TSV — back into JSON-shaped bindings via
+:mod:`repro.sparql.results.parse`.
+
+The client is also the transport of the replication subsystem: the
+``replication_*`` methods fetch the primary's WAL stream, snapshot and
+status documents for :class:`~repro.replication.replica.ReplicaEngine`.
 
 The client keeps ONE connection and serialises requests over it with a
 lock: it is safe to share across threads, but concurrent callers queue.
@@ -30,6 +36,8 @@ from urllib.parse import quote, urlsplit
 
 from repro.exceptions import APIError
 from repro.kgnet.api.client import APIClient
+from repro.kgnet.api.errors import exception_from_payload
+from repro.sparql.results.parse import parse_ask, parse_select_bindings
 from repro.sparql.results.serialize import MEDIA_JSON
 
 __all__ = ["RemoteClient"]
@@ -172,24 +180,47 @@ class RemoteClient(APIClient):
         content_type = headers.get("content-type", "").split(";", 1)[0].strip()
         return status, content_type, body.decode("utf-8")
 
+    def _protocol_error(self, status: int, text: str,
+                        what: str) -> BaseException:
+        """Rebuild the server's typed exception from an error envelope.
+
+        Non-200 protocol responses carry the standard error envelope; when
+        it parses, the caller gets the same exception class an in-process
+        dispatch would have raised (a replica refusing an update raises
+        :class:`~repro.exceptions.ReadOnlyReplicaError`, not a bare
+        :class:`APIError` the router would have to string-match).
+        """
+        try:
+            payload = json.loads(text)
+            if isinstance(payload, dict) and isinstance(
+                    payload.get("error"), dict):
+                return exception_from_payload(payload["error"])
+        except ValueError:
+            pass
+        return APIError(f"SPARQL protocol {what} failed: HTTP {status}: "
+                        f"{text[:500]}")
+
     def protocol_select(self, query: str,
                         default_graph_uris: Optional[List[str]] = None,
+                        accept: str = MEDIA_JSON,
                         ) -> List[Dict[str, Dict[str, str]]]:
-        """SELECT via the protocol; returns the JSON results bindings."""
-        status, content_type, body = self.protocol_query(
-            query, accept=MEDIA_JSON, default_graph_uris=default_graph_uris)
-        if status != 200:
-            raise APIError(f"SPARQL protocol query failed: HTTP {status}: "
-                           f"{body[:500]}")
-        document = json.loads(body)
-        return document.get("results", {}).get("bindings", [])
+        """SELECT via the protocol; returns JSON-shaped results bindings.
 
-    def protocol_ask(self, query: str) -> bool:
-        status, _, body = self.protocol_query(query, accept=MEDIA_JSON)
+        Any negotiable SELECT format works: the response is parsed back
+        into the JSON bindings shape whatever ``accept`` landed on (CSV is
+        lossy by nature — see :mod:`repro.sparql.results.parse`).
+        """
+        status, content_type, body = self.protocol_query(
+            query, accept=accept, default_graph_uris=default_graph_uris)
         if status != 200:
-            raise APIError(f"SPARQL protocol ASK failed: HTTP {status}: "
-                           f"{body[:500]}")
-        return bool(json.loads(body).get("boolean"))
+            raise self._protocol_error(status, body, "query")
+        return parse_select_bindings(body, content_type)
+
+    def protocol_ask(self, query: str, accept: str = MEDIA_JSON) -> bool:
+        status, content_type, body = self.protocol_query(query, accept=accept)
+        if status != 200:
+            raise self._protocol_error(status, body, "ASK")
+        return parse_ask(body, content_type)
 
     def protocol_update(self, update: str,
                         via_form: bool = False) -> Dict[str, object]:
@@ -203,11 +234,62 @@ class RemoteClient(APIClient):
             status, _, text = self._request(
                 "POST", "/sparql", body=update.encode("utf-8"),
                 headers={"Content-Type": "application/sparql-update"})
-        payload = json.loads(text)
-        if status != 200 or not payload.get("ok", False):
-            raise APIError(f"SPARQL protocol update failed: HTTP {status}: "
-                           f"{text[:500]}")
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if status != 200 or not isinstance(payload, dict) \
+                or not payload.get("ok", False):
+            raise self._protocol_error(status, text, "update")
         return payload
+
+    # ------------------------------------------------------------------
+    # Replication transport (used by ReplicaEngine / ReplicaSetClient)
+    # ------------------------------------------------------------------
+    def _replication_error(self, status: int, headers: Dict[str, str],
+                           body: bytes, what: str) -> BaseException:
+        """Rebuild the server's exception from a replication error response."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if isinstance(payload, dict) and "error" in payload:
+                return exception_from_payload(payload["error"])
+        except (ValueError, UnicodeDecodeError):
+            pass
+        return APIError(f"replication {what} failed: HTTP {status}: "
+                        f"{body[:200]!r}")
+
+    def replication_status(self) -> Dict[str, object]:
+        """The peer's replication status document (role, seqs, window)."""
+        status, headers, body = self._request(
+            "GET", "/kgnet/v1/replication/status")
+        if status != 200:
+            raise self._replication_error(status, headers, body, "status")
+        return json.loads(body.decode("utf-8"))
+
+    def replication_wal(self, after_seq: int) -> bytes:
+        """Raw CRC-framed WAL bytes for every commit after ``after_seq``.
+
+        Raises :class:`~repro.exceptions.WalTruncatedError` (rebuilt from
+        the server's 410) when retention already pruned the range — the
+        caller falls back to :meth:`replication_snapshot`.
+        """
+        status, headers, body = self._request(
+            "GET", f"/kgnet/v1/replication/wal?after_seq={int(after_seq)}")
+        if status != 200:
+            raise self._replication_error(status, headers, body, "wal fetch")
+        return body
+
+    def replication_snapshot(self) -> Tuple[bytes, int]:
+        """The primary's latest checkpoint file + the commit seq it covers."""
+        status, headers, body = self._request(
+            "GET", "/kgnet/v1/replication/snapshot")
+        if status != 200:
+            raise self._replication_error(status, headers, body, "snapshot")
+        try:
+            seq = int(headers.get("x-kgnet-snapshot-seq", "0"))
+        except ValueError:
+            seq = 0
+        return body, seq
 
     def __repr__(self) -> str:
         return f"<RemoteClient http://{self.host}:{self.port}{self.base_path}>"

@@ -26,6 +26,15 @@ Routes
     :class:`~repro.kgnet.api.envelopes.APIRequest` envelope.  Every response
     body is the :class:`~repro.kgnet.api.envelopes.APIResponse` envelope.
 
+``GET /kgnet/v1/replication/{wal,snapshot,status}``
+    The log-shipping replication protocol.  ``wal?after_seq=S`` streams the
+    raw CRC-framed WAL bytes of every commit after ``S`` with chunked
+    transfer (HTTP 410 when retention already pruned the range);
+    ``snapshot`` ships the latest checkpoint file verbatim with its covered
+    seq in ``X-KGNet-Snapshot-Seq``; ``status`` reports role, applied seq
+    and lag as JSON.  Followers (:class:`~repro.replication.replica.ReplicaEngine`)
+    are the intended clients, but the routes are plain GETs any tool can hit.
+
 Error contract
 --------------
 
@@ -69,10 +78,13 @@ __all__ = [
     "ServiceHandler",
     "SPARQL_PATH",
     "ENVELOPE_PATH",
+    "REPLICATION_PATH",
 ]
 
 SPARQL_PATH = "/sparql"
 ENVELOPE_PATH = "/kgnet/v1"
+REPLICATION_PATH = ENVELOPE_PATH + "/replication"
+MEDIA_OCTETS = "application/octet-stream"
 
 MEDIA_SPARQL_QUERY = "application/sparql-query"
 MEDIA_SPARQL_UPDATE = "application/sparql-update"
@@ -99,6 +111,9 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "NOT_ACCEPTABLE": 406,
     # The resource existed once and is gone for good.
     "CURSOR_ERROR": 410,
+    "WAL_TRUNCATED": 410,
+    # The operation exists but this deployment role refuses it.
+    "READ_ONLY_REPLICA": 403,
     # The request was fine but exceeded its declared resource budget.
     "BUDGET_EXCEEDED": 413,
     # The server understands the request but lacks the capability.
@@ -233,6 +248,8 @@ class ServiceHandler:
             path = request.path.rstrip("/") or "/"
             if path == SPARQL_PATH:
                 return self._handle_sparql_protocol(request)
+            if path == REPLICATION_PATH or path.startswith(REPLICATION_PATH + "/"):
+                return self._handle_replication(request, path)
             if path == ENVELOPE_PATH or path.startswith(ENVELOPE_PATH + "/"):
                 return self._handle_envelope(request, path)
             if path in ("/", "/health"):
@@ -387,6 +404,70 @@ class ServiceHandler:
         if not response.ok:
             return self._envelope_response(response)
         return ServiceResponse.json(response.to_dict())
+
+    # ------------------------------------------------------------------
+    # Replication wire protocol
+    # ------------------------------------------------------------------
+    def _handle_replication(self, request: ServiceRequest,
+                            path: str) -> ServiceResponse:
+        method = "GET" if request.method == "HEAD" else request.method
+        if method != "GET":
+            return self._method_not_allowed(request, allow="GET, HEAD")
+        sub = path[len(REPLICATION_PATH):].lstrip("/")
+        if sub == "status":
+            response = self.router.dispatch(
+                APIRequest(op="replication/status"))
+            if not response.ok:
+                return self._envelope_response(response)
+            return ServiceResponse.json(response.result)
+        storage = getattr(self.router, "storage", None)
+        if storage is None:
+            raise BadRequestError(
+                "replication requires a storage-backed platform (no "
+                "StorageEngine is configured)")
+        if sub == "wal":
+            return self._stream_wal(request, storage)
+        if sub == "snapshot":
+            data, seq = storage.snapshot_bytes()
+            return ServiceResponse(
+                status=200,
+                headers=[("Content-Type", MEDIA_OCTETS),
+                         ("X-KGNet-Snapshot-Seq", str(seq))],
+                body=data)
+        return self._error_response(
+            "NOT_FOUND", f"no replication route {sub!r}; routes are "
+            "wal, snapshot, status", 404)
+
+    def _stream_wal(self, request: ServiceRequest,
+                    storage) -> ServiceResponse:
+        values = request.query_params.get("after_seq", ["0"])
+        try:
+            after_seq = int(values[-1])
+        except (TypeError, ValueError):
+            raise BadRequestError(
+                f"'after_seq' must be an integer, got {values[-1]!r}")
+        if after_seq < 0:
+            raise BadRequestError("'after_seq' must be non-negative")
+        transactions = storage.stream_wal_after(after_seq)
+        # Pull the first transaction NOW, before committing to a 200: a
+        # WalTruncatedError must surface as a clean 410 envelope, which is
+        # impossible once streaming has started sending chunks.
+        try:
+            first = next(transactions)
+        except StopIteration:
+            first = None
+
+        def stream() -> Iterator[bytes]:
+            if first is not None:
+                yield first[1]
+                for _seq, raw in transactions:
+                    yield raw
+
+        return ServiceResponse(
+            status=200,
+            headers=[("Content-Type", MEDIA_OCTETS),
+                     ("X-KGNet-WAL-After-Seq", str(after_seq))],
+            body=stream())
 
     # ------------------------------------------------------------------
     # kgnet/v1 JSON envelopes

@@ -1,0 +1,236 @@
+"""Parsing SPARQL 1.1 result documents back into bindings.
+
+The inverse of :mod:`repro.sparql.results.serialize`, used by the network
+client: whatever format content negotiation landed on — JSON, XML, CSV or
+TSV — :func:`parse_select_bindings` recovers the same shape the JSON format
+carries natively, a list of ``{var: {"type": ..., "value": ...}}`` binding
+objects.  That one canonical shape is what
+:class:`~repro.server.client.RemoteClient` and the replica-set router hand
+back regardless of the wire format, so callers never branch on media type.
+
+Fidelity varies by format, exactly mirroring what each serialization can
+express:
+
+* **JSON / XML** round-trip losslessly (types, datatypes, language tags),
+* **TSV** carries full SPARQL term syntax and round-trips everything except
+  the distinction between an unbound variable and one bound to ``""`` —
+  both serialize as an empty field (the W3C note's own ambiguity),
+* **CSV** is lossy by design: the note writes raw lexical forms, so this
+  parser applies the standard heuristic inverse (``_:`` prefix → bnode,
+  ``scheme://`` shape → uri, everything else → plain literal) and all
+  datatype/language information is gone.  Tests and callers that need exact
+  terms should negotiate JSON, XML or TSV.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict, List
+
+from repro.exceptions import APIError
+from repro.rdf.io import _unescape
+from repro.sparql.results.serialize import (
+    MEDIA_CSV,
+    MEDIA_JSON,
+    MEDIA_TSV,
+    MEDIA_XML,
+)
+
+__all__ = ["parse_select_bindings", "parse_ask"]
+
+Binding = Dict[str, Dict[str, str]]
+
+_XMLNS = "http://www.w3.org/2005/sparql-results#"
+
+#: ``scheme ":" "//"`` — the shape the CSV heuristic promotes to a uri.
+_URI_SHAPE = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*://")
+
+#: One TSV term: IRI, quoted literal (+lang/datatype), bnode, or bare token.
+_TSV_LITERAL = re.compile(
+    r'^"((?:[^"\\]|\\.)*)"'            # quoted body with escapes
+    r"(?:@([A-Za-z0-9-]+)|\^\^<([^>]*)>)?$")
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+def _media_key(media_type: str) -> str:
+    return media_type.split(";", 1)[0].strip().lower()
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def _parse_json_select(text: str) -> List[Binding]:
+    document = json.loads(text)
+    bindings = document.get("results", {}).get("bindings", [])
+    if not isinstance(bindings, list):
+        raise APIError("malformed SPARQL JSON results: bindings is not a list")
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# XML
+# ---------------------------------------------------------------------------
+
+def _parse_xml_select(text: str) -> List[Binding]:
+    root = ET.fromstring(text)
+    rows: List[Binding] = []
+    for result in root.iter(f"{{{_XMLNS}}}result"):
+        row: Binding = {}
+        for binding in result.findall(f"{{{_XMLNS}}}binding"):
+            name = binding.get("name")
+            if name is None:
+                continue
+            uri = binding.find(f"{{{_XMLNS}}}uri")
+            bnode = binding.find(f"{{{_XMLNS}}}bnode")
+            literal = binding.find(f"{{{_XMLNS}}}literal")
+            if uri is not None:
+                row[name] = {"type": "uri", "value": uri.text or ""}
+            elif bnode is not None:
+                row[name] = {"type": "bnode", "value": bnode.text or ""}
+            elif literal is not None:
+                obj = {"type": "literal", "value": literal.text or ""}
+                lang = literal.get("{http://www.w3.org/XML/1998/namespace}lang")
+                datatype = literal.get("datatype")
+                if lang:
+                    obj["xml:lang"] = lang
+                elif datatype:
+                    obj["datatype"] = datatype
+                row[name] = obj
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# CSV / TSV
+# ---------------------------------------------------------------------------
+
+def _split_csv_line(line: str) -> List[str]:
+    """RFC 4180 field split (the subset the results note uses)."""
+    fields: List[str] = []
+    buffer: List[str] = []
+    quoted = False
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if quoted:
+            if char == '"':
+                if index + 1 < len(line) and line[index + 1] == '"':
+                    buffer.append('"')
+                    index += 1
+                else:
+                    quoted = False
+            else:
+                buffer.append(char)
+        elif char == '"':
+            quoted = True
+        elif char == ",":
+            fields.append("".join(buffer))
+            buffer = []
+        else:
+            buffer.append(char)
+        index += 1
+    fields.append("".join(buffer))
+    return fields
+
+
+def _csv_binding(value: str) -> Dict[str, str]:
+    if value.startswith("_:"):
+        return {"type": "bnode", "value": value[2:]}
+    if _URI_SHAPE.match(value):
+        return {"type": "uri", "value": value}
+    return {"type": "literal", "value": value}
+
+
+def _parse_csv_select(text: str) -> List[Binding]:
+    lines = text.split("\r\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return []
+    variables = _split_csv_line(lines[0])
+    rows: List[Binding] = []
+    for line in lines[1:]:
+        values = _split_csv_line(line)
+        row: Binding = {}
+        for name, value in zip(variables, values):
+            if value == "":
+                continue  # unbound and "" are indistinguishable in CSV
+            row[name] = _csv_binding(value)
+        rows.append(row)
+    return rows
+
+
+def _tsv_binding(value: str) -> Dict[str, str]:
+    if value.startswith("<") and value.endswith(">"):
+        return {"type": "uri", "value": value[1:-1]}
+    if value.startswith("_:"):
+        return {"type": "bnode", "value": value[2:]}
+    match = _TSV_LITERAL.match(value)
+    if match is not None:
+        body, lang, datatype = match.groups()
+        obj = {"type": "literal", "value": _unescape(body)}
+        if lang:
+            obj["xml:lang"] = lang
+        elif datatype and datatype != _XSD + "string":
+            obj["datatype"] = datatype
+        return obj
+    raise APIError(f"unparseable TSV results term: {value!r}")
+
+
+def _parse_tsv_select(text: str) -> List[Binding]:
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return []
+    variables = [name[1:] if name.startswith("?") else name
+                 for name in lines[0].split("\t")]
+    rows: List[Binding] = []
+    for line in lines[1:]:
+        row: Binding = {}
+        for name, value in zip(variables, line.split("\t")):
+            if value == "":
+                continue
+            row[name] = _tsv_binding(value)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+_SELECT_PARSERS = {
+    _media_key(MEDIA_JSON): _parse_json_select,
+    "application/json": _parse_json_select,
+    _media_key(MEDIA_XML): _parse_xml_select,
+    _media_key(MEDIA_CSV): _parse_csv_select,
+    _media_key(MEDIA_TSV): _parse_tsv_select,
+}
+
+
+def parse_select_bindings(text: str, media_type: str) -> List[Binding]:
+    """Parse a SELECT results document into JSON-shaped binding objects."""
+    parser = _SELECT_PARSERS.get(_media_key(media_type))
+    if parser is None:
+        raise APIError(
+            f"cannot parse SPARQL results of media type {media_type!r}")
+    return parser(text)
+
+
+def parse_ask(text: str, media_type: str) -> bool:
+    """Parse an ASK results document (JSON or XML) into its boolean."""
+    key = _media_key(media_type)
+    if key in (_media_key(MEDIA_JSON), "application/json"):
+        return bool(json.loads(text).get("boolean"))
+    if key == _media_key(MEDIA_XML):
+        root = ET.fromstring(text)
+        node = root.find(f"{{{_XMLNS}}}boolean")
+        if node is None:
+            raise APIError("SPARQL XML results document has no <boolean>")
+        return (node.text or "").strip().lower() == "true"
+    raise APIError(f"cannot parse an ASK result of media type {media_type!r}")

@@ -25,9 +25,18 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, Optional, TextIO, Union
+from typing import Dict, Iterator, Optional, TextIO, Tuple, Union
 
-from repro.exceptions import StorageError
+try:  # POSIX advisory locks
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+try:  # Windows region locks
+    import msvcrt
+except ImportError:  # pragma: no cover - POSIX
+    msvcrt = None  # type: ignore[assignment]
+
+from repro.exceptions import StorageError, WalTruncatedError
 from repro.rdf.dataset import Dataset
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import NamespaceManager
@@ -42,12 +51,61 @@ from repro.storage.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.storage.wal import WalReplay, WriteAheadLog, truncate_torn_tail
+from repro.storage.segments import WalArchive
+from repro.storage.wal import (
+    WalReplay,
+    WriteAheadLog,
+    iter_transaction_bytes,
+    truncate_torn_tail,
+)
 
 __all__ = ["JournalledLock", "StorageEngine"]
 
 CHECKPOINT_NAME = "checkpoint.kgck"
 WAL_NAME = "wal.log"
+SEGMENTS_DIR = "segments"
+LOCK_NAME = "LOCK"
+
+
+def _acquire_dir_lock(path: str):
+    """Take an exclusive, non-blocking OS lock on the data directory.
+
+    Two engines opening one directory is silent corruption waiting to
+    happen — the second open() truncates the torn tail of a log the first
+    is actively appending to.  An advisory ``flock`` (or msvcrt region
+    lock on Windows) on a dedicated ``LOCK`` file turns that into a clean
+    error.  The lock is per open-file-description, so it also catches two
+    engines inside ONE process, and the OS drops it automatically if the
+    process dies — no stale-lockfile recovery dance needed.
+    """
+    handle = open(path, "a+b")
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        elif msvcrt is not None:  # pragma: no cover - Windows
+            handle.seek(0)
+            msvcrt.locking(handle.fileno(), msvcrt.LK_NBLCK, 1)
+    except OSError as exc:
+        handle.close()
+        raise StorageError(
+            f"storage directory is locked by another engine "
+            f"({path!r}): {exc}") from exc
+    return handle
+
+
+def _release_dir_lock(handle) -> None:
+    if handle is None:
+        return
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        elif msvcrt is not None:  # pragma: no cover - Windows
+            handle.seek(0)
+            msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
+    except OSError:
+        pass
+    finally:
+        handle.close()
 
 
 class JournalledLock:
@@ -101,10 +159,18 @@ class StorageEngine:
 
     def __init__(self, directory: str,
                  namespaces: Optional[NamespaceManager] = None,
-                 fsync: bool = True, compress: bool = True) -> None:
+                 fsync: bool = True, compress: bool = True,
+                 retain_segments: int = 8) -> None:
         self.directory = directory
         self.checkpoint_path = os.path.join(directory, CHECKPOINT_NAME)
         self.wal_path = os.path.join(directory, WAL_NAME)
+        self.lock_path = os.path.join(directory, LOCK_NAME)
+        #: Rotated WAL files kept for replication followers.  ``retain_segments``
+        #: bounds how far behind a follower can fall before it must
+        #: snapshot-bootstrap instead of tailing the log.
+        self.archive = WalArchive(os.path.join(directory, SEGMENTS_DIR),
+                                  retain=retain_segments, fsync=fsync)
+        self._lock_file = None
         self._namespaces = namespaces
         self._fsync = fsync
         #: zlib-frame checkpoint sections and oversized WAL records.  Purely
@@ -149,51 +215,62 @@ class StorageEngine:
             if self._dataset is not None:
                 return self._dataset
             os.makedirs(self.directory, exist_ok=True)
-            lock = JournalledLock()
-            checkpoint_seq = 0
-            if os.path.exists(self.checkpoint_path):
-                dataset, checkpoint_seq, info = read_checkpoint(
-                    self.checkpoint_path, lock=lock)
-                self.last_checkpoint = info
-            else:
-                dataset = Dataset(namespaces=self._namespaces, lock=lock)
+            self._lock_file = _acquire_dir_lock(self.lock_path)
+            try:
+                return self._open_locked()
+            except BaseException:
+                _release_dir_lock(self._lock_file)
+                self._lock_file = None
+                raise
 
-            # Replay the committed suffix.  The journal is NOT attached yet:
-            # replayed operations must not be re-logged.
-            self.recovered_transactions = 0
-            self.recovered_ops = 0
-            self.recovered_truncated_bytes = 0
-            last_seq = checkpoint_seq
-            replay = WalReplay(self.wal_path)
-            for seq, ops in replay:
-                if seq <= checkpoint_seq:
-                    # The checkpoint already covers this transaction (a crash
-                    # landed between checkpoint rename and WAL rotation).
-                    last_seq = max(last_seq, seq)
-                    continue
-                self._apply_ops(dataset, ops)
-                last_seq = seq
-                self.recovered_transactions += 1
-                self.recovered_ops += len(ops)
+    def _open_locked(self) -> Dataset:
+        """Recovery proper, once the directory lock is held."""
+        lock = JournalledLock()
+        checkpoint_seq = 0
+        if os.path.exists(self.checkpoint_path):
+            dataset, checkpoint_seq, info = read_checkpoint(
+                self.checkpoint_path, lock=lock)
+            self.last_checkpoint = info
+        else:
+            dataset = Dataset(namespaces=self._namespaces, lock=lock)
 
-            # Cut the log back to the committed prefix the scan stopped at.
-            # The WAL below reopens in append mode, so a torn/corrupt tail
-            # left in place would sit between the old commits and every new
-            # one — and the NEXT recovery scan, stopping at the first bad
-            # frame, would silently lose everything committed from here on.
-            self.recovered_truncated_bytes = truncate_torn_tail(
-                self.wal_path, replay.committed_offset, fsync=self._fsync)
+        # Replay the committed suffix.  The journal is NOT attached yet:
+        # replayed operations must not be re-logged.
+        self.recovered_transactions = 0
+        self.recovered_ops = 0
+        self.recovered_truncated_bytes = 0
+        last_seq = checkpoint_seq
+        replay = WalReplay(self.wal_path)
+        for seq, ops in replay:
+            if seq <= checkpoint_seq:
+                # The checkpoint already covers this transaction (a crash
+                # landed between checkpoint rename and WAL rotation).
+                last_seq = max(last_seq, seq)
+                continue
+            self._apply_ops(dataset, ops)
+            last_seq = seq
+            self.recovered_transactions += 1
+            self.recovered_ops += len(ops)
 
-            wal = WriteAheadLog(self.wal_path, fsync=self._fsync,
-                                compress=self._compress)
-            wal.attach_dictionary(dataset.dictionary)
-            wal.last_seq = last_seq
-            dataset.attach_journal(wal)
-            lock.journal = wal
-            self._dataset = dataset
-            self._wal = wal
-            self._lock_obj = lock
-            return dataset
+        # Cut the log back to the committed prefix the scan stopped at.
+        # The WAL below reopens in append mode, so a torn/corrupt tail
+        # left in place would sit between the old commits and every new
+        # one — and the NEXT recovery scan, stopping at the first bad
+        # frame, would silently lose everything committed from here on.
+        self.recovered_truncated_bytes = truncate_torn_tail(
+            self.wal_path, replay.committed_offset, fsync=self._fsync)
+
+        wal = WriteAheadLog(self.wal_path, fsync=self._fsync,
+                            compress=self._compress)
+        wal.attach_dictionary(dataset.dictionary)
+        wal.last_seq = last_seq
+        wal.first_seq = replay.first_seq
+        dataset.attach_journal(wal)
+        lock.journal = wal
+        self._dataset = dataset
+        self._wal = wal
+        self._lock_obj = lock
+        return dataset
 
     @staticmethod
     def _apply_ops(dataset: Dataset, ops) -> None:
@@ -231,6 +308,8 @@ class StorageEngine:
             self._dataset = None
             self._wal = None
             self._lock_obj = None
+            _release_dir_lock(self._lock_file)
+            self._lock_file = None
 
     def reopen(self) -> Dataset:
         """Close and recover from disk (the ``admin/restore`` route)."""
@@ -262,11 +341,87 @@ class StorageEngine:
                 info = write_checkpoint(dataset, self.checkpoint_path,
                                         last_commit_seq=wal.last_seq,
                                         compress=self._compress)
-                wal.rotate()
+                # Archive the rotated log for replication followers — unless
+                # it is empty (no commits since the last rotation) or
+                # retention is off.  The seq range in the file name is the
+                # archive's whole index.
+                if wal.first_seq is not None and self.archive.retain > 0:
+                    target = self.archive.archive_target(wal.first_seq,
+                                                         wal.last_seq)
+                    wal.rotate(archive_to=target)
+                    self.archive.committed()
+                else:
+                    wal.rotate()
+                # Retention is enforced every checkpoint (not just when a
+                # segment was archived), so dropping `retain` takes effect
+                # at the next compaction.
+                self.archive.prune()
                 wal.failed = False
             self.last_checkpoint = info
             self.checkpoints_written += 1
             return info
+
+    # ------------------------------------------------------------------
+    # Replication (primary side)
+    # ------------------------------------------------------------------
+    def wal_window(self) -> Tuple[Optional[int], int]:
+        """``(oldest_streamable_seq, last_seq)`` of the shippable history.
+
+        ``oldest`` is the first commit a follower can still fetch frame-by-
+        frame (from archived segments or the live log); ``None`` means no
+        commit history is retained at all — every follower must bootstrap
+        from the checkpoint.
+        """
+        wal = self._wal
+        last_seq = wal.last_seq if wal is not None else 0
+        candidates = [seq for seq in
+                      (self.archive.oldest_seq(),
+                       wal.first_seq if wal is not None else None)
+                      if seq is not None]
+        return (min(candidates) if candidates else None), last_seq
+
+    def stream_wal_after(self, after_seq: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(seq, raw_transaction_bytes)`` for commits > ``after_seq``.
+
+        Raises :class:`WalTruncatedError` when retention has already pruned
+        part of the requested range — the HTTP layer maps that to 410 and
+        the follower falls back to snapshot bootstrap.  The scan runs
+        lock-free against live files: CRC framing makes a concurrent append
+        tear off cleanly, and a rotation racing the hand-off from segments
+        to the live log merely ends the stream early — the follower's next
+        poll finds the rotated transactions in the archive.
+        """
+        oldest, last_seq = self.wal_window()
+        if after_seq >= last_seq:
+            return
+        if oldest is None or after_seq + 1 < oldest:
+            raise WalTruncatedError(
+                f"commits after seq {after_seq} are no longer retained "
+                f"(oldest streamable seq: {oldest}); bootstrap from the "
+                "latest checkpoint instead")
+        watermark = after_seq
+        for seq, raw in self.archive.iter_bytes_after(after_seq):
+            watermark = seq
+            yield seq, raw
+        for seq, raw in iter_transaction_bytes(self.wal_path, watermark):
+            yield seq, raw
+
+    def snapshot_bytes(self) -> Tuple[bytes, int]:
+        """The latest checkpoint file verbatim + the commit seq it covers.
+
+        Writes a checkpoint first if none exists yet (a fresh store) so a
+        follower can always bootstrap.  Served by the snapshot route; the
+        follower installs the bytes as its own ``checkpoint.kgck`` and
+        resumes tailing from the returned seq.
+        """
+        with self._admin_lock:
+            if not os.path.exists(self.checkpoint_path):
+                self.checkpoint()
+            info = self.last_checkpoint
+            seq = info.last_commit_seq if info is not None else 0
+            with open(self.checkpoint_path, "rb") as handle:
+                data = handle.read()
+            return data, seq
 
     # ------------------------------------------------------------------
     # Bulk ingest
@@ -353,6 +508,7 @@ class StorageEngine:
             stats["wal"] = {
                 "path": wal.path,
                 "size_bytes": wal.size_bytes(),
+                "first_seq": wal.first_seq,
                 "last_seq": wal.last_seq,
                 "commits": wal.commits,
                 "ops_logged": wal.ops_logged,
@@ -360,6 +516,7 @@ class StorageEngine:
                 "compressed_records": wal.compressed_records,
                 "bytes_saved": wal.bytes_saved,
             }
+        stats["segments"] = self.archive.stats()
         return stats
 
     def __enter__(self) -> "StorageEngine":

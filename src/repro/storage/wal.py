@@ -50,11 +50,13 @@ from repro.storage.format import (
     encode_term,
     encode_varint,
     fsync_directory,
+    iter_frames,
     iter_frames_file,
 )
 
-__all__ = ["WalOp", "WalReplay", "WriteAheadLog", "iter_transactions",
-           "truncate_torn_tail"]
+__all__ = ["WalOp", "WalReplay", "WriteAheadLog", "decode_transaction_ops",
+           "iter_transactions", "iter_transaction_bytes",
+           "split_transaction_stream", "truncate_torn_tail"]
 
 #: Record kinds (first payload byte).  Append-only.
 _OP_ADD = ord("A")
@@ -133,6 +135,11 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         #: Sequence number of the last committed transaction (monotonic).
         self.last_seq = 0
+        #: Sequence number of the first commit in the *current* log file
+        #: (None while the file holds no commits).  Rotation archives the
+        #: file under a name carrying this range, so a replication follower
+        #: can ask for "all commits after seq S" by file name alone.
+        self.first_seq: Optional[int] = None
         #: Counters surfaced through the engine's stats()/metrics routes.
         self.commits = 0
         self.ops_logged = 0
@@ -257,6 +264,8 @@ class WriteAheadLog:
                 self.failed = True
                 raise
             self.last_seq = seq
+            if self.first_seq is None:
+                self.first_seq = seq
             self.commits += 1
             self.ops_logged += ops
             self.bytes_written += len(frame)
@@ -269,6 +278,37 @@ class WriteAheadLog:
         self._buffered_ops = 0
         return dropped
 
+    def append_raw_transaction(self, seq: int, raw: bytes) -> None:
+        """Append one already-framed committed transaction verbatim.
+
+        Replication followers receive transactions as the exact bytes the
+        primary wrote — op frames followed by the commit frame — and must
+        persist them BEFORE applying, so a follower crash replays from its
+        own log instead of silently losing shipped commits.  The bytes are
+        trusted (they were CRC-checked during streaming); the only local
+        invariant enforced is sequence monotonicity.
+        """
+        self._check_usable()
+        if seq <= self.last_seq:
+            raise StorageError(
+                f"raw transaction seq {seq} is not ahead of last applied "
+                f"seq {self.last_seq}")
+        with self._lock:
+            try:
+                handle = self._ensure_handle()
+                handle.write(raw)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            except Exception:
+                self.failed = True
+                raise
+            self.last_seq = seq
+            if self.first_seq is None:
+                self.first_seq = seq
+            self.commits += 1
+            self.bytes_written += len(raw)
+
     # -- maintenance -------------------------------------------------------
     def size_bytes(self) -> int:
         try:
@@ -276,11 +316,16 @@ class WriteAheadLog:
         except OSError:
             return 0
 
-    def rotate(self) -> None:
-        """Truncate the log (called right after a successful checkpoint).
+    def rotate(self, archive_to: Optional[str] = None) -> None:
+        """Start a fresh log (called right after a successful checkpoint).
+
+        With ``archive_to`` the old log file is atomically renamed there
+        instead of truncated, preserving its committed transactions for
+        replication followers that still need to fetch them; without it the
+        file is simply truncated (the pre-replication behaviour).
 
         Sequence numbers keep increasing across rotations, so a crash
-        between the checkpoint rename and this truncation is harmless:
+        between the checkpoint rename and this rotation is harmless:
         recovery skips replayed transactions whose sequence the checkpoint
         already covers.
         """
@@ -288,10 +333,13 @@ class WriteAheadLog:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+            if archive_to is not None and os.path.exists(self.path):
+                os.replace(self.path, archive_to)
             with open(self.path, "wb") as handle:
                 handle.flush()
                 if self.fsync:
                     os.fsync(handle.fileno())
+            self.first_seq = None
             # rotate() may be the call that CREATES the log (fresh store
             # whose first operation is a checkpoint): its directory entry
             # must be durable, or later fsynced commits could vanish with
@@ -341,6 +389,79 @@ def _decode_record(payload: bytes):
     return WalOp(kind, identifier, None)
 
 
+def _commit_seq_of(payload: bytes) -> Optional[int]:
+    """The sequence number if ``payload`` is a commit record, else None.
+
+    Commit records are tiny (kind byte + two varints), so they are never
+    Z-compressed — checking the first byte is sufficient.
+    """
+    if payload and payload[0] == _OP_COMMIT:
+        seq, _ = decode_varint(payload, 1)
+        return seq
+    return None
+
+
+def iter_transaction_bytes(path: str,
+                           after_seq: int = 0) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(seq, raw_bytes)`` per committed transaction with seq > after_seq.
+
+    ``raw_bytes`` is the exact on-disk form of the transaction — op frames
+    followed by the commit frame — rebuilt deterministically from the
+    scanned payloads via :func:`encode_frame`, so a replication follower
+    can append them verbatim with :meth:`WriteAheadLog.append_raw_transaction`
+    and end up with a byte-identical committed prefix.  Like replay, the
+    scan stops cleanly at the first torn or corrupt frame, which makes it
+    safe to run against the primary's LIVE log while commits append to it.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return
+    with handle:
+        pending = bytearray()
+        for payload, _end in iter_frames_file(handle):
+            pending += encode_frame(payload)
+            seq = _commit_seq_of(payload)
+            if seq is not None:
+                if seq > after_seq:
+                    yield seq, bytes(pending)
+                pending = bytearray()
+
+
+def decode_transaction_ops(raw: bytes) -> Tuple[int, List[WalOp]]:
+    """Decode one raw transaction's bytes into ``(seq, ops)``.
+
+    ``raw`` must be exactly one committed transaction as produced by
+    :func:`iter_transaction_bytes` / :func:`split_transaction_stream` — op
+    frames followed by the commit frame.  The replication follower uses
+    this to apply a shipped transaction it has already persisted.
+    """
+    ops: List[WalOp] = []
+    for payload, _end in iter_frames(raw):
+        record = _decode_record(payload)
+        if isinstance(record, tuple) and record[0] == "commit":
+            return record[1], ops
+        ops.append(record)
+    raise StorageError("transaction bytes end without a commit record")
+
+
+def split_transaction_stream(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Split a shipped replication stream into ``(seq, raw_bytes)`` pieces.
+
+    The inverse view of what the WAL route concatenates: the follower CRC-
+    validates every frame while splitting (via :func:`iter_frames`), so a
+    connection torn mid-chunk simply ends the stream at the last complete
+    transaction — exactly the crash semantics the on-disk log already has.
+    """
+    pending = bytearray()
+    for payload, _end in iter_frames(data):
+        pending += encode_frame(payload)
+        seq = _commit_seq_of(payload)
+        if seq is not None:
+            yield seq, bytes(pending)
+            pending = bytearray()
+
+
 class WalReplay:
     """Single-pass incremental scan of a WAL's committed transactions.
 
@@ -364,9 +485,14 @@ class WalReplay:
         self.path = path
         #: End offset of the last fully committed frame seen by the scan.
         self.committed_offset = 0
+        #: Sequence of the first committed transaction in the file (None if
+        #: the file holds no commits) — recovery hands it back to the live
+        #: WAL so rotation archives the file under its true seq range.
+        self.first_seq: Optional[int] = None
 
     def __iter__(self) -> Iterator[Tuple[int, List[WalOp]]]:
         self.committed_offset = 0  # a re-scan must not report a stale prefix
+        self.first_seq = None
         try:
             handle = open(self.path, "rb")
         except FileNotFoundError:
@@ -386,6 +512,8 @@ class WalReplay:
                         "would understand") from exc
                 if isinstance(record, tuple) and record[0] == "commit":
                     self.committed_offset = end_offset
+                    if self.first_seq is None:
+                        self.first_seq = record[1]
                     yield record[1], pending
                     pending = []
                 else:

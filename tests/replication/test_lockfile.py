@@ -1,0 +1,86 @@
+"""Regression tests for the storage directory LOCK file.
+
+Two engines over one directory is the classic split-brain accident — both
+would journal to the same WAL and corrupt it.  The engine takes an OS-level
+advisory lock (``flock``/``msvcrt.locking``) on a LOCK file at open, which
+catches a second opener in the same process *and* in another process, and
+evaporates automatically when the holder dies (no stale-lock recovery
+dance).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.rdf import IRI, Literal, Triple
+from repro.storage import StorageEngine
+from repro.storage.engine import LOCK_NAME
+
+EX = "http://example.org/lock/"
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+
+
+class TestDirectoryLock:
+    def test_second_engine_on_same_directory_refused(self, tmp_path):
+        first = StorageEngine(str(tmp_path), fsync=False)
+        first.open()
+        second = StorageEngine(str(tmp_path), fsync=False)
+        with pytest.raises(StorageError, match="locked"):
+            second.open()
+        # The holder is unaffected by the failed contender.
+        first.dataset.default_graph.add(
+            Triple(IRI(EX + "s"), IRI(EX + "p"), Literal(1)))
+        first.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        engine = StorageEngine(str(tmp_path), fsync=False)
+        engine.open()
+        engine.close()
+        again = StorageEngine(str(tmp_path), fsync=False)
+        again.open()        # must not raise
+        again.close()
+
+    def test_lock_file_created_in_directory(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            assert os.path.exists(os.path.join(str(tmp_path), LOCK_NAME))
+
+    def test_failed_open_does_not_leak_the_lock(self, tmp_path):
+        # Plant a garbage checkpoint so _open_locked fails after the lock
+        # was taken; the lock must be released on the way out.
+        engine = StorageEngine(str(tmp_path), fsync=False)
+        with open(engine.checkpoint_path, "wb") as handle:
+            handle.write(b"not a checkpoint")
+        with pytest.raises(StorageError):
+            engine.open()
+        fresh = StorageEngine(str(tmp_path / "other"), fsync=False)
+        fresh.open()
+        fresh.close()
+        os.remove(engine.checkpoint_path)
+        retry = StorageEngine(str(tmp_path), fsync=False)
+        retry.open()        # lock was not left held by the failed open
+        retry.close()
+
+    def test_cross_process_exclusion(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            code = (
+                "import sys\n"
+                "from repro.storage import StorageEngine\n"
+                "from repro.exceptions import StorageError\n"
+                f"engine = StorageEngine({str(tmp_path)!r}, fsync=False)\n"
+                "try:\n"
+                "    engine.open()\n"
+                "except StorageError:\n"
+                "    sys.exit(42)\n"
+                "sys.exit(1)\n")
+            env = dict(os.environ, PYTHONPATH=SRC)
+            result = subprocess.run([sys.executable, "-c", code], env=env,
+                                    capture_output=True, timeout=60)
+            assert result.returncode == 42, result.stderr.decode()

@@ -1,0 +1,198 @@
+"""Unit tests for WAL segment archival, retention and range streaming."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import StorageError, WalTruncatedError
+from repro.rdf import IRI, Literal, Triple
+from repro.storage import StorageEngine
+from repro.storage.segments import WalArchive
+from repro.storage.wal import decode_transaction_ops
+
+EX = "http://example.org/segments/"
+
+
+def _triple(n: int) -> Triple:
+    return Triple(IRI(EX + f"s{n}"), IRI(EX + "p"), Literal(n))
+
+
+def _write(engine: StorageEngine, count: int, start: int = 0) -> None:
+    for n in range(start, start + count):
+        engine.dataset.default_graph.add(_triple(n))
+
+
+class TestArchival:
+    def test_checkpoint_archives_named_segment(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            _write(engine, 3)
+            engine.checkpoint()
+            segments = engine.archive.segments()
+            assert [(s.first_seq, s.last_seq) for s in segments] == [(1, 3)]
+            assert os.path.basename(segments[0].path) == "wal-1-3.seg"
+            _write(engine, 2, start=3)
+            engine.checkpoint()
+            assert [(s.first_seq, s.last_seq)
+                    for s in engine.archive.segments()] == [(1, 3), (4, 5)]
+            assert engine.archive.oldest_seq() == 1
+
+    def test_empty_window_checkpoint_archives_nothing(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            engine.checkpoint()
+            assert engine.archive.segments() == []
+            assert engine.archive.oldest_seq() is None
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False,
+                           retain_segments=2) as engine:
+            engine.open()
+            for round_ in range(4):
+                _write(engine, 2, start=2 * round_)
+                engine.checkpoint()
+            kept = engine.archive.segments()
+            assert [(s.first_seq, s.last_seq) for s in kept] == [(5, 6), (7, 8)]
+
+    def test_retain_zero_keeps_nothing(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False,
+                           retain_segments=0) as engine:
+            engine.open()
+            _write(engine, 2)
+            engine.checkpoint()
+            assert engine.archive.segments() == []
+
+    def test_archive_survives_reopen(self, tmp_path):
+        engine = StorageEngine(str(tmp_path), fsync=False)
+        engine.open()
+        _write(engine, 3)
+        engine.checkpoint()
+        engine.close()
+        engine = StorageEngine(str(tmp_path), fsync=False)
+        engine.open()
+        assert engine.archive.oldest_seq() == 1
+        assert engine.wal_window() == (1, 3)
+        engine.close()
+
+
+class TestWalWindow:
+    def test_window_spans_archive_and_live_log(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            assert engine.wal_window() == (None, 0)
+            _write(engine, 3)
+            assert engine.wal_window() == (1, 3)
+            engine.checkpoint()       # 1..3 now archived, live log empty
+            assert engine.wal_window() == (1, 3)
+            _write(engine, 2, start=3)
+            assert engine.wal_window() == (1, 5)
+
+    def test_window_shrinks_with_retention(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False,
+                           retain_segments=1) as engine:
+            engine.open()
+            _write(engine, 2)
+            engine.checkpoint()
+            _write(engine, 2, start=2)
+            engine.checkpoint()
+            assert engine.wal_window() == (3, 4)
+
+
+class TestStreamWalAfter:
+    def _seqs(self, engine, after):
+        return [seq for seq, _ in engine.stream_wal_after(after)]
+
+    def test_streams_across_segments_and_live_log(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            _write(engine, 3)
+            engine.checkpoint()
+            _write(engine, 2, start=3)
+            engine.checkpoint()
+            _write(engine, 2, start=5)      # stays in the live log
+            assert self._seqs(engine, 0) == [1, 2, 3, 4, 5, 6, 7]
+            assert self._seqs(engine, 4) == [5, 6, 7]
+            assert self._seqs(engine, 7) == []
+            assert self._seqs(engine, 99) == []
+
+    def test_raw_bytes_decode_to_the_original_ops(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            _write(engine, 2)
+            engine.checkpoint()
+            _write(engine, 1, start=2)
+            for seq, raw in engine.stream_wal_after(0):
+                decoded_seq, ops = decode_transaction_ops(raw)
+                assert decoded_seq == seq
+                assert len(ops) == 1        # one add per transaction
+
+    def test_truncated_range_raises(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False,
+                           retain_segments=0) as engine:
+            engine.open()
+            _write(engine, 3)
+            engine.checkpoint()             # history 1..3 pruned away
+            with pytest.raises(WalTruncatedError):
+                list(engine.stream_wal_after(0))
+            _write(engine, 1, start=3)
+            assert self._seqs(engine, 3) == [4]
+
+    def test_boundary_just_inside_window_is_fine(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False,
+                           retain_segments=1) as engine:
+            engine.open()
+            _write(engine, 2)
+            engine.checkpoint()
+            _write(engine, 2, start=2)
+            engine.checkpoint()             # window now starts at seq 3
+            assert self._seqs(engine, 2) == [3, 4]
+            with pytest.raises(WalTruncatedError):
+                list(engine.stream_wal_after(1))
+
+
+class TestSnapshotBytes:
+    def test_returns_checkpoint_content_and_seq(self, tmp_path):
+        with StorageEngine(str(tmp_path), fsync=False) as engine:
+            engine.open()
+            _write(engine, 3)
+            data, seq = engine.snapshot_bytes()     # implicit checkpoint
+            assert seq == 3
+            with open(engine.checkpoint_path, "rb") as handle:
+                assert handle.read() == data
+
+    def test_snapshot_installs_on_a_fresh_directory(self, tmp_path):
+        source = StorageEngine(str(tmp_path / "a"), fsync=False)
+        source.open()
+        _write(source, 4)
+        data, seq = source.snapshot_bytes()
+        source.close()
+
+        target_dir = tmp_path / "b"
+        target_dir.mkdir()
+        target = StorageEngine(str(target_dir), fsync=False)
+        with open(target.checkpoint_path, "wb") as handle:
+            handle.write(data)
+        dataset = target.open()
+        assert len(dataset.default_graph) == 4
+        assert target._wal.last_seq == seq
+        target.close()
+
+
+class TestWalArchiveDirect:
+    def test_foreign_files_are_ignored(self, tmp_path):
+        archive = WalArchive(str(tmp_path), retain=4, fsync=False)
+        archive.ensure_dir()
+        (tmp_path / "not-a-segment.txt").write_text("x")
+        (tmp_path / "wal-bad-name.seg").write_text("x")
+        assert archive.segments() == []
+
+    def test_clear_removes_all_segments(self, tmp_path):
+        archive = WalArchive(str(tmp_path), retain=4, fsync=False)
+        archive.ensure_dir()
+        (tmp_path / "wal-1-3.seg").write_bytes(b"x")
+        (tmp_path / "wal-4-6.seg").write_bytes(b"y")
+        assert len(archive.segments()) == 2
+        archive.clear()
+        assert archive.segments() == []

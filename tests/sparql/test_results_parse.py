@@ -1,0 +1,149 @@
+"""Round-trip tests for SPARQL results parsing (JSON/XML/CSV/TSV → bindings).
+
+Two layers:
+
+* unit tests on hand-written documents in each format, pinning the parsed
+  binding shape (type/value/lang/datatype keys) and the documented CSV
+  lossiness,
+* serialize→parse round-trips through a live endpoint: the same SELECT is
+  negotiated into every format and every parse must agree with the JSON
+  one (CSV up to its documented lossiness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kgnet import KGNet
+from repro.server import KGNetHTTPServer, RemoteClient
+from repro.sparql.results.parse import parse_ask, parse_select_bindings
+from repro.sparql.results.serialize import (
+    MEDIA_CSV,
+    MEDIA_JSON,
+    MEDIA_TSV,
+    MEDIA_XML,
+)
+
+EX = "http://example.org/parse/"
+
+
+class TestParseJSON:
+    def test_bindings(self):
+        text = ('{"head":{"vars":["s","o"]},"results":{"bindings":['
+                '{"s":{"type":"uri","value":"http://x/a"},'
+                '"o":{"type":"literal","value":"hi","xml:lang":"en"}}]}}')
+        rows = parse_select_bindings(text, MEDIA_JSON)
+        assert rows == [{"s": {"type": "uri", "value": "http://x/a"},
+                         "o": {"type": "literal", "value": "hi",
+                               "xml:lang": "en"}}]
+
+    def test_ask(self):
+        assert parse_ask('{"head":{},"boolean":true}', MEDIA_JSON) is True
+        assert parse_ask('{"head":{},"boolean":false}', MEDIA_JSON) is False
+
+
+class TestParseXML:
+    XMLNS = "http://www.w3.org/2005/sparql-results#"
+
+    def test_bindings(self):
+        text = (f'<?xml version="1.0"?><sparql xmlns="{self.XMLNS}">'
+                '<head><variable name="s"/><variable name="o"/></head>'
+                '<results><result>'
+                '<binding name="s"><uri>http://x/a</uri></binding>'
+                '<binding name="o">'
+                '<literal datatype="http://www.w3.org/2001/XMLSchema#integer">'
+                '4</literal></binding>'
+                '</result><result>'
+                '<binding name="s"><bnode>b0</bnode></binding>'
+                '<binding name="o"><literal xml:lang="en">hi</literal>'
+                '</binding>'
+                '</result></results></sparql>')
+        rows = parse_select_bindings(text, MEDIA_XML)
+        assert rows[0]["s"] == {"type": "uri", "value": "http://x/a"}
+        assert rows[0]["o"]["datatype"].endswith("integer")
+        assert rows[1]["s"] == {"type": "bnode", "value": "b0"}
+        assert rows[1]["o"] == {"type": "literal", "value": "hi",
+                                "xml:lang": "en"}
+
+    def test_ask(self):
+        text = (f'<?xml version="1.0"?><sparql xmlns="{self.XMLNS}">'
+                '<head></head><boolean>true</boolean></sparql>')
+        assert parse_ask(text, MEDIA_XML) is True
+
+
+class TestParseTSV:
+    def test_full_term_syntax(self):
+        text = ('?s\t?o\n'
+                '<http://x/a>\t"hi"@en\n'
+                '_:b0\t"4"^^<http://www.w3.org/2001/XMLSchema#integer>\n'
+                '<http://x/c>\t\n')
+        rows = parse_select_bindings(text, MEDIA_TSV)
+        assert rows[0]["s"] == {"type": "uri", "value": "http://x/a"}
+        assert rows[0]["o"] == {"type": "literal", "value": "hi",
+                                "xml:lang": "en"}
+        assert rows[1]["s"] == {"type": "bnode", "value": "b0"}
+        assert rows[1]["o"]["datatype"].endswith("integer")
+        # unbound cell → variable absent from the binding
+        assert "o" not in rows[2]
+
+    def test_escapes(self):
+        text = '?o\n"line\\nbreak \\"quoted\\""\n'
+        rows = parse_select_bindings(text, MEDIA_TSV)
+        assert rows[0]["o"]["value"] == 'line\nbreak "quoted"'
+
+
+class TestParseCSV:
+    def test_heuristic_typing(self):
+        text = ('s,o\r\n'
+                'http://x/a,plain text\r\n'
+                '_:b0,"with, comma and ""quotes"""\r\n')
+        rows = parse_select_bindings(text, MEDIA_CSV)
+        assert rows[0]["s"] == {"type": "uri", "value": "http://x/a"}
+        assert rows[0]["o"] == {"type": "literal", "value": "plain text"}
+        assert rows[1]["s"] == {"type": "bnode", "value": "b0"}
+        assert rows[1]["o"]["value"] == 'with, comma and "quotes"'
+
+    def test_lossiness_documented(self):
+        # CSV cannot distinguish the literal "http://x/a" from the IRI —
+        # the heuristic calls it a uri.  That is the documented trade-off.
+        rows = parse_select_bindings("o\r\nhttp://x/a\r\n", MEDIA_CSV)
+        assert rows[0]["o"]["type"] == "uri"
+
+
+class TestLiveRoundTrip:
+    @pytest.fixture()
+    def client(self):
+        platform = KGNet()
+        platform.sparql(f'''INSERT DATA {{
+            <{EX}s1> <{EX}p> "plain" .
+            <{EX}s1> <{EX}p> "english"@en .
+            <{EX}s2> <{EX}p> 42 .
+            <{EX}s2> <{EX}q> <{EX}o> .
+        }}''')
+        server = KGNetHTTPServer(("127.0.0.1", 0), router=platform.api)
+        server.start()
+        client = RemoteClient(server.base_url)
+        yield client
+        client.close()
+        server.stop()
+
+    QUERY = "SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o"
+
+    def test_all_formats_agree(self, client):
+        reference = client.protocol_select(self.QUERY, accept=MEDIA_JSON)
+        assert len(reference) == 4
+        xml = client.protocol_select(self.QUERY, accept=MEDIA_XML)
+        assert xml == reference
+        tsv = client.protocol_select(self.QUERY, accept=MEDIA_TSV)
+        assert tsv == reference
+        # CSV is lossy: compare values only.
+        csv = client.protocol_select(self.QUERY, accept=MEDIA_CSV)
+        assert [{k: v["value"] for k, v in row.items()} for row in csv] == \
+            [{k: v["value"] for k, v in row.items()} for row in reference]
+
+    def test_ask_via_xml(self, client):
+        assert client.protocol_ask(
+            f"ASK {{ <{EX}s2> <{EX}q> <{EX}o> }}", accept=MEDIA_XML) is True
+        assert client.protocol_ask(
+            f"ASK {{ <{EX}s2> <{EX}q> <{EX}missing> }}",
+            accept=MEDIA_XML) is False
