@@ -8,7 +8,11 @@ and fast:
 * :class:`AtomicCounter` — lost-update-free statistics counters,
 * :class:`WorkerPool` — a bounded thread pool with back-pressure,
 * :class:`InflightBatcher` — coalesces concurrent single-item inference
-  calls into one batched "HTTP" call.
+  calls into one batched "HTTP" call,
+* :class:`QueryScheduler` — time-sliced fair execution of preemptable
+  queries (SaGe-style web preemption),
+* :class:`AdmissionController` — sheds load with a typed
+  :class:`~repro.exceptions.ServerOverloaded` before it executes.
 
 The snapshot-isolation machinery itself lives with the data structures it
 protects (:meth:`repro.rdf.graph.Graph.snapshot`,
@@ -19,5 +23,7 @@ generic pieces the serving layer composes on top.
 from repro.concurrency.atomic import AtomicCounter
 from repro.concurrency.batching import InflightBatcher
 from repro.concurrency.pool import WorkerPool
+from repro.concurrency.scheduler import AdmissionController, QueryScheduler
 
-__all__ = ["AtomicCounter", "InflightBatcher", "WorkerPool"]
+__all__ = ["AdmissionController", "AtomicCounter", "InflightBatcher",
+           "QueryScheduler", "WorkerPool"]

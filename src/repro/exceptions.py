@@ -64,6 +64,48 @@ class UDFError(SPARQLError):
     """A user-defined function failed or is unknown to the endpoint."""
 
 
+class QueryInterrupted(SPARQLError):
+    """A running query was stopped before it completed.
+
+    Base class of the three cooperative-interruption outcomes the streaming
+    evaluator can raise when its :class:`~repro.sparql.execution.ExecutionContext`
+    trips a limit.  Carries partial-progress statistics so callers (and the
+    wire protocol) can report how far the query got.
+
+    Attributes
+    ----------
+    elapsed_seconds:
+        Wall-clock time the query ran before being stopped.
+    work_units:
+        Pipeline work performed (join-loop iterations / rows processed).
+    rows_emitted:
+        Result rows produced before the interruption.
+    """
+
+    def __init__(self, message: str, *, elapsed_seconds: float = 0.0,
+                 work_units: int = 0, rows_emitted: int = 0) -> None:
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.work_units = work_units
+        self.rows_emitted = rows_emitted
+
+
+class QueryTimeout(QueryInterrupted):
+    """The query ran past its deadline and was aborted."""
+
+
+class QueryCancelled(QueryInterrupted):
+    """The query's cancellation event was set (e.g. the client went away)."""
+
+
+class QueryPreempted(QueryInterrupted):
+    """The query exhausted its work quantum and must yield the worker.
+
+    Raised only for callers that configure a hard work budget on the
+    execution context; the scheduler's time-slicing suspends queries
+    without raising (their iterator state survives and resumes)."""
+
+
 # ---------------------------------------------------------------------------
 # GML framework errors
 # ---------------------------------------------------------------------------
@@ -155,6 +197,19 @@ class UnknownOperationError(APIError):
 
 class CursorError(APIError):
     """A pagination cursor is unknown, expired, or already consumed."""
+
+
+class ServerOverloaded(APIError):
+    """The server shed the request because it is at capacity.
+
+    The request was *never executed* (admission control refused it before
+    dispatch), so retrying it — after the ``retry_after`` hint — is always
+    safe, even for updates.  Maps to HTTP 503 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 # ---------------------------------------------------------------------------

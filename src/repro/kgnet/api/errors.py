@@ -38,6 +38,10 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     X.UpdateError: "UPDATE_ERROR",
     X.UnsupportedFeatureError: "UNSUPPORTED_FEATURE",
     X.UDFError: "UDF_ERROR",
+    X.QueryInterrupted: "QUERY_INTERRUPTED",
+    X.QueryTimeout: "QUERY_TIMEOUT",
+    X.QueryCancelled: "QUERY_CANCELLED",
+    X.QueryPreempted: "QUERY_PREEMPTED",
     # GML framework
     X.GMLError: "GML_ERROR",
     X.AutogradError: "AUTOGRAD_ERROR",
@@ -66,6 +70,7 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     X.BadRequestError: "BAD_REQUEST",
     X.UnknownOperationError: "UNKNOWN_OPERATION",
     X.CursorError: "CURSOR_ERROR",
+    X.ServerOverloaded: "SERVER_OVERLOADED",
 }
 
 #: Code reported for exceptions outside the KGNet hierarchy (bugs, OS errors).
@@ -104,6 +109,12 @@ def error_payload(error: BaseException) -> Dict[str, object]:
     if isinstance(error, X.BudgetExceededError):
         details["elapsed_seconds"] = error.elapsed_seconds
         details["peak_memory_bytes"] = error.peak_memory_bytes
+    if isinstance(error, X.QueryInterrupted):
+        details["elapsed_seconds"] = error.elapsed_seconds
+        details["work_units"] = error.work_units
+        details["rows_emitted"] = error.rows_emitted
+    if isinstance(error, X.ServerOverloaded):
+        details["retry_after"] = error.retry_after
     if details:
         payload["details"] = details
     return payload
@@ -127,6 +138,14 @@ def exception_from_payload(payload: Optional[Dict[str, object]]) -> BaseExceptio
             message,
             elapsed_seconds=float(details.get("elapsed_seconds", 0.0)),
             peak_memory_bytes=int(details.get("peak_memory_bytes", 0)))
+    if cls is not None and issubclass(cls, X.QueryInterrupted):
+        return cls(message,
+                   elapsed_seconds=float(details.get("elapsed_seconds", 0.0)),
+                   work_units=int(details.get("work_units", 0)),
+                   rows_emitted=int(details.get("rows_emitted", 0)))
+    if cls is X.ServerOverloaded:
+        return X.ServerOverloaded(
+            message, retry_after=float(details.get("retry_after", 1.0)))
     if cls is not None:
         return cls(message)
     return X.KGNetError(f"[{code}] {message}")

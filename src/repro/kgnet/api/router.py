@@ -27,12 +27,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.concurrency import InflightBatcher, WorkerPool
+from repro.concurrency.scheduler import AdmissionController, QueryScheduler
 from repro.exceptions import (
     BadRequestError,
     CursorError,
     ReadOnlyReplicaError,
     UnknownOperationError,
 )
+from repro.sparql.execution import ExecutionContext
 from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
 from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
@@ -48,7 +50,7 @@ from repro.rdf.terms import IRI
 from repro.sparql.endpoint import SPARQLEndpoint
 from repro.sparql.results import ResultSet
 
-__all__ = ["RouteMetrics", "APIRouter", "WRITE_OPS"]
+__all__ = ["RouteMetrics", "APIRouter", "WRITE_OPS", "GUARDED_OPS"]
 
 #: Operations a read-only replica refuses outright.  ``sparql``/``sparqlml``
 #: are not listed: they are read ops unless the query text is an update,
@@ -57,6 +59,12 @@ WRITE_OPS = frozenset({
     "load", "train", "delete_models",
     "admin/persist", "admin/restore", "admin/bulk_load",
 })
+
+#: Operations the admission controller guards: the query-execution routes
+#: whose cost is client-controlled.  Cheap introspection ops (ping, stats,
+#: metrics, replication/status) stay admissible even at capacity so
+#: operators can observe an overloaded server.
+GUARDED_OPS = frozenset({"sparql", "sparqlml", "sparqlml_select"})
 
 #: Oldest cursors are dropped beyond this many live result pages.
 MAX_LIVE_CURSORS = 64
@@ -98,16 +106,32 @@ class RouteMetrics:
     #: that execute SPARQL maintain these; elsewhere they stay 0).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Hostile-load outcomes, split out of ``errors`` by stable error code:
+    #: preempted (hard work budget), deadline timeouts, client
+    #: cancellations, and requests shed by admission control.
+    queries_preempted: int = 0
+    queries_timed_out: int = 0
+    queries_cancelled: int = 0
+    requests_shed: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
     _samples: List[float] = field(default_factory=list, repr=False,
                                   compare=False)
 
-    def record(self, elapsed: float, ok: bool) -> None:
+    def record(self, elapsed: float, ok: bool,
+               error_code: Optional[str] = None) -> None:
         with self._lock:
             self.calls += 1
             if not ok:
                 self.errors += 1
+                if error_code == "QUERY_PREEMPTED":
+                    self.queries_preempted += 1
+                elif error_code == "QUERY_TIMEOUT":
+                    self.queries_timed_out += 1
+                elif error_code == "QUERY_CANCELLED":
+                    self.queries_cancelled += 1
+                elif error_code == "SERVER_OVERLOADED":
+                    self.requests_shed += 1
             self.total_seconds += elapsed
             self.max_seconds = max(self.max_seconds, elapsed)
             if len(self._samples) < LATENCY_RESERVOIR_SIZE:
@@ -138,6 +162,10 @@ class RouteMetrics:
                 "p99_seconds": round(_percentile(ordered, 0.99), 6),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "queries_preempted": self.queries_preempted,
+                "queries_timed_out": self.queries_timed_out,
+                "queries_cancelled": self.queries_cancelled,
+                "requests_shed": self.requests_shed,
             }
 
 
@@ -199,7 +227,11 @@ class APIRouter:
 
     def __init__(self, endpoint: SPARQLEndpoint, gmlaas: GMLaaS,
                  governor: KGMetaGovernor, sparqlml: SPARQLMLService,
-                 storage=None) -> None:
+                 storage=None,
+                 scheduler: Optional[QueryScheduler] = None,
+                 admission: Optional[AdmissionController] = None,
+                 default_query_timeout: Optional[float] = None,
+                 max_query_timeout: Optional[float] = None) -> None:
         self.endpoint = endpoint
         self.gmlaas = gmlaas
         self.governor = governor
@@ -207,6 +239,19 @@ class APIRouter:
         #: Optional :class:`repro.storage.engine.StorageEngine` backing the
         #: endpoint's dataset; enables the ``admin/*`` persistence routes.
         self.storage = storage
+        #: Optional time-sliced fair scheduler: ``sparql`` *query* requests
+        #: run preemptably on its lanes instead of inline, so one adversarial
+        #: cross product cannot monopolise a serving worker.  None keeps the
+        #: legacy inline path.
+        self.scheduler = scheduler
+        #: Optional admission controller shedding :data:`GUARDED_OPS` with
+        #: :class:`~repro.exceptions.ServerOverloaded` at capacity.
+        self.admission = admission
+        #: Deadline applied to ``sparql`` requests that do not pass their
+        #: own ``timeout`` parameter (None = unlimited).
+        self.default_query_timeout = default_query_timeout
+        #: Hard cap on client-supplied ``timeout`` values (None = uncapped).
+        self.max_query_timeout = max_query_timeout
         #: Read-only replica mode: write operations are refused with
         #: :class:`~repro.exceptions.ReadOnlyReplicaError`.  Set by
         #: :class:`~repro.replication.replica.ReplicaEngine` after
@@ -261,7 +306,7 @@ class APIRouter:
             "ping": frozenset(),
             "load": frozenset({"triples", "ntriples", "graph_iri"}),
             "sparql": frozenset({"query", "page_size", "default_graph_uris",
-                                 "require"}),
+                                 "require", "timeout", "cancel"}),
             "sparqlml": frozenset({"query", "page_size", "method",
                                    "meta_sampling", "use_meta_sampling",
                                    "objective", "force_plan"}),
@@ -308,6 +353,7 @@ class APIRouter:
             error = UnknownOperationError(
                 f"unknown operation {request.op!r}; supported: {', '.join(self.operations())}")
             return self._finish(request, APIResponse.failure(request, error), started)
+        ticket = None
         try:
             if self.read_only and request.op in WRITE_OPS:
                 raise ReadOnlyReplicaError(
@@ -318,10 +364,19 @@ class APIRouter:
                 raise BadRequestError(
                     f"unknown parameter(s) for {request.op!r}: "
                     f"{', '.join(sorted(map(str, unknown)))}")
+            # Admission control happens before the handler does any work: a
+            # shed request was never executed, so clients may always retry
+            # it.  ServerOverloaded rides the normal failure-envelope path,
+            # which records it under the route's requests_shed counter.
+            if self.admission is not None and request.op in GUARDED_OPS:
+                ticket = self.admission.admit()
             result, attachment = handler(request.params)
             response = APIResponse.success(request, result, attachment=attachment)
         except Exception as exc:  # noqa: BLE001 — every error becomes an envelope
             response = APIResponse.failure(request, exc)
+        finally:
+            if ticket is not None:
+                self.admission.release(ticket)
         return self._finish(request, response, started)
 
     def dispatch_dict(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -336,7 +391,11 @@ class APIRouter:
         # Client-supplied op strings must not grow the metrics table without
         # bound: anything unrouted is accounted under one sentinel key.
         key = request.op if request.op in self._routes else "<unknown>"
-        self._route_metrics(key).record(elapsed, response.ok)
+        error_code = None
+        if not response.ok and isinstance(response.error, dict):
+            error_code = response.error.get("code")
+        self._route_metrics(key).record(elapsed, response.ok,
+                                        error_code=error_code)
         return response
 
     def _route_metrics(self, key: str) -> RouteMetrics:
@@ -416,6 +475,27 @@ class APIRouter:
     # ------------------------------------------------------------------
     # Pagination cursors
     # ------------------------------------------------------------------
+    def _coerce_timeout(self, value: object) -> Optional[float]:
+        """Resolve a request's query deadline.
+
+        A client-supplied ``timeout`` is validated and capped by
+        ``max_query_timeout``; an absent one falls back to
+        ``default_query_timeout``.  ``None`` means no deadline.
+        """
+        if value is None:
+            timeout = self.default_query_timeout
+        else:
+            try:
+                timeout = float(value)
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    f"'timeout' must be a number of seconds, got {value!r}")
+            if timeout <= 0:
+                raise BadRequestError("'timeout' must be positive")
+        if timeout is not None and self.max_query_timeout is not None:
+            timeout = min(timeout, self.max_query_timeout)
+        return timeout
+
     @staticmethod
     def _coerce_page_size(page_size: object) -> Optional[int]:
         """Validate an optional ``page_size`` parameter (None = no paging)."""
@@ -522,9 +602,43 @@ class APIRouter:
                     "SPARQL updates are not available on a read-only "
                     "replica; send writes to the primary")
             require = "query"  # an update text must fail, not slip through
-        value = self.endpoint.execute(query,
-                                      default_graph_iris=default_graphs,
-                                      require=require)
+        timeout = self._coerce_timeout(params.get("timeout"))
+        # The cancel event is plumbed in-process by the service layer (from
+        # the client socket watcher); it is never a client-writable value —
+        # anything without the Event protocol is ignored.
+        cancel = params.get("cancel")
+        if cancel is not None and not hasattr(cancel, "is_set"):
+            cancel = None
+        stats = None
+        # The protocol layer pins ``require``; envelope-dialect clients
+        # usually don't.  Classify unpinned requests from the (cached) parse
+        # so their queries get time-sliced too — only updates run inline.
+        schedulable = require == "query" or (
+            require is None and self.scheduler is not None
+            and not self.endpoint.is_update(query))
+        if self.scheduler is not None and schedulable:
+            # Preemptable path: the query runs in slices on the scheduler's
+            # lanes; a cross product yields to cheap queries between quanta.
+            # Statistics arrive via callback because the finishing slice may
+            # run on any lane thread.
+            context = self.scheduler.context(timeout=timeout, cancel=cancel)
+            stats_box: Dict[str, object] = {}
+            value = self.scheduler.run(
+                lambda: self.endpoint.execute_stream(
+                    query, default_graph_iris=default_graphs, context=context,
+                    on_stats=lambda s: stats_box.__setitem__("last", s)),
+                context)
+            stats = stats_box.get("last")
+        else:
+            context = None
+            if timeout is not None or cancel is not None:
+                context = ExecutionContext(timeout=timeout, cancel=cancel)
+            value = self.endpoint.execute(query,
+                                          default_graph_iris=default_graphs,
+                                          require=require, context=context)
+            # thread_statistics() is this thread's own request record, so
+            # the hit/miss split stays exact under concurrent serving.
+            stats = self.endpoint.thread_statistics()
         # For updates, capture the WAL commit seq the write landed at (an
         # upper bound is fine): clients use it for read-your-writes routing
         # across replicas.
@@ -533,9 +647,6 @@ class APIRouter:
             wal = getattr(self.storage, "_wal", None)
             if wal is not None:
                 commit_seq = wal.last_seq
-        # thread_statistics() is this thread's own request record, so the
-        # hit/miss split stays exact under concurrent serving.
-        stats = self.endpoint.thread_statistics()
         if stats is not None:
             self._route_metrics("sparql").record_cache(stats.plan_cache_hit)
         # The JSON projection (row conversion, graph serialisation) is built
@@ -697,6 +808,10 @@ class APIRouter:
             "api": self.metrics(),
             "inference_coalescing": self.coalescing_stats(),
         }
+        if self.scheduler is not None:
+            stats["scheduler"] = self.scheduler.stats()
+        if self.admission is not None:
+            stats["admission"] = self.admission.stats()
         stats["replication"] = self._replication_status_doc()
         return stats, stats
 

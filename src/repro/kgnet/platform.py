@@ -61,7 +61,17 @@ class KGNet:
     def __init__(self, endpoint: Optional[SPARQLEndpoint] = None,
                  training_config: Optional[TrainingManagerConfig] = None,
                  model_directory: Optional[str] = None,
-                 storage=None) -> None:
+                 storage=None,
+                 scheduler=None,
+                 admission=None,
+                 default_query_timeout: Optional[float] = None,
+                 max_query_timeout: Optional[float] = None) -> None:
+        #: Hostile-load protection, all opt-in (see repro.concurrency):
+        #: a :class:`~repro.concurrency.QueryScheduler` time-slices SPARQL
+        #: queries fairly, an :class:`~repro.concurrency.AdmissionController`
+        #: sheds excess load before it executes, and the timeouts bound /
+        #: cap per-query deadlines.  The caller owns the scheduler's
+        #: lifecycle (``scheduler.close()``).
         #: Optional :class:`repro.storage.engine.StorageEngine`.  When given
         #: (and no explicit endpoint), the endpoint is built over the
         #: engine's recovered dataset, every write commits through its WAL,
@@ -88,7 +98,10 @@ class KGNet:
         self.meta_sampler = MetaSampler()
         #: The versioned service API every facade method dispatches through.
         self.api = APIRouter(self.endpoint, self.gmlaas, self.governor,
-                             self.sparqlml, storage=storage)
+                             self.sparqlml, storage=storage,
+                             scheduler=scheduler, admission=admission,
+                             default_query_timeout=default_query_timeout,
+                             max_query_timeout=max_query_timeout)
         #: A JSON-only client bound to the same router (transport-agnostic).
         self.client = APIClient.for_router(self.api)
 

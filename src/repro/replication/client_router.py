@@ -7,7 +7,13 @@ consistency story:
 * **reads fan out** across the replicas round-robin; a replica that fails a
   request (connection refused, timeout, mid-stream death) is *ejected* for
   ``eject_seconds`` and silently re-admitted afterwards — the next read
-  probes it again, so a restarted replica rejoins the rotation by itself,
+  probes it again, so a restarted replica rejoins the rotation by itself.
+  A replica that keeps *answering* but only with server-side 5xx errors is
+  quarantined the same way after ``fault_quarantine_threshold`` consecutive
+  faults; client-side errors (bad query, 4xx) are the request's own fault
+  and propagate without touching replica health.  A replica shedding load
+  (``ServerOverloaded``) is skipped for that one read but never ejected —
+  busy is not broken,
 * **writes pin to the primary**, and every update response's ``commit_seq``
   advances the session's write watermark,
 * **read-your-writes** rides on that watermark: a read only goes to a
@@ -28,14 +34,20 @@ import threading
 import time
 from typing import Dict, List
 
-from repro.exceptions import APIError
+from repro.exceptions import APIError, KGNetError, ServerOverloaded
+from repro.kgnet.api.errors import error_code
 from repro.server.client import RemoteClient
+from repro.server.service import http_status_for_error
 from repro.sparql.results.serialize import MEDIA_JSON
 
 __all__ = ["ReplicaSetClient"]
 
 #: Default quarantine after a failed request, in seconds.
 DEFAULT_EJECT_SECONDS = 2.0
+
+#: Consecutive server-side (5xx) faults before a replica that still answers
+#: is quarantined like a dead one.
+DEFAULT_FAULT_QUARANTINE_THRESHOLD = 3
 
 #: How stale a cached replica status may be before the read path refreshes
 #: it (only consulted when the cached applied seq is *behind* the session's
@@ -53,6 +65,7 @@ class _ReplicaState:
         self.status_at = 0.0
         self.ejected_until = 0.0
         self.failures = 0
+        self.consecutive_faults = 0
         self.reads = 0
 
     def healthy(self, now: float) -> bool:
@@ -65,6 +78,7 @@ class _ReplicaState:
             "healthy": self.healthy(now),
             "ejected_for": max(0.0, round(self.ejected_until - now, 3)),
             "failures": self.failures,
+            "consecutive_faults": self.consecutive_faults,
             "reads": self.reads,
         }
 
@@ -75,11 +89,14 @@ class ReplicaSetClient:
     def __init__(self, primary_url: str, replica_urls: List[str],
                  eject_seconds: float = DEFAULT_EJECT_SECONDS,
                  status_max_age: float = DEFAULT_STATUS_MAX_AGE,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 fault_quarantine_threshold: int =
+                 DEFAULT_FAULT_QUARANTINE_THRESHOLD) -> None:
         self.primary = RemoteClient(primary_url, timeout=timeout)
         self._replicas = [_ReplicaState(url, timeout) for url in replica_urls]
         self.eject_seconds = eject_seconds
         self.status_max_age = status_max_age
+        self.fault_quarantine_threshold = fault_quarantine_threshold
         self._lock = threading.Lock()
         self._rr = 0
         #: The session's write watermark: reads must observe at least this
@@ -126,9 +143,30 @@ class ReplicaSetClient:
                 continue
             try:
                 value = call(state.client)
+            except ServerOverloaded:
+                # Admission shed: the replica is busy, not broken.  (The
+                # RemoteClient already burnt its own retry budget on it.)
+                # Try the next one without touching replica health.
+                continue
             except (APIError, OSError) as exc:
+                # Transport-level failure: the replica is unreachable or
+                # died mid-exchange — quarantine it immediately.
                 self._eject(state, exc)
                 continue
+            except KGNetError as exc:
+                # A typed error the replica *answered* with.  Client-fault
+                # statuses (4xx, plus 501 not-implemented) would fail on
+                # every replica identically: the request's own problem.
+                status = http_status_for_error(error_code(exc))
+                if status < 500 or status == 501:
+                    raise
+                # Server-side 5xx: a corrupt or sick replica often keeps
+                # answering; repeated faults must quarantine it exactly
+                # like a connection failure (it used to ride round-robin
+                # forever, failing a share of all reads).
+                self._fault(state, exc)
+                continue
+            state.consecutive_faults = 0
             state.reads += 1
             with self._lock:
                 self.replica_reads += 1
@@ -170,8 +208,15 @@ class ReplicaSetClient:
         state.status_at = time.time()
         return state.applied_seq >= min_seq
 
+    def _fault(self, state: _ReplicaState, exc: BaseException) -> None:
+        """Count a server-side (5xx) answer; quarantine at the threshold."""
+        state.consecutive_faults += 1
+        if state.consecutive_faults >= self.fault_quarantine_threshold:
+            self._eject(state, exc)
+
     def _eject(self, state: _ReplicaState, exc: BaseException) -> None:
         state.failures += 1
+        state.consecutive_faults = 0
         state.ejected_until = time.time() + self.eject_seconds
         # A broken keep-alive socket must not poison the next attempt.
         state.client.close()

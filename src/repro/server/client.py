@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import quote, urlsplit
 
@@ -48,7 +50,10 @@ _FORM = "application/x-www-form-urlencoded"
 class RemoteClient(APIClient):
     """Talks to a :class:`~repro.server.http.KGNetHTTPServer` over HTTP."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 max_retries: int = 2,
+                 backoff_seconds: float = 0.05,
+                 max_backoff_seconds: float = 2.0) -> None:
         if "://" not in base_url:
             # Accept bare "host:port" the way curl does (a plain urlsplit
             # would read "localhost:8080" as scheme "localhost").
@@ -60,6 +65,15 @@ class RemoteClient(APIClient):
         self.port = split.port or 80
         self.base_path = split.path.rstrip("/")
         self.timeout = timeout
+        #: Bounded retry policy for transient failures (see ``_request``):
+        #: ``max_retries`` extra attempts, jittered exponential backoff from
+        #: ``backoff_seconds`` capped at ``max_backoff_seconds`` (a server
+        #: ``Retry-After`` hint overrides the computed delay, same cap).
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        #: Transient-failure retries performed so far (observability).
+        self.retries = 0
         self._conn: Optional[http.client.HTTPConnection] = None
         self._lock = threading.Lock()
         super().__init__(transport=self._post_envelope)
@@ -70,6 +84,76 @@ class RemoteClient(APIClient):
     def _request(self, method: str, target: str, body: Optional[bytes] = None,
                  headers: Optional[Dict[str, str]] = None
                  ) -> Tuple[int, Dict[str, str], bytes]:
+        """One logical HTTP exchange, with a bounded transient-retry loop.
+
+        Two failure classes are retried (up to ``max_retries`` extra
+        attempts, jittered exponential backoff):
+
+        * **Admission shed** — a 503 whose envelope carries
+          ``SERVER_OVERLOADED``.  The server rejected the request *before
+          executing it*, so retrying is safe for every method, updates
+          included.  The response's ``Retry-After`` hint (capped at
+          ``max_backoff_seconds``) overrides the computed delay.
+        * **Read timeout** — ``socket.timeout`` mid-exchange, retried for
+          GET only: a timed-out POST may already have been applied.
+
+        *Connection* failures are never retried here — an unreachable host
+        must fail fast so :class:`~repro.replication.client_router.ReplicaSetClient`
+        can eject the replica instead of burning the backoff budget on it.
+        """
+        attempt = 0
+        while True:
+            try:
+                status, resp_headers, payload = self._exchange(
+                    method, target, body, headers)
+            except socket.timeout:
+                if method != "GET" or attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self._backoff(attempt, None)
+                continue
+            if (status == 503 and attempt < self.max_retries
+                    and self._shed_before_execution(payload)):
+                attempt += 1
+                self._backoff(attempt, resp_headers.get("retry-after"))
+                continue
+            return status, resp_headers, payload
+
+    @staticmethod
+    def _shed_before_execution(payload: bytes) -> bool:
+        """True when a 503 is an admission shed (never executed).
+
+        Other 503s (``QUERY_PREEMPTED``, ``QUERY_INTERRUPTED``) mean the
+        query *ran* and was stopped; replaying those blindly could
+        double-execute work, so they propagate to the caller.
+        """
+        try:
+            envelope = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        error = envelope.get("error") if isinstance(envelope, dict) else None
+        return isinstance(error, dict) \
+            and error.get("code") == "SERVER_OVERLOADED"
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> None:
+        delay = None
+        if retry_after is not None:
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                delay = None
+        if delay is None:
+            # Full jitter around an exponential base: uncoordinated clients
+            # shedding at the same instant must not retry in lock-step.
+            delay = (self.backoff_seconds * (2 ** (attempt - 1))
+                     * random.uniform(0.5, 1.5))
+        self.retries += 1
+        time.sleep(min(delay, self.max_backoff_seconds))
+
+    def _exchange(self, method: str, target: str,
+                  body: Optional[bytes] = None,
+                  headers: Optional[Dict[str, str]] = None
+                  ) -> Tuple[int, Dict[str, str], bytes]:
         """One HTTP exchange on the persistent connection.
 
         A stale keep-alive socket (idle timeout, server restart) is retried
@@ -94,6 +178,15 @@ class RemoteClient(APIClient):
                         # the server's delayed ACK (Nagle interaction).
                         self._conn.sock.setsockopt(
                             socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    except socket.timeout as exc:
+                        # A connect-phase timeout is a dead/unreachable host,
+                        # not a slow response: surface it as a connection
+                        # failure so the retry loop above fails fast instead
+                        # of sleeping through more doomed connects.
+                        self._drop_connection()
+                        raise ConnectionError(
+                            f"connect to {self.host}:{self.port} timed out"
+                        ) from exc
                     except OSError:
                         self._drop_connection()
                         raise
@@ -153,15 +246,22 @@ class RemoteClient(APIClient):
     def protocol_query(self, query: str, accept: str = MEDIA_JSON,
                        default_graph_uris: Optional[List[str]] = None,
                        method: str = "GET",
+                       timeout: Optional[float] = None,
                        ) -> Tuple[int, str, str]:
         """Run ``query`` through ``/sparql``; returns (status, type, body).
 
         ``method="GET"`` sends ``?query=``; ``method="POST"`` sends a direct
         ``application/sparql-query`` body (dataset URIs then travel in the
-        query string, as the protocol prescribes).
+        query string, as the protocol prescribes).  ``timeout`` is the
+        *server-side* execution deadline in seconds (the ``timeout=``
+        protocol parameter, capped by the server's configured maximum); a
+        query that exceeds it comes back as HTTP 504 with a
+        ``QUERY_TIMEOUT`` envelope.
         """
         pairs = [("default-graph-uri", uri)
                  for uri in (default_graph_uris or [])]
+        if timeout is not None:
+            pairs.append(("timeout", f"{timeout:g}"))
         if method.upper() == "GET":
             pairs.insert(0, ("query", query))
             target = "/sparql?" + "&".join(
@@ -203,6 +303,7 @@ class RemoteClient(APIClient):
     def protocol_select(self, query: str,
                         default_graph_uris: Optional[List[str]] = None,
                         accept: str = MEDIA_JSON,
+                        timeout: Optional[float] = None,
                         ) -> List[Dict[str, Dict[str, str]]]:
         """SELECT via the protocol; returns JSON-shaped results bindings.
 
@@ -211,7 +312,8 @@ class RemoteClient(APIClient):
         lossy by nature — see :mod:`repro.sparql.results.parse`).
         """
         status, content_type, body = self.protocol_query(
-            query, accept=accept, default_graph_uris=default_graph_uris)
+            query, accept=accept, default_graph_uris=default_graph_uris,
+            timeout=timeout)
         if status != 200:
             raise self._protocol_error(status, body, "query")
         return parse_select_bindings(body, content_type)

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import http.server
 import json
+import select
 import socket
 import threading
-from typing import Iterable, Iterator, Optional, Tuple
+import time
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.concurrency import WorkerPool
 from repro.kgnet.api.router import APIRouter
@@ -42,6 +44,80 @@ MAX_REQUEST_BODY_BYTES = 256 * 1024 * 1024
 #: Per-connection idle timeout: a keep-alive client that goes quiet for this
 #: long has its connection closed so the worker slot frees up.
 CONNECTION_TIMEOUT_SECONDS = 60.0
+
+
+class _DisconnectWatcher:
+    """Cancels in-flight queries whose client socket has gone away.
+
+    One lazy daemon thread ``select()``\\ s over every connection whose
+    request is currently executing.  EOF (or a socket error) on a watched
+    connection sets that request's cancel event, so the evaluator's next
+    checkpoint aborts the query with
+    :class:`~repro.exceptions.QueryCancelled` and the worker serves the
+    next request instead of finishing work nobody will read.  Readable
+    *data* is peeked, left in place, and the socket unwatched — the client
+    is pipelining the next request, not gone.
+    """
+
+    def __init__(self, poll_interval: float = 0.05) -> None:
+        self._lock = threading.Lock()
+        self._watched: Dict[socket.socket, threading.Event] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self._poll_interval = poll_interval
+
+    def watch(self, sock: socket.socket, event: threading.Event) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._watched[sock] = event
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="kgnet-http-disconnect",
+                    daemon=True)
+                self._thread.start()
+
+    def unwatch(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._watched.pop(sock, None)
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopped = True
+            self._watched.clear()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return
+                socks = list(self._watched)
+            if not socks:
+                time.sleep(self._poll_interval)
+                continue
+            try:
+                readable, _, errored = select.select(
+                    socks, [], socks, self._poll_interval)
+            except (OSError, ValueError):
+                # A watched fd was closed from under us: its request is
+                # already orphaned, so treat it as a disconnect.
+                with self._lock:
+                    for sock in list(self._watched):
+                        if sock.fileno() < 0:
+                            self._watched.pop(sock).set()
+                continue
+            for sock in set(readable) | set(errored):
+                with self._lock:
+                    event = self._watched.get(sock)
+                if event is None:
+                    continue
+                try:
+                    data = sock.recv(1, socket.MSG_PEEK)
+                except OSError:
+                    data = b""
+                if not data:
+                    event.set()
+                self.unwatch(sock)
 
 
 def _coalesce(chunks: Iterable[bytes], size: int) -> Iterator[bytes]:
@@ -66,6 +142,13 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
     # body); with Nagle on, the second write can sit behind the peer's
     # delayed ACK for ~40ms — a 1000x latency tax on loopback round-trips.
     disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        # The socket-level timeout covers reads AND writes: a client that
+        # stops draining a large streamed response trips socket.timeout on
+        # our next write, freeing the worker, instead of pinning it forever.
+        self.timeout = self.server.connection_timeout  # type: ignore[attr-defined]
+        super().setup()
 
     # The service handler answers every method the same way; unrouted ones
     # get their 405 from it, with the Allow header filled in.
@@ -139,13 +222,30 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
                          f"server limit of {limit}")
             return
         body = self.rfile.read(length) if length > 0 else b""
+        cancel_event = threading.Event()
         request = ServiceRequest(
             method=self.command,
             target=self.path,
             headers=dict(self.headers.items()),
             body=body,
+            cancel_event=cancel_event,
         )
-        response = self.server.service.handle(request)  # type: ignore[attr-defined]
+        # Watch the connection only while the request executes: a client
+        # that hangs up mid-query gets its query cancelled at the next
+        # evaluator checkpoint rather than running to a discarded result.
+        watcher = self.server.disconnect_watcher  # type: ignore[attr-defined]
+        watcher.watch(self.connection, cancel_event)
+        try:
+            response = self.server.service.handle(request)  # type: ignore[attr-defined]
+        finally:
+            watcher.unwatch(self.connection)
+        if cancel_event.is_set():
+            # The peer is gone; don't try to write into a dead socket.
+            close = getattr(response.body, "close", None)
+            if close is not None:
+                close()
+            self.close_connection = True
+            return
         try:
             self._write_response(response, drop_body=drop_body)
         except (ConnectionError, BrokenPipeError, socket.timeout):
@@ -223,12 +323,18 @@ class KGNetHTTPServer(http.server.HTTPServer):
     def __init__(self, address: Tuple[str, int],
                  router: Optional[APIRouter] = None,
                  service: Optional[ServiceHandler] = None,
-                 max_workers: int = 8) -> None:
+                 max_workers: int = 8,
+                 connection_timeout: float = CONNECTION_TIMEOUT_SECONDS) -> None:
         if service is None:
             if router is None:
                 raise ValueError("KGNetHTTPServer needs a router or a service")
             service = ServiceHandler(router)
         self.service = service
+        #: Socket-level read/write timeout per connection: a stalled client
+        #: (slowloris sender, or a receiver that stops draining a streamed
+        #: response) trips socket.timeout and frees its worker slot.
+        self.connection_timeout = connection_timeout
+        self.disconnect_watcher = _DisconnectWatcher()
         self._accept_thread: Optional[threading.Thread] = None
         self._serving = False
         self._stopping = False
@@ -325,6 +431,7 @@ class KGNetHTTPServer(http.server.HTTPServer):
         die with the process; orderly clients close their side first.
         """
         self._stopping = True
+        self.disconnect_watcher.stop()
         if self._serving or self._accept_thread is not None:
             # With an accept thread the flag may not be set yet, but
             # shutdown() is still safe: serve_forever observes the request
@@ -353,11 +460,13 @@ class KGNetHTTPServer(http.server.HTTPServer):
 
 
 def serve(router: APIRouter, host: str = "127.0.0.1", port: int = 0,
-          max_workers: int = 8) -> KGNetHTTPServer:
+          max_workers: int = 8,
+          connection_timeout: float = CONNECTION_TIMEOUT_SECONDS) -> KGNetHTTPServer:
     """Build and start a background server over ``router``; returns it.
 
     The caller owns shutdown: ``server.stop()`` (or use it as a context
     manager).  ``port=0`` picks a free port — read ``server.base_url``.
     """
     return KGNetHTTPServer((host, port), router=router,
-                           max_workers=max_workers).start()
+                           max_workers=max_workers,
+                           connection_timeout=connection_timeout).start()

@@ -116,6 +116,16 @@ HTTP_STATUS_BY_CODE: Dict[str, int] = {
     "READ_ONLY_REPLICA": 403,
     # The request was fine but exceeded its declared resource budget.
     "BUDGET_EXCEEDED": 413,
+    # The query ran past its deadline (server-side execution timeout).
+    "QUERY_TIMEOUT": 504,
+    # The client went away mid-query (nginx's 499 convention; the status
+    # is mostly for logs — the client is gone).
+    "QUERY_CANCELLED": 499,
+    # The query exceeded a hard work budget / the server is shedding load:
+    # temporarily unavailable, safe to retry (503 + Retry-After).
+    "QUERY_PREEMPTED": 503,
+    "QUERY_INTERRUPTED": 503,
+    "SERVER_OVERLOADED": 503,
     # The server understands the request but lacks the capability.
     "UNSUPPORTED_FEATURE": 501,
 }
@@ -155,6 +165,11 @@ class ServiceRequest:
     target: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Transport-supplied cancellation signal (a ``threading.Event``-like
+    #: object): the HTTP server sets it when the client socket dies, so a
+    #: running query aborts instead of computing for nobody.  Never taken
+    #: from client-controlled input.
+    cancel_event: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.method = self.method.upper()
@@ -356,15 +371,21 @@ class ServiceHandler:
                     "address named graphs with GRAPH patterns (or "
                     "default-graph-uri for queries)")
         default_graphs = params.get("default-graph-uri") or None
+        # Per-request execution deadline: capped server-side by the router's
+        # max_query_timeout, so a client cannot buy unbounded execution.
+        timeout = self._single(params, "timeout") if "timeout" in params else None
 
         if update is not None:
             if default_graphs:
                 raise BadRequestError(
                     "default-graph-uri does not apply to updates "
                     "(use using-graph-uri semantics via USING/WITH)")
-            return self._dispatch_update(update)
+            return self._dispatch_update(update, timeout=timeout,
+                                         cancel_event=request.cancel_event)
         return self._dispatch_query(query, default_graphs,
-                                    request.header("accept"))
+                                    request.header("accept"),
+                                    timeout=timeout,
+                                    cancel_event=request.cancel_event)
 
     @staticmethod
     def _single(params: Dict[str, List[str]], name: str) -> str:
@@ -376,7 +397,9 @@ class ServiceHandler:
 
     def _dispatch_query(self, query: str,
                         default_graphs: Optional[List[str]],
-                        accept: Optional[str]) -> ServiceResponse:
+                        accept: Optional[str],
+                        timeout: Optional[str] = None,
+                        cancel_event: Optional[object] = None) -> ServiceResponse:
         if accept is not None and negotiate(accept, ALL_MEDIA_TYPES) is None:
             # Hopeless Accept header: refuse BEFORE evaluating — a client
             # polling with the wrong Accept must cost a 406, not a full
@@ -386,6 +409,10 @@ class ServiceHandler:
         api_params: Dict[str, object] = {"query": query, "require": "query"}
         if default_graphs:
             api_params["default_graph_uris"] = default_graphs
+        if timeout is not None:
+            api_params["timeout"] = timeout
+        if cancel_event is not None:
+            api_params["cancel"] = cancel_event
         response = self.router.dispatch(APIRequest(op="sparql",
                                                    params=api_params))
         if not response.ok:
@@ -398,9 +425,17 @@ class ServiceHandler:
         return ServiceResponse.stream(serialize_result(result, media_type),
                                       content_type=media_type)
 
-    def _dispatch_update(self, update: str) -> ServiceResponse:
-        response = self.router.dispatch(APIRequest(
-            op="sparql", params={"query": update, "require": "update"}))
+    def _dispatch_update(self, update: str,
+                         timeout: Optional[str] = None,
+                         cancel_event: Optional[object] = None) -> ServiceResponse:
+        params: Dict[str, object] = {"query": update, "require": "update"}
+        if timeout is not None:
+            params["timeout"] = timeout
+        if cancel_event is not None:
+            # Interruption is safe for updates too: the evaluator only
+            # checkpoints before mutation starts, never mid-mutation.
+            params["cancel"] = cancel_event
+        response = self.router.dispatch(APIRequest(op="sparql", params=params))
         if not response.ok:
             return self._envelope_response(response)
         return ServiceResponse.json(response.to_dict())
@@ -508,4 +543,18 @@ class ServiceHandler:
         else:
             status = http_status_for_error(
                 str((response.error or {}).get("code")))
-        return ServiceResponse.json(response.to_dict(), status=status)
+        service_response = ServiceResponse.json(response.to_dict(),
+                                                status=status)
+        if not response.ok:
+            error = response.error or {}
+            if error.get("code") == "SERVER_OVERLOADED":
+                details = error.get("details") or {}
+                try:
+                    retry_after = float(details.get("retry_after", 1.0))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                # Retry-After is integral delta-seconds; round up so a
+                # compliant client never retries before the hint.
+                service_response.headers.append(
+                    ("Retry-After", str(max(1, int(retry_after + 0.999999)))))
+        return service_response

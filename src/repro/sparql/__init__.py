@@ -8,6 +8,7 @@ from repro.sparql.evaluator import (
     estimate_pattern_cardinality,
     reorder_patterns,
 )
+from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.sparql.reference import ReferenceQueryEvaluator
 from repro.sparql.functions import (
     EvaluationContext,
@@ -28,6 +29,8 @@ __all__ = [
     "parse_update",
     "QueryEvaluator",
     "QueryPlan",
+    "ExecutionContext",
+    "StreamingResult",
     "ReferenceQueryEvaluator",
     "estimate_pattern_cardinality",
     "reorder_patterns",

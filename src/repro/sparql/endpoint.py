@@ -53,6 +53,7 @@ from repro.sparql.ast import (
     Update,
 )
 from repro.sparql.evaluator import QueryEvaluator, QueryPlan
+from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.sparql.functions import UDFRegistry
 from repro.sparql.parser import SPARQLParser
 from repro.sparql.results import ResultSet
@@ -275,7 +276,8 @@ class SPARQLEndpoint:
 
     def execute(self, text: str,
                 default_graph_iris: Optional[List[Union[str, IRI]]] = None,
-                require: Optional[str] = None):
+                require: Optional[str] = None,
+                context: Optional[ExecutionContext] = None):
         """Parse once and route a query *or* an update from the AST.
 
         Unlike :meth:`query` / :meth:`update`, which require the caller to
@@ -292,6 +294,11 @@ class SPARQLEndpoint:
         ``"query"`` or ``"update"`` to reject the other kind with a
         :class:`~repro.exceptions.QueryError` — the HTTP protocol endpoint
         must not let an update smuggled into ``query=`` mutate the store.
+
+        ``context`` attaches a per-query
+        :class:`~repro.sparql.execution.ExecutionContext` so a deadline,
+        cancellation event, or work budget can stop the evaluation with a
+        typed :class:`~repro.exceptions.QueryInterrupted` subclass.
         """
         parsed, plan, cache_hit = self._cached_parse(text)
         if isinstance(parsed, list):
@@ -303,14 +310,90 @@ class SPARQLEndpoint:
                 raise QueryError(
                     "protocol dataset selection (default-graph-uri) does not "
                     "apply to updates; use USING / WITH in the request")
-            return self._run_updates(parsed, text, cache_hit=cache_hit)
+            return self._run_updates(parsed, text, cache_hit=cache_hit,
+                                     context=context)
         if require == "update":
             raise QueryError(
                 "the request is a SPARQL query, not an update; "
                 "send it through the query operation")
         return self._run_query(parsed, text, graph_iri=None, plan=plan,
                                cache_hit=cache_hit,
-                               default_graph_iris=default_graph_iris)
+                               default_graph_iris=default_graph_iris,
+                               context=context)
+
+    def is_update(self, text: str) -> bool:
+        """Whether ``text`` parses as a SPARQL update (vs a query).
+
+        Uses the parse cache, so classifying before :meth:`execute` /
+        :meth:`execute_stream` costs one cache hit, not a reparse — this is
+        how a scheduler-backed router decides to time-slice a request whose
+        kind the client did not pin.  Syntax errors raise
+        :class:`~repro.exceptions.QueryError` exactly as execution would.
+        """
+        parsed, _plan, _cache_hit = self._cached_parse(text)
+        return isinstance(parsed, list)
+
+    def execute_stream(self, text: str,
+                       default_graph_iris: Optional[List[Union[str, IRI]]] = None,
+                       context: Optional[ExecutionContext] = None,
+                       on_stats: Optional[Callable[[QueryStatistics], None]] = None):
+        """Evaluate a protocol *query* request lazily.
+
+        SELECT queries return a :class:`~repro.sparql.execution.StreamingResult`
+        whose row iterator is unconsumed — the scheduler's suspension point
+        for time-sliced execution.  Query statistics are recorded when the
+        consumer finishes the iterator and calls ``finish(rows)``; since
+        that may happen on a different thread than this call,
+        ``on_stats`` delivers the record to the caller explicitly (the
+        thread-local :meth:`thread_statistics` is also set on the finishing
+        thread).
+
+        ASK and CONSTRUCT cannot stream; they evaluate eagerly here — still
+        under ``context``'s checkpoints — and return their plain result.
+        Updates are rejected with :class:`~repro.exceptions.QueryError`.
+        """
+        parsed, plan, cache_hit = self._cached_parse(text)
+        if isinstance(parsed, list):
+            raise QueryError(
+                "the request is a SPARQL update, not a query; "
+                "updates cannot be streamed")
+        if default_graph_iris:
+            graph = self._protocol_graph(default_graph_iris)
+        else:
+            graph = self._evaluation_graph(parsed)
+        evaluator = QueryEvaluator(graph, udfs=self.udfs,
+                                   optimize_joins=self.optimize_joins,
+                                   plan=plan, execution=context)
+        udf_calls_before = self.udfs.total_calls()
+        started = time.perf_counter()
+
+        def record(kind: str, count: int) -> QueryStatistics:
+            statistics = QueryStatistics(
+                query=text, kind=kind,
+                elapsed_seconds=time.perf_counter() - started,
+                num_results=count,
+                pattern_lookups=evaluator.pattern_lookups,
+                udf_calls=self.udfs.total_calls() - udf_calls_before,
+                plan_cache_hit=cache_hit,
+            )
+            with self._stats_lock:
+                self.total_pattern_lookups += evaluator.pattern_lookups
+                self.history.append(statistics)
+            self._thread_stats.last = statistics
+            if on_stats is not None:
+                on_stats(statistics)
+            return statistics
+
+        if not isinstance(parsed, SelectQuery):
+            result = evaluator.evaluate(parsed)
+            if isinstance(result, Graph):
+                record("CONSTRUCT", len(result))
+            else:
+                record("ASK", int(bool(result)))
+            return result
+        variables, solutions = evaluator.stream_select(parsed)
+        return StreamingResult(variables, solutions,
+                               lambda rows: record("SELECT", rows))
 
     def query(self, text: str, graph_iri: Optional[Union[str, IRI]] = None):
         """Parse and evaluate a SELECT / ASK / CONSTRUCT query.
@@ -344,7 +427,8 @@ class SPARQLEndpoint:
                    graph_iri: Optional[Union[str, IRI]] = None,
                    plan: Optional[QueryPlan] = None,
                    cache_hit: bool = False,
-                   default_graph_iris: Optional[List[Union[str, IRI]]] = None):
+                   default_graph_iris: Optional[List[Union[str, IRI]]] = None,
+                   context: Optional[ExecutionContext] = None):
         """Evaluate an already-parsed query, recording statistics."""
         if default_graph_iris:
             graph = self._protocol_graph(default_graph_iris)
@@ -356,7 +440,7 @@ class SPARQLEndpoint:
             graph = self._evaluation_graph(query)
         evaluator = QueryEvaluator(graph, udfs=self.udfs,
                                    optimize_joins=self.optimize_joins,
-                                   plan=plan)
+                                   plan=plan, execution=context)
         udf_calls_before = self.udfs.total_calls()
         started = time.perf_counter()
         result = evaluator.evaluate(query)
@@ -404,19 +488,24 @@ class SPARQLEndpoint:
         return self._run_updates(parsed, text, cache_hit=cache_hit)
 
     def _run_updates(self, updates: List[Update], text: str,
-                     cache_hit: bool = False) -> int:
+                     cache_hit: bool = False,
+                     context: Optional[ExecutionContext] = None) -> int:
         """Apply already-parsed updates, recording statistics.
 
         The whole batch runs under the dataset's write lock: a request with
         several operations commits atomically — no reader snapshot can
         observe a half-applied request, and two concurrent update requests
-        serialise instead of interleaving their operations.
+        serialise instead of interleaving their operations.  An execution
+        context can interrupt an operation only *before* it starts mutating
+        (the evaluator checkpoints after WHERE materialisation and never
+        mid-mutation), so an interrupted request aborts between whole
+        operations, leaving every applied one complete.
         """
         started = time.perf_counter()
         affected = 0
         with self.dataset.write_lock:
             for update in updates:
-                affected += self.apply_update(update)
+                affected += self.apply_update(update, context=context)
         elapsed = time.perf_counter() - started
         statistics = QueryStatistics(
             query=text, kind="UPDATE", elapsed_seconds=elapsed,
@@ -428,12 +517,14 @@ class SPARQLEndpoint:
         self._thread_stats.last = statistics
         return affected
 
-    def apply_update(self, update: Update) -> int:
+    def apply_update(self, update: Update,
+                     context: Optional[ExecutionContext] = None) -> int:
         # WHERE clauses evaluate against the pinned union snapshot;
         # mutations go to the live dataset graphs.
         evaluator = QueryEvaluator(self.dataset.snapshot().union(),
                                    udfs=self.udfs,
-                                   optimize_joins=self.optimize_joins)
+                                   optimize_joins=self.optimize_joins,
+                                   execution=context)
         return evaluator.apply_update(update, dataset=self.dataset)
 
     # ------------------------------------------------------------------

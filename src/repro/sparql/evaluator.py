@@ -18,6 +18,16 @@ and ORDER BY materialize, as they must.
 Compiled BGPs can be cached across executions through a :class:`QueryPlan`
 (the endpoint's plan cache stores one per query text); a plan transparently
 recompiles itself when the graph object or its mutation epoch changes.
+
+Every operator cooperates with an optional per-query
+:class:`~repro.sparql.execution.ExecutionContext`: the hot join loops tick an
+amortised checkpoint (one call per 256 iterations, so preemptability costs
+the happy path almost nothing) and every other operator checkpoints per row,
+letting a deadline, cancellation event, or work budget stop a hostile query
+with a typed :class:`~repro.exceptions.QueryInterrupted` subclass.
+:meth:`QueryEvaluator.stream_select` exposes the SELECT pipeline *lazily*
+(variables + unconsumed row iterator) so the scheduler can suspend and resume
+consumption mid-query without losing cursor state.
 """
 
 from __future__ import annotations
@@ -66,6 +76,7 @@ from repro.sparql.ast import (
     ValuesPattern,
     VariableExpr,
 )
+from repro.sparql.execution import ExecutionContext
 from repro.sparql.functions import (
     EvaluationContext,
     UDFRegistry,
@@ -227,11 +238,15 @@ class QueryEvaluator:
 
     def __init__(self, graph: Graph, udfs: Optional[UDFRegistry] = None,
                  optimize_joins: bool = True,
-                 plan: Optional[QueryPlan] = None) -> None:
+                 plan: Optional[QueryPlan] = None,
+                 execution: Optional[ExecutionContext] = None) -> None:
         self.graph = graph
         self.udfs = udfs or UDFRegistry()
         self.optimize_joins = optimize_joins
         self.plan = plan
+        #: Cooperative-interruption state; ``None`` runs unguarded (the
+        #: legacy embedded path pays zero per-row overhead).
+        self.execution = execution
         #: Resolved lazily on first BGP: the plan's compiled store for this
         #: exact (graph, epoch) target.
         self._plan_state: Optional[Dict[int, _CompiledBGP]] = None
@@ -251,6 +266,21 @@ class QueryEvaluator:
         raise QueryError(f"unsupported query type {type(query).__name__}")
 
     def evaluate_select(self, query: SelectQuery) -> ResultSet:
+        variables, solutions = self.stream_select(query)
+        return ResultSet(variables, solutions)
+
+    def stream_select(self, query: SelectQuery
+                      ) -> Tuple[List[Variable], Iterator[Solution]]:
+        """Evaluate a SELECT lazily: ``(variables, unconsumed row iterator)``.
+
+        The returned iterator is the suspension point for time-sliced
+        scheduling: the consumer can stop pulling rows mid-query and resume
+        later with all generator cursor state intact.  Materialising
+        operators (GROUP BY / aggregates / ORDER BY / SELECT ``*``) cannot
+        be sliced — they drain their input eagerly when the iterator is
+        first pulled, under the execution context's deadline/cancellation
+        checkpoints.
+        """
         project_hint = self._projection_hint(query)
         if project_hint is not None:
             # Single-BGP bare-variable SELECT: the join emits rows that
@@ -261,13 +291,45 @@ class QueryEvaluator:
                 project=project_hint)
         else:
             solutions = self._evaluate_group(query.where, iter((Solution(),)))
+        # One guarded checkpoint per row leaving the lazy pattern pipeline:
+        # everything downstream (grouping, sort, projection) inherits
+        # interruptibility from it while it drains.
+        solutions = self._guard(solutions)
         solutions = self._apply_grouping(query, solutions)
         solutions = self._apply_order(query, solutions)
         variables, solutions = self._apply_projection(query, solutions)
         if query.distinct or query.reduced:
             solutions = self._distinct(solutions, variables)
         solutions = self._apply_slice(query, solutions)
-        return ResultSet(variables, solutions)
+        return variables, self._count_rows(solutions)
+
+    def _guard(self, solutions: Iterable[Solution]) -> Iterable[Solution]:
+        """Checkpoint the execution context once per row pulled."""
+        context = self.execution
+        if context is None:
+            return solutions
+        checkpoint = context.checkpoint
+
+        def guarded() -> Iterator[Solution]:
+            for solution in solutions:
+                checkpoint()
+                yield solution
+
+        return guarded()
+
+    def _count_rows(self, solutions: Iterable[Solution]) -> Iterable[Solution]:
+        """Account final result rows on the execution context."""
+        context = self.execution
+        if context is None:
+            return solutions
+        count_row = context.count_row
+
+        def counted() -> Iterator[Solution]:
+            for solution in solutions:
+                count_row()
+                yield solution
+
+        return counted()
 
     @staticmethod
     def _projection_hint(query: SelectQuery) -> Optional[frozenset]:
@@ -290,12 +352,14 @@ class QueryEvaluator:
 
     def evaluate_ask(self, query: AskQuery) -> bool:
         # Consume a single solution from the pipeline, then stop.
-        for _ in self._evaluate_group(query.where, iter((Solution(),))):
+        for _ in self._guard(self._evaluate_group(query.where,
+                                                  iter((Solution(),)))):
             return True
         return False
 
     def evaluate_construct(self, query: ConstructQuery) -> Graph:
-        solutions = self._evaluate_group(query.where, iter((Solution(),)))
+        solutions = self._guard(
+            self._evaluate_group(query.where, iter((Solution(),))))
         if query.limit is not None:
             solutions = islice(solutions, query.limit)
         result = Graph(namespaces=self.graph.namespaces.copy())
@@ -395,6 +459,13 @@ class QueryEvaluator:
             item for item in seed_items if item[0] in project)
         slot_vars = compiled.slot_vars
         lookups = 0
+        execution = self.execution
+        checkpoint = execution.checkpoint if execution is not None else None
+        # Amortised interruption ticks shared by both hot loops (the
+        # backtracking join and the generic leaf scan): one checkpoint call
+        # per 256 iterations keeps the per-iteration cost to an increment
+        # and a bitmask test.
+        ticks = 0
 
         # Iterative index-nested-loop join (one frame, no recursion): per
         # level we keep the running scan, the slots that were unbound when
@@ -486,8 +557,14 @@ class QueryEvaluator:
                 return
             # Zero unbound slots (containment probe) or two/three unbound
             # slots (possibly a repeated variable): generic scan, binding
-            # and undoing slots per element.
+            # and undoing slots per element.  This is where a cross-product
+            # adversary spends its life, so it ticks the amortised
+            # checkpoint.
+            nonlocal ticks
             for triple_ids_row in triples_ids(s, p, o):
+                ticks += 1
+                if checkpoint is not None and not ticks & 255:
+                    checkpoint(256)
                 bound_here = []
                 compatible = True
                 for position, slot in unb:
@@ -536,6 +613,9 @@ class QueryEvaluator:
                 start_scan(0)
                 level = 0
                 while level >= 0:
+                    ticks += 1
+                    if checkpoint is not None and not ticks & 255:
+                        checkpoint(256)
                     # Undo bindings from the element previously explored at
                     # this level before pulling the next one.
                     for slot in pending[level]:
@@ -580,14 +660,20 @@ class QueryEvaluator:
 
     def _stream_filter(self, expression: Expression,
                        solutions: Iterator[Solution]) -> Iterator[Solution]:
+        execution = self.execution
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             if effective_boolean_value(
                     evaluate_expression(expression, solution, self.context)):
                 yield solution
 
     def _stream_optional(self, element: OptionalPattern,
                          solutions: Iterator[Solution]) -> Iterator[Solution]:
+        execution = self.execution
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             matched = False
             for extended in self._evaluate_group(element.pattern, iter((solution,))):
                 matched = True
@@ -597,17 +683,22 @@ class QueryEvaluator:
 
     def _stream_union(self, element: UnionPattern,
                       solutions: Iterator[Solution]) -> Iterator[Solution]:
-        base = list(solutions)
+        base = list(self._guard(solutions))
         for alternative in element.alternatives:
-            yield from self._evaluate_group(alternative, iter(base))
+            yield from self._guard(
+                self._evaluate_group(alternative, iter(base)))
 
     def _stream_minus(self, element: MinusPattern,
                       solutions: Iterator[Solution]) -> Iterator[Solution]:
+        execution = self.execution
         excluded = None
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             if excluded is None:
-                excluded = list(self._evaluate_group(element.pattern,
-                                                     iter((Solution(),))))
+                excluded = list(self._guard(
+                    self._evaluate_group(element.pattern,
+                                         iter((Solution(),)))))
             remove = False
             for other in excluded:
                 shared = set(solution) & set(other)
@@ -619,7 +710,10 @@ class QueryEvaluator:
 
     def _stream_bind(self, element: BindPattern,
                      solutions: Iterator[Solution]) -> Iterator[Solution]:
+        execution = self.execution
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             value = evaluate_expression(element.expression, solution, self.context)
             extended = Solution(solution)
             if value is not None:
@@ -637,7 +731,10 @@ class QueryEvaluator:
                 if term is not None:
                     sol[var] = term
             value_solutions.append(sol)
+        execution = self.execution
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             for value_sol in value_solutions:
                 merged = solution.merged(value_sol)
                 if merged is not None:
@@ -645,8 +742,11 @@ class QueryEvaluator:
 
     def _stream_subselect(self, element: SubSelectPattern,
                           solutions: Iterator[Solution]) -> Iterator[Solution]:
+        execution = self.execution
         sub_result = None
         for solution in solutions:
+            if execution is not None:
+                execution.checkpoint()
             if sub_result is None:
                 sub_result = self.evaluate_select(element.query)
             for sub_sol in sub_result.solutions:
@@ -656,7 +756,8 @@ class QueryEvaluator:
 
     def _evaluate_exists(self, pattern: GroupPattern, solution: Solution) -> bool:
         # Stop at the first witness instead of materialising every match.
-        for _ in self._evaluate_group(pattern, iter((Solution(solution),))):
+        for _ in self._guard(self._evaluate_group(pattern,
+                                                  iter((Solution(solution),)))):
             return True
         return False
 
@@ -901,8 +1002,14 @@ class QueryEvaluator:
         if isinstance(update, ModifyUpdate):
             # Materialise the WHERE solutions *before* mutating: the lazy
             # pipeline must not keep scanning indexes we are rewriting.
-            solutions = list(self._evaluate_group(update.where,
-                                                  iter((Solution(),))))
+            solutions = list(self._guard(
+                self._evaluate_group(update.where, iter((Solution(),)))))
+            if self.execution is not None:
+                # Last exit before mutation: a deadline or cancellation that
+                # trips here aborts with the graph untouched; past this point
+                # the update runs to completion, so no reader ever observes a
+                # half-applied MODIFY.
+                self.execution.checkpoint(0)
             graph = target(update.graph)
             affected = 0
             for solution in solutions:
