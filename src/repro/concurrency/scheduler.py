@@ -22,8 +22,10 @@ evaluator so hostile queries cannot monopolise the server:
     (HTTP 503 + ``Retry-After``), so retrying a shed request is always safe.
     Admission, not the scheduler's queue, is the system's load bound: the
     scheduler's pending queue is sized generously because every admitted
-    query occupies one queue slot per *slice*, and a small queue would
-    deadlock re-enqueues behind blocked submitters.
+    query occupies one queue slot per *slice*.  Should the queue still
+    fill (a deployment running the scheduler without admission control),
+    enqueues never block — the task is shed with ``ServerOverloaded``
+    after a short bounded wait, so lanes cannot deadlock re-enqueuing.
 
 The scheduler is deliberately unaware of HTTP: the serving layer builds the
 execution context (deadline from the ``timeout=`` parameter, cancel event
@@ -49,6 +51,41 @@ from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.sparql.results import ResultSet
 
 __all__ = ["AdmissionController", "QueryScheduler"]
+
+
+# ---------------------------------------------------------------------------
+# GIL switch-interval management.  sys.setswitchinterval is process-global,
+# so per-instance save/restore misbehaves with overlapping schedulers (A
+# closing first would restore the slow default under a still-running B, and
+# B closing later would pin A's saved value forever).  A refcount shares the
+# knob instead: the first acquisition saves the pre-scheduler value, the
+# last release restores it; with several schedulers alive the most recently
+# constructed one's interval wins.
+# ---------------------------------------------------------------------------
+
+_switch_lock = threading.Lock()
+_switch_refs = 0
+_switch_prior: Optional[float] = None
+
+
+def _switch_interval_acquire(value: float) -> None:
+    global _switch_refs, _switch_prior
+    with _switch_lock:
+        if _switch_refs == 0:
+            _switch_prior = sys.getswitchinterval()
+        _switch_refs += 1
+        sys.setswitchinterval(value)
+
+
+def _switch_interval_release() -> None:
+    global _switch_refs, _switch_prior
+    with _switch_lock:
+        if _switch_refs <= 0:
+            return
+        _switch_refs -= 1
+        if _switch_refs == 0 and _switch_prior is not None:
+            sys.setswitchinterval(_switch_prior)
+            _switch_prior = None
 
 
 class AdmissionController:
@@ -176,9 +213,9 @@ class QueryScheduler:
                  max_pending: Optional[int] = None,
                  name: str = "kgnet-sched",
                  gil_switch_interval: Optional[float] = 0.001) -> None:
-        # Each admitted query occupies one queue slot per slice; a tight
-        # queue would block re-enqueues behind new submitters (deadlock
-        # risk), so the bound lives in the AdmissionController instead.
+        # Each admitted query occupies one queue slot per slice; the load
+        # bound lives in the AdmissionController, so the queue is sized
+        # generously.  A full queue sheds (see _enqueue) — never blocks.
         self._pool = WorkerPool(max_workers,
                                 max_pending=max_pending if max_pending is not None else 1024,
                                 name=name)
@@ -187,12 +224,13 @@ class QueryScheduler:
         # (5ms default), and measured cheap-query p99 under an adversarial
         # cross product is dominated by those handoffs, not slice waits
         # (~20ms at 5ms vs ~7ms at 1ms).  Constructing a scheduler opts the
-        # process into serving, so tighten the knob; it is process-global,
-        # hence restored by close().  Pass None to leave it alone.
-        self._prior_switch_interval: Optional[float] = None
+        # process into serving, so tighten the knob; it is process-global
+        # and shared by refcount across schedulers — the pre-scheduler
+        # value returns once the last scheduler closes.  Pass None to
+        # leave it alone.
+        self._owns_switch_interval = gil_switch_interval is not None
         if gil_switch_interval is not None:
-            self._prior_switch_interval = sys.getswitchinterval()
-            sys.setswitchinterval(gil_switch_interval)
+            _switch_interval_acquire(gil_switch_interval)
         self.quantum_rows = quantum_rows
         self.quantum_seconds = quantum_seconds
         self._lock = threading.Lock()
@@ -238,11 +276,28 @@ class QueryScheduler:
         return task.result
 
     # ------------------------------------------------------------------
+    #: How long an enqueue may wait on a full pending queue before the
+    #: task is shed.  Kept short: the wait holds the pool's shutdown lock.
+    ENQUEUE_TIMEOUT = 0.05
+
     def _enqueue(self, task: _Task) -> None:
         try:
-            self._pool.submit(self._run_slice, task)
+            future = self._pool.try_submit(self._run_slice, task,
+                                           timeout=self.ENQUEUE_TIMEOUT)
         except RuntimeError as exc:  # pool shut down
             self._fail(task, QueryCancelled(f"scheduler stopped: {exc}"))
+            return
+        if future is None:
+            # The pending queue stayed full.  Blocking here would hold the
+            # pool's shutdown lock with every lane potentially re-enqueuing
+            # into the same full queue — a permanent deadlock when the
+            # scheduler runs without an AdmissionController bounding
+            # in-flight queries below max_pending.  Shed instead: only
+            # streaming reads re-enqueue (updates finish in their first
+            # slice), so discarding partial progress is always retry-safe.
+            self._fail(task, ServerOverloaded(
+                f"scheduler queue full ({self._pool.max_pending} pending "
+                f"slices); retry later"))
             return
         depth = self._pool._queue.qsize()
         with self._lock:
@@ -322,9 +377,9 @@ class QueryScheduler:
         for fn, args, kwargs in cancelled:
             if fn is self._run_slice and args:
                 self._fail(args[0], QueryCancelled("scheduler shut down"))
-        if self._prior_switch_interval is not None:
-            sys.setswitchinterval(self._prior_switch_interval)
-            self._prior_switch_interval = None
+        if self._owns_switch_interval:
+            self._owns_switch_interval = False
+            _switch_interval_release()
 
     def __enter__(self) -> "QueryScheduler":
         return self

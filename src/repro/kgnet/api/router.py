@@ -20,6 +20,7 @@ pure JSON, proving the contract is transport-agnostic.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -490,6 +491,12 @@ class APIRouter:
             except (TypeError, ValueError):
                 raise BadRequestError(
                     f"'timeout' must be a number of seconds, got {value!r}")
+            # NaN slips past every ordered comparison (both checks below
+            # compare False), and +inf defeats the cap when none is set —
+            # either would hand a hostile client an undying query slot.
+            if not math.isfinite(timeout):
+                raise BadRequestError(
+                    f"'timeout' must be finite, got {value!r}")
             if timeout <= 0:
                 raise BadRequestError("'timeout' must be positive")
         if timeout is not None and self.max_query_timeout is not None:

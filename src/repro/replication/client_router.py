@@ -30,6 +30,7 @@ freshness for pure readers.
 
 from __future__ import annotations
 
+import http.client
 import threading
 import time
 from typing import Dict, List
@@ -148,7 +149,7 @@ class ReplicaSetClient:
                 # RemoteClient already burnt its own retry budget on it.)
                 # Try the next one without touching replica health.
                 continue
-            except (APIError, OSError) as exc:
+            except (http.client.HTTPException, OSError) as exc:
                 # Transport-level failure: the replica is unreachable or
                 # died mid-exchange — quarantine it immediately.
                 self._eject(state, exc)
@@ -157,9 +158,20 @@ class ReplicaSetClient:
                 # A typed error the replica *answered* with.  Client-fault
                 # statuses (4xx, plus 501 not-implemented) would fail on
                 # every replica identically: the request's own problem.
+                # This must discriminate APIError subclasses too — a
+                # replica answering BAD_REQUEST or CURSOR_ERROR is relaying
+                # the *client's* mistake, not failing (catching them as
+                # transport errors used to eject every replica in turn for
+                # one malformed read).
                 status = http_status_for_error(error_code(exc))
                 if status < 500 or status == 501:
                     raise
+                if isinstance(exc, APIError):
+                    # A 5xx-class APIError is the transport reporting a
+                    # broken exchange (non-envelope body, protocol
+                    # violation): one strike, like a connection failure.
+                    self._eject(state, exc)
+                    continue
                 # Server-side 5xx: a corrupt or sick replica often keeps
                 # answering; repeated faults must quarantine it exactly
                 # like a connection failure (it used to ride round-robin
@@ -200,7 +212,9 @@ class ReplicaSetClient:
             return False
         try:
             status = state.client.replication_status()
-        except (APIError, OSError) as exc:
+        except (APIError, http.client.HTTPException, OSError) as exc:
+            # Unlike reads, the status document is not client input: any
+            # failure here is the replica's own (transport or otherwise).
             self._eject(state, exc)
             return False
         applied = status.get("applied_seq", status.get("last_seq", 0))

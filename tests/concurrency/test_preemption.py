@@ -18,6 +18,7 @@ no longer monopolise the engine.  These tests pin the pieces individually:
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import time
 from typing import List
@@ -318,6 +319,50 @@ class TestQueryScheduler:
         scheduler.close()
         with pytest.raises(QueryCancelled):
             self.run_query(scheduler, endpoint, CROSS_PRODUCT)
+
+    def test_full_queue_sheds_instead_of_deadlocking(self):
+        """A scheduler run without admission control must never block an
+        enqueue on a full pending queue (lanes re-enqueue into the same
+        queue: blocking there is a permanent deadlock)."""
+        endpoint = self.endpoint(10)
+        with QueryScheduler(max_workers=1, max_pending=1) as scheduler:
+            release = threading.Event()
+            scheduler._pool.submit(release.wait)  # occupies the only lane
+            scheduler._pool.submit(release.wait)  # fills the 1-slot queue
+            t0 = time.perf_counter()
+            with pytest.raises(ServerOverloaded):
+                self.run_query(scheduler, endpoint,
+                               f"SELECT ?s WHERE {{ ?s <{EX}p0> ?o }}")
+            # Shed after the short bounded wait, not wedged forever.
+            assert time.perf_counter() - t0 < 5.0
+            release.set()
+
+
+class TestSwitchInterval:
+    """The GIL switch-interval knob is process-global: schedulers must
+    share it by refcount, not clobber each other's save/restore."""
+
+    def test_refcounted_across_overlapping_schedulers(self):
+        prior = sys.getswitchinterval()
+        a = QueryScheduler(max_workers=1, gil_switch_interval=0.002)
+        b = QueryScheduler(max_workers=1, gil_switch_interval=0.003)
+        try:
+            assert sys.getswitchinterval() == pytest.approx(0.003)
+            # Non-LIFO close: A going first must NOT restore its saved
+            # value under the still-running B...
+            a.close()
+            assert sys.getswitchinterval() == pytest.approx(0.003)
+        finally:
+            b.close()
+        # ...and the last owner restores the pre-scheduler value, not
+        # some intermediate one.
+        assert sys.getswitchinterval() == pytest.approx(prior)
+
+    def test_none_leaves_the_knob_alone(self):
+        prior = sys.getswitchinterval()
+        with QueryScheduler(max_workers=1, gil_switch_interval=None):
+            assert sys.getswitchinterval() == pytest.approx(prior)
+        assert sys.getswitchinterval() == pytest.approx(prior)
 
 
 # ---------------------------------------------------------------------------

@@ -19,15 +19,19 @@ occasional 5xx, then success    fault counter resets; never quarantined
 
 from __future__ import annotations
 
+import http.client
 from typing import List, Optional
 
 import pytest
 
 from repro.exceptions import (
     APIError,
+    BadRequestError,
+    CursorError,
     QueryError,
     ServerOverloaded,
     StorageError,
+    UnknownOperationError,
     UnsupportedFeatureError,
 )
 from repro.replication.client_router import ReplicaSetClient
@@ -125,6 +129,12 @@ class TestClientFaultPropagation:
     @pytest.mark.parametrize("error", [
         QueryError("unbound variable"),           # 400-class
         UnsupportedFeatureError("no SERVICE"),    # 501
+        # APIError *subclasses* with 4xx codes are client faults too: the
+        # except-clause ordering must not eat them as transport failures
+        # (one malformed read used to eject every replica in turn).
+        BadRequestError("missing 'query' parameter"),   # 400
+        UnknownOperationError("no such op"),            # 404
+        CursorError("cursor expired"),                  # 410
     ])
     def test_request_fault_raises_without_touching_health(self, error):
         replica = always(error)
@@ -162,7 +172,8 @@ class TestTransportEjection:
     @pytest.mark.parametrize("error", [
         ConnectionRefusedError("refused"),
         TimeoutError("read timed out"),
-        APIError("server answered with non-envelope body"),
+        http.client.BadStatusLine("garbage"),     # mid-stream death
+        APIError("server answered with non-envelope body"),  # 5xx-class
     ])
     def test_transport_failure_ejects_immediately(self, error):
         dead = always(error)

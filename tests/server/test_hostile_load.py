@@ -127,7 +127,11 @@ class TestDeadlines:
 
     def test_invalid_timeout_is_a_400(self, hostile_server):
         _, server = hostile_server
-        for bad in ("banana", "-1", "0"):
+        # NaN and inf are the hostile cases: NaN defeats both ordered
+        # comparisons (deadline checks against NaN are always False) and
+        # inf defeats an uncapped default — either would grant a query
+        # with no deadline at all.
+        for bad in ("banana", "-1", "0", "nan", "NaN", "inf", "-inf"):
             status, _, body = http_get(server.base_url, CHEAP_QUERY,
                                        timeout=bad)
             assert status == 400, bad
