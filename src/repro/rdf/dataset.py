@@ -121,6 +121,13 @@ class UnionGraphView:
     def predicate_ids(self, s: int, o: int):
         return self._union_slot(lambda member: member.predicate_ids(s, o))
 
+    def node_ids(self):
+        """Every distinct subject/object id across the member snapshots."""
+        ids = set()
+        for member in self._members:
+            ids.update(member.node_ids())
+        return ids
+
     def count_ids(self, s: Optional[int] = None, p: Optional[int] = None,
                   o: Optional[int] = None) -> int:
         """Exact (deduplicated) match count for an id pattern.

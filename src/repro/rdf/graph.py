@@ -778,16 +778,19 @@ class Graph:
 
     def nodes(self) -> Iterator[Term]:
         """Iterate over every distinct subject or object term."""
-        seen: Set[int] = set()
         decode = self._dict.decode
-        for si in self._spo:
-            if si not in seen:
-                seen.add(si)
-                yield decode(si)
-        for oi in self._osp:
-            if oi not in seen:
-                seen.add(oi)
-                yield decode(oi)
+        for node_id in self.node_ids():
+            yield decode(node_id)
+
+    def node_ids(self) -> Set[int]:
+        """Every distinct subject or object id (the RDF 'node' universe).
+
+        Feeds the property-path closure iterators when both endpoints are
+        unbound; O(|subjects| + |objects|) straight off the index keys.
+        """
+        ids: Set[int] = set(self._spo)
+        ids.update(self._osp)
+        return ids
 
     # ------------------------------------------------------------------
     # Set-style operations

@@ -10,14 +10,20 @@ reproduction's knowledge graphs:
 * predicate lists (``;``) and object lists (``,``),
 * blank node labels (``_:b1``) and anonymous blank nodes (``[...]``,
   including nested predicate lists inside the brackets),
+* RDF collections ``( ... )``, desugared into the standard
+  ``rdf:first``/``rdf:rest`` chains of fresh blank nodes (``()`` is
+  ``rdf:nil``), nestable and usable in subject and object positions,
+* all four literal quoting forms — ``"..."``, ``'...'``, ``\"\"\"...\"\"\"``
+  and ``'''...'''`` (the long forms may span lines and embed unescaped
+  quotes),
 * the full string-escape repertoire in literals (``\\n``, ``\\t``, ``\\"``,
   ...) plus numeric ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes in literals *and*
   IRIs (where Turtle permits only the numeric forms),
 * comments (``# ...``).
 
 That subset is a strict superset of N-Triples, so the same parser reads both.
-Genuinely unsupported syntax (RDF collections ``(...)``, ``'``-quoted or
-triple-quoted literals) raises a :class:`~repro.exceptions.ParseError`.
+Genuinely unsupported syntax still raises a
+:class:`~repro.exceptions.ParseError`.
 """
 
 from __future__ import annotations
@@ -34,6 +40,9 @@ from repro.rdf.terms import (
     Literal,
     Term,
     Triple,
+    RDF_FIRST,
+    RDF_NIL,
+    RDF_REST,
     RDF_TYPE,
     XSD_BOOLEAN,
     XSD_DECIMAL,
@@ -55,7 +64,10 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<comment>\#[^\n]*)
   | (?P<iri><[^>]*>)
-  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<literal>"{3}(?:[^"\\]|\\.|"(?!""))*"{3}
+               |'{3}(?:[^'\\]|\\.|'(?!''))*'{3}
+               |"(?:[^"\\]|\\.)*"
+               |'(?:[^'\\]|\\.)*')
   | (?P<prefix_decl>@prefix|@base|PREFIX\b|BASE\b)
   | (?P<langtag>@[a-zA-Z][a-zA-Z0-9-]*)
   | (?P<datatype_marker>\^\^)
@@ -64,7 +76,7 @@ _TOKEN_RE = re.compile(
   | (?P<boolean>\btrue\b|\bfalse\b)
   | (?P<a_keyword>\ba\b(?!\s*:))
   | (?P<pname>[A-Za-z_][\w-]*)?:(?P<plocal>[A-Za-z0-9_](?:[\w\-/%]|\.(?=[\w\-/%]))*)?
-  | (?P<punct>[;,.\[\]])
+  | (?P<punct>[;,.\[\]()])
   | (?P<ws>\s+)
     """,
     re.VERBOSE,
@@ -305,6 +317,36 @@ class _TurtleParser:
             self._expect_punct("]")
             return node
 
+    def _parse_collection(self, line: int) -> Term:
+        """Parse ``( ... )`` (the ``(`` is already consumed) into a list head.
+
+        The collection desugars into the standard ``rdf:first``/``rdf:rest``
+        chain of fresh blank nodes, buffered on ``self._pending`` just like
+        anonymous-node bodies; the empty collection ``()`` is ``rdf:nil``
+        and produces no triples.
+        """
+        token = self._peek()
+        if token is None:
+            raise ParseError("unterminated collection", line=line)
+        if token.kind == "punct" and token.value == ")":
+            self._next()
+            return RDF_NIL
+        head = BNode()
+        node = head
+        while True:
+            item = self._parse_term(position="object")
+            self._pending.append(Triple(node, RDF_FIRST, item))
+            token = self._peek()
+            if token is None:
+                raise ParseError("unterminated collection", line=line)
+            if token.kind == "punct" and token.value == ")":
+                self._next()
+                self._pending.append(Triple(node, RDF_REST, RDF_NIL))
+                return head
+            tail = BNode()
+            self._pending.append(Triple(node, RDF_REST, tail))
+            node = tail
+
     def _parse_term(self, position: str) -> Term:
         token = self._next()
         if token.kind == "punct" and token.value == "[":
@@ -312,6 +354,11 @@ class _TurtleParser:
                 raise ParseError("an anonymous blank node cannot be a predicate",
                                  line=token.line)
             return self._parse_anon_body(token.line)
+        if token.kind == "punct" and token.value == "(":
+            if position == "predicate":
+                raise ParseError("a collection cannot be a predicate",
+                                 line=token.line)
+            return self._parse_collection(token.line)
         if token.kind == "iri":
             value = _unescape_iri(token.value[1:-1], line=token.line)
             if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", value):
@@ -327,7 +374,9 @@ class _TurtleParser:
         if token.kind == "bnode":
             return BNode(token.value[2:])
         if token.kind == "literal":
-            lexical = _unescape(token.value[1:-1], line=token.line)
+            # Long strings carry three quote characters on each side.
+            width = 3 if token.value[:3] in ('"""', "'''") else 1
+            lexical = _unescape(token.value[width:-width], line=token.line)
             nxt = self._peek()
             if nxt is not None and nxt.kind == "langtag":
                 self._next()

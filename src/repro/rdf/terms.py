@@ -29,6 +29,9 @@ __all__ = [
     "XSD_BOOLEAN",
     "RDF_TYPE",
     "RDF_LANGSTRING",
+    "RDF_FIRST",
+    "RDF_REST",
+    "RDF_NIL",
     "term_from_python",
     "python_from_term",
 ]
@@ -166,6 +169,9 @@ XSD_DOUBLE = IRI(XSD + "double")
 XSD_BOOLEAN = IRI(XSD + "boolean")
 RDF_TYPE = IRI(RDF_NS + "type")
 RDF_LANGSTRING = IRI(RDF_NS + "langString")
+RDF_FIRST = IRI(RDF_NS + "first")
+RDF_REST = IRI(RDF_NS + "rest")
+RDF_NIL = IRI(RDF_NS + "nil")
 
 _NUMERIC_DATATYPES = {XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE}
 

@@ -2,6 +2,25 @@
 
 from repro.sparql.tokenizer import Token, tokenize
 from repro.sparql.parser import SPARQLParser, parse, parse_query, parse_update
+from repro.sparql.ast import (
+    AlternativePath,
+    ClosurePattern,
+    InversePath,
+    LinkPath,
+    MulPath,
+    NegatedPath,
+    NegatedPathPattern,
+    PathExpr,
+    PathPattern,
+    SequencePath,
+)
+from repro.sparql.paths import (
+    invert_path,
+    is_fresh_path_variable,
+    normalize_path,
+    rewrite_path_pattern,
+)
+from repro.sparql.serializer import serialize_path, serialize_query
 from repro.sparql.evaluator import (
     QueryEvaluator,
     QueryPlan,
@@ -18,7 +37,12 @@ from repro.sparql.functions import (
     evaluate_expression,
 )
 from repro.sparql.results import ResultSet, Solution
-from repro.sparql.endpoint import PlanCache, QueryStatistics, SPARQLEndpoint
+from repro.sparql.endpoint import (
+    PlanCache,
+    QueryStatistics,
+    SPARQLEndpoint,
+    explain_group,
+)
 
 __all__ = [
     "Token",
@@ -27,6 +51,23 @@ __all__ = [
     "parse",
     "parse_query",
     "parse_update",
+    "PathExpr",
+    "LinkPath",
+    "InversePath",
+    "SequencePath",
+    "AlternativePath",
+    "MulPath",
+    "NegatedPath",
+    "PathPattern",
+    "ClosurePattern",
+    "NegatedPathPattern",
+    "invert_path",
+    "normalize_path",
+    "rewrite_path_pattern",
+    "is_fresh_path_variable",
+    "serialize_path",
+    "serialize_query",
+    "explain_group",
     "QueryEvaluator",
     "QueryPlan",
     "ExecutionContext",

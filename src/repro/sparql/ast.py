@@ -24,7 +24,17 @@ __all__ = [
     "ExistsExpr",
     "Aggregate",
     "SelectItem",
+    "PathExpr",
+    "LinkPath",
+    "InversePath",
+    "SequencePath",
+    "AlternativePath",
+    "MulPath",
+    "NegatedPath",
     "TriplePattern",
+    "PathPattern",
+    "ClosurePattern",
+    "NegatedPathPattern",
     "BGP",
     "FilterPattern",
     "OptionalPattern",
@@ -166,6 +176,76 @@ class SelectItem:
 
 
 # ---------------------------------------------------------------------------
+# Property-path expressions (SPARQL 1.1 section 9)
+# ---------------------------------------------------------------------------
+
+
+class PathExpr:
+    """Base class for property-path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LinkPath(PathExpr):
+    """A single predicate step (``iri``)."""
+
+    iri: IRI
+
+
+@dataclass(frozen=True)
+class InversePath(PathExpr):
+    """``^path`` — traverse ``path`` from object to subject."""
+
+    path: "PathExpr"
+
+
+@dataclass(frozen=True)
+class SequencePath(PathExpr):
+    """``p1/p2/.../pn`` — paths applied left to right."""
+
+    steps: Tuple["PathExpr", ...]
+
+
+@dataclass(frozen=True)
+class AlternativePath(PathExpr):
+    """``p1|p2|...|pn`` — union of the alternatives."""
+
+    alternatives: Tuple["PathExpr", ...]
+
+
+@dataclass(frozen=True)
+class MulPath(PathExpr):
+    """``path*``, ``path+`` or ``path?`` — closure with distinct endpoint pairs."""
+
+    path: "PathExpr"
+    modifier: str  # "*", "+" or "?"
+
+
+@dataclass(frozen=True)
+class NegatedPath(PathExpr):
+    """``!iri`` or ``!(iri1|^iri2|...)`` — a negated property set.
+
+    ``forward`` holds the excluded forward predicates, ``inverse`` the
+    excluded ``^``-prefixed predicates.  Per the SPARQL 1.1 semantics a set
+    with only forward members matches forward edges, a set with only inverse
+    members matches inverse edges, a mixed set matches both directions, and
+    the empty set ``!()`` matches every forward edge.
+    """
+
+    forward: Tuple[IRI, ...] = ()
+    inverse: Tuple[IRI, ...] = ()
+
+    @property
+    def match_forward(self) -> bool:
+        return bool(self.forward) or not self.inverse
+
+    @property
+    def match_inverse(self) -> bool:
+        return bool(self.inverse)
+
+
+# ---------------------------------------------------------------------------
 # Graph patterns
 # ---------------------------------------------------------------------------
 
@@ -185,6 +265,55 @@ class TriplePattern:
 
     def __iter__(self):
         return iter((self.subject, self.predicate, self.object))
+
+
+@dataclass
+class PathPattern:
+    """A triple pattern whose predicate position is a property path.
+
+    Produced by the parser for any non-trivial path (a bare ``iri`` path
+    collapses back into a plain :class:`TriplePattern`).  The evaluator lowers
+    it via :mod:`repro.sparql.paths` into BGPs, :class:`ClosurePattern` and
+    :class:`NegatedPathPattern` elements.
+    """
+
+    subject: Term
+    path: PathExpr
+    object: Term
+
+    def variables(self) -> List[Variable]:
+        return [t for t in (self.subject, self.object) if isinstance(t, Variable)]
+
+
+@dataclass
+class ClosurePattern:
+    """Algebra-level ``path*`` / ``path+`` / ``path?`` closure.
+
+    Produced by the path rewriter, never by the parser.  ``path`` is the
+    inverse-normalized inner path; endpoint pairs are emitted with set
+    semantics (each distinct ``(subject, object)`` pair once per input
+    solution), per the SPARQL 1.1 ALP definition.
+    """
+
+    subject: Term
+    path: PathExpr
+    modifier: str  # "*", "+" or "?"
+    object: Term
+
+    def variables(self) -> List[Variable]:
+        return [t for t in (self.subject, self.object) if isinstance(t, Variable)]
+
+
+@dataclass
+class NegatedPathPattern:
+    """Algebra-level negated property set step (bag semantics)."""
+
+    subject: Term
+    path: NegatedPath
+    object: Term
+
+    def variables(self) -> List[Variable]:
+        return [t for t in (self.subject, self.object) if isinstance(t, Variable)]
 
 
 @dataclass
@@ -239,6 +368,9 @@ class SubSelectPattern:
 
 GraphPattern = Union[
     BGP,
+    PathPattern,
+    ClosurePattern,
+    NegatedPathPattern,
     FilterPattern,
     OptionalPattern,
     UnionPattern,
@@ -274,6 +406,9 @@ class GroupPattern:
         out: List[Variable] = []
         for element in self.elements:
             if isinstance(element, (BGP,)):
+                out.extend(element.variables())
+            elif isinstance(element, (PathPattern, ClosurePattern,
+                                      NegatedPathPattern)):
                 out.extend(element.variables())
             elif isinstance(element, BindPattern):
                 out.append(element.variable)

@@ -47,18 +47,143 @@ from repro.rdf.namespace import NamespaceManager
 from repro.rdf.terms import IRI, Triple
 from repro.sparql.ast import (
     AskQuery,
+    BGP,
+    BindPattern,
+    ClosurePattern,
     ConstructQuery,
+    FilterPattern,
+    GroupPattern,
+    MinusPattern,
+    NegatedPathPattern,
+    OptionalPattern,
+    PathPattern,
     Query,
     SelectQuery,
+    SubSelectPattern,
+    UnionPattern,
     Update,
+    ValuesPattern,
 )
-from repro.sparql.evaluator import QueryEvaluator, QueryPlan
+from repro.sparql.evaluator import QueryEvaluator, QueryPlan, reorder_patterns
 from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.sparql.functions import UDFRegistry
 from repro.sparql.parser import SPARQLParser
+from repro.sparql.paths import rewrite_path_pattern
 from repro.sparql.results import ResultSet
+from repro.sparql.serializer import (
+    serialize_expression,
+    serialize_path,
+    serialize_term,
+)
 
-__all__ = ["QueryStatistics", "PlanCache", "SPARQLEndpoint"]
+__all__ = ["QueryStatistics", "PlanCache", "SPARQLEndpoint", "explain_group"]
+
+
+def _explain_triple(pattern) -> str:
+    return (f"{serialize_term(pattern.subject)} "
+            f"{serialize_term(pattern.predicate)} "
+            f"{serialize_term(pattern.object)}")
+
+
+def _explain_path_endpoints(pattern) -> Dict[str, str]:
+    return {
+        "subject": serialize_term(pattern.subject),
+        "object": serialize_term(pattern.object),
+    }
+
+
+def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
+                  optimize_joins: bool = True) -> List[Dict[str, object]]:
+    """Render a WHERE group as a list of explain-plan nodes.
+
+    Each node is a plain dict (JSON-serialisable).  BGPs show their triple
+    patterns in the join order the evaluator would pick (when ``graph`` is
+    given and ``optimize_joins`` is set); property-path patterns show both
+    the original path expression and the lowered plan it rewrites to —
+    including the streaming closure / negated-property-set iterator nodes,
+    which is how callers see that ``p+`` became a BFS closure rather than a
+    join.
+    """
+    nodes: List[Dict[str, object]] = []
+    for element in group.elements:
+        if isinstance(element, BGP):
+            patterns = list(element.triples)
+            optimized = optimize_joins and graph is not None and len(patterns) > 1
+            if optimized:
+                patterns = reorder_patterns(graph, patterns)
+            nodes.append({
+                "node": "bgp",
+                "patterns": [_explain_triple(p) for p in patterns],
+                "join_order_optimized": optimized,
+            })
+        elif isinstance(element, PathPattern):
+            rewritten, fresh = rewrite_path_pattern(element)
+            node: Dict[str, object] = {
+                "node": "path",
+                "path": serialize_path(element.path),
+            }
+            node.update(_explain_path_endpoints(element))
+            node["fresh_variables"] = sorted(v.name for v in fresh)
+            node["rewritten"] = explain_group(rewritten, graph, optimize_joins)
+            nodes.append(node)
+        elif isinstance(element, ClosurePattern):
+            node = {
+                "node": "closure",
+                "iterator": "bfs-closure",
+                "modifier": element.modifier,
+                "path": serialize_path(element.path),
+            }
+            node.update(_explain_path_endpoints(element))
+            nodes.append(node)
+        elif isinstance(element, NegatedPathPattern):
+            node = {
+                "node": "negated-property-set",
+                "path": serialize_path(element.path),
+            }
+            node.update(_explain_path_endpoints(element))
+            nodes.append(node)
+        elif isinstance(element, FilterPattern):
+            nodes.append({
+                "node": "filter",
+                "expression": serialize_expression(element.expression),
+            })
+        elif isinstance(element, OptionalPattern):
+            nodes.append({
+                "node": "optional",
+                "children": explain_group(element.pattern, graph, optimize_joins),
+            })
+        elif isinstance(element, MinusPattern):
+            nodes.append({
+                "node": "minus",
+                "children": explain_group(element.pattern, graph, optimize_joins),
+            })
+        elif isinstance(element, UnionPattern):
+            nodes.append({
+                "node": "union",
+                "branches": [explain_group(branch, graph, optimize_joins)
+                             for branch in element.alternatives],
+            })
+        elif isinstance(element, BindPattern):
+            nodes.append({
+                "node": "bind",
+                "variable": element.variable.n3(),
+                "expression": serialize_expression(element.expression),
+            })
+        elif isinstance(element, ValuesPattern):
+            nodes.append({
+                "node": "values",
+                "variables": [v.n3() for v in element.variables],
+                "rows": len(element.rows),
+            })
+        elif isinstance(element, SubSelectPattern):
+            nodes.append({
+                "node": "subselect",
+                "children": explain_group(element.query.where, graph,
+                                          optimize_joins),
+            })
+        else:  # pragma: no cover - defensive
+            nodes.append({"node": type(element).__name__})
+    return nodes
 
 
 @dataclass
@@ -530,6 +655,42 @@ class SPARQLEndpoint:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def explain(self, text: str) -> Dict[str, object]:
+        """Describe how a query would execute, without executing it.
+
+        Returns a JSON-serialisable dict with the query ``kind`` and a
+        ``plan`` tree of the WHERE group: BGP nodes list their triple
+        patterns in the optimizer's join order, and property-path patterns
+        additionally expose the lowered plan (``rewritten``) the evaluator
+        streams — fresh-variable join chains, union branches for
+        alternatives, and ``closure`` / ``negated-property-set`` iterator
+        nodes for ``*``/``+``/``?`` and ``!(...)``.
+
+        Parses through the plan cache (so ``explain`` then ``execute`` costs
+        one parse), but records no statistics and touches no data beyond the
+        cardinality counters the join optimizer reads.
+        """
+        parsed, _plan, _cache_hit = self._cached_parse(text)
+        if isinstance(parsed, list):
+            return {
+                "kind": "UPDATE",
+                "operations": [type(op).__name__ for op in parsed],
+            }
+        if isinstance(parsed, SelectQuery):
+            kind = "SELECT"
+        elif isinstance(parsed, AskQuery):
+            kind = "ASK"
+        elif isinstance(parsed, ConstructQuery):
+            kind = "CONSTRUCT"
+        else:  # pragma: no cover - defensive
+            kind = type(parsed).__name__
+        graph = self._evaluation_graph(parsed)
+        return {
+            "kind": kind,
+            "optimize_joins": self.optimize_joins,
+            "plan": explain_group(parsed.where, graph, self.optimize_joins),
+        }
+
     def last_statistics(self) -> Optional[QueryStatistics]:
         return self.history[-1] if self.history else None
 

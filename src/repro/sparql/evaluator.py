@@ -53,22 +53,31 @@ from repro.rdf.terms import (
 )
 from repro.sparql.ast import (
     Aggregate,
+    AlternativePath,
     AskQuery,
     BGP,
     BindPattern,
     ClearUpdate,
+    ClosurePattern,
     ConstructQuery,
     DeleteDataUpdate,
     Expression,
     FilterPattern,
     GroupPattern,
     InsertDataUpdate,
+    InversePath,
+    LinkPath,
     MinusPattern,
     ModifyUpdate,
+    MulPath,
+    NegatedPath,
+    NegatedPathPattern,
     OptionalPattern,
+    PathPattern,
     Query,
     SelectItem,
     SelectQuery,
+    SequencePath,
     SubSelectPattern,
     TriplePattern,
     UnionPattern,
@@ -77,6 +86,7 @@ from repro.sparql.ast import (
     VariableExpr,
 )
 from repro.sparql.execution import ExecutionContext
+from repro.sparql.paths import invert_path, normalize_path, rewrite_path_pattern
 from repro.sparql.functions import (
     EvaluationContext,
     UDFRegistry,
@@ -172,6 +182,170 @@ class _CompiledBGP:
         self.slot_vars = tuple(var_slots)  # slot index -> Variable
         self.num_slots = len(var_slots)
         self.empty = empty
+
+
+def _compile_step(graph: Graph, path):
+    """Compile a (normalized) path into an id-space successor function.
+
+    The returned callable maps ``(node_id, tick)`` to an iterable of
+    successor ids — one application of the path.  ``tick`` is the caller's
+    amortised checkpoint hook; composite steps forward it into their inner
+    loops so even a nested closure stays preemptable.  Constants the
+    dictionary has never interned simply yield no successors.
+    """
+    lookup = graph.dictionary.lookup
+    if isinstance(path, LinkPath):
+        pid = lookup(path.iri)
+        if pid is None:
+            return lambda node, tick: ()
+        object_ids = graph.object_ids
+        return lambda node, tick: object_ids(node, pid)
+    if isinstance(path, InversePath):
+        inner = path.path
+        if isinstance(inner, NegatedPath):
+            # ^!(...) traverses the negated set's matching edges in reverse;
+            # member-set swapping cannot express this (``!()`` matches every
+            # forward edge, so ``^!()`` must match every reversed edge).
+            forward_ids = {lookup(iri) for iri in inner.forward}
+            forward_ids.discard(None)
+            inverse_ids = {lookup(iri) for iri in inner.inverse}
+            inverse_ids.discard(None)
+            match_forward = inner.match_forward
+            match_inverse = inner.match_inverse
+            triples_ids = graph.triples_ids
+
+            def inverse_negated_step(node, tick):
+                out = set()
+                if match_forward:
+                    for subject, predicate, _ in triples_ids(None, None, node):
+                        tick()
+                        if predicate not in forward_ids:
+                            out.add(subject)
+                if match_inverse:
+                    for _, predicate, obj in triples_ids(node, None, None):
+                        tick()
+                        if predicate not in inverse_ids:
+                            out.add(obj)
+                return out
+
+            return inverse_negated_step
+        if not isinstance(inner, LinkPath):  # pragma: no cover - normalize_path
+            return _compile_step(graph, normalize_path(path))
+        pid = lookup(inner.iri)
+        if pid is None:
+            return lambda node, tick: ()
+        subject_ids = graph.subject_ids
+        return lambda node, tick: subject_ids(pid, node)
+    if isinstance(path, SequencePath):
+        steps = [_compile_step(graph, step) for step in path.steps]
+
+        def seq_step(node, tick):
+            frontier = {node}
+            for step in steps:
+                successors = set()
+                for member in frontier:
+                    tick()
+                    successors.update(step(member, tick))
+                frontier = successors
+                if not frontier:
+                    break
+            return frontier
+
+        return seq_step
+    if isinstance(path, AlternativePath):
+        branches = [_compile_step(graph, alt) for alt in path.alternatives]
+
+        def alt_step(node, tick):
+            out = set()
+            for branch in branches:
+                out.update(branch(node, tick))
+            return out
+
+        return alt_step
+    if isinstance(path, MulPath):
+        inner = _compile_step(graph, path.path)
+        modifier = path.modifier
+
+        def mul_step(node, tick):
+            out = set()
+            if modifier in ("*", "?"):
+                out.add(node)
+            if modifier == "?":
+                out.update(inner(node, tick))
+                return out
+            seen = set()
+            frontier = [node]
+            while frontier:
+                next_frontier = []
+                for member in frontier:
+                    tick()
+                    for successor in inner(member, tick):
+                        if successor not in seen:
+                            seen.add(successor)
+                            next_frontier.append(successor)
+                frontier = next_frontier
+            out.update(seen)
+            return out
+
+        return mul_step
+    if isinstance(path, NegatedPath):
+        forward_ids = {lookup(iri) for iri in path.forward}
+        forward_ids.discard(None)
+        inverse_ids = {lookup(iri) for iri in path.inverse}
+        inverse_ids.discard(None)
+        match_forward = path.match_forward
+        match_inverse = path.match_inverse
+        triples_ids = graph.triples_ids
+
+        def negated_step(node, tick):
+            out = set()
+            if match_forward:
+                for _, predicate, obj in triples_ids(node, None, None):
+                    tick()
+                    if predicate not in forward_ids:
+                        out.add(obj)
+            if match_inverse:
+                for subject, predicate, _ in triples_ids(None, None, node):
+                    tick()
+                    if predicate not in inverse_ids:
+                        out.add(subject)
+            return out
+
+        return negated_step
+    raise QueryError(f"unsupported path expression {type(path).__name__}")
+
+
+class _CompiledClosure:
+    """A ``*``/``+``/``?`` closure compiled to id-space step functions.
+
+    ``forward`` applies the inner path once subject→object; ``backward``
+    applies the structural inverse (used when only the object endpoint is
+    bound, so the BFS can run object→subject over the POS index instead of
+    enumerating the node universe).
+    """
+
+    __slots__ = ("forward", "backward")
+
+    def __init__(self, graph: Graph, element: ClosurePattern) -> None:
+        path = normalize_path(element.path)
+        self.forward = _compile_step(graph, path)
+        self.backward = _compile_step(graph, normalize_path(invert_path(path)))
+
+
+class _CompiledNegated:
+    """A negated property set compiled to excluded-predicate id sets."""
+
+    __slots__ = ("forward_ids", "inverse_ids", "match_forward", "match_inverse")
+
+    def __init__(self, graph: Graph, element: NegatedPathPattern) -> None:
+        lookup = graph.dictionary.lookup
+        path = element.path
+        self.forward_ids = {lookup(iri) for iri in path.forward}
+        self.forward_ids.discard(None)
+        self.inverse_ids = {lookup(iri) for iri in path.inverse}
+        self.inverse_ids.discard(None)
+        self.match_forward = path.match_forward
+        self.match_inverse = path.match_inverse
 
 
 class _PlanState:
@@ -378,6 +552,12 @@ class QueryEvaluator:
         for element in group.elements:
             if isinstance(element, BGP):
                 stream = self._stream_bgp(element, stream)
+            elif isinstance(element, PathPattern):
+                stream = self._stream_path(element, stream)
+            elif isinstance(element, ClosurePattern):
+                stream = self._stream_closure(element, stream)
+            elif isinstance(element, NegatedPathPattern):
+                stream = self._stream_negated(element, stream)
             elif isinstance(element, FilterPattern):
                 stream = self._stream_filter(element.expression, stream)
             elif isinstance(element, OptionalPattern):
@@ -397,11 +577,22 @@ class QueryEvaluator:
         return stream
 
     # -- BGP compilation ----------------------------------------------------
-    def _compiled_bgp(self, bgp: BGP) -> _CompiledBGP:
+    def _plan_store(self) -> Optional[Dict[int, object]]:
+        """The plan's compiled-pattern store for this (graph, epoch) target.
+
+        Shared by BGPs, closures and negated-set patterns: entries are keyed
+        by AST-node identity, and the store itself is keyed by (graph object,
+        mutation epoch), so every compiled artifact is epoch-invalidated the
+        same way.
+        """
         store = self._plan_state
         if store is None and self.plan is not None:
             store = self._plan_state = self.plan.state_for(
                 self.graph, self.optimize_joins).compiled
+        return store
+
+    def _compiled_bgp(self, bgp: BGP) -> _CompiledBGP:
+        store = self._plan_store()
         if store is not None:
             compiled = store.get(id(bgp))
             if compiled is not None:
@@ -412,6 +603,28 @@ class QueryEvaluator:
             # result is correct for this (graph, epoch) and the dict write
             # is atomic, so last-writer-wins is benign.
             store[id(bgp)] = compiled
+        return compiled
+
+    def _compiled_closure(self, element: ClosurePattern) -> _CompiledClosure:
+        store = self._plan_store()
+        if store is not None:
+            compiled = store.get(id(element))
+            if compiled is not None:
+                return compiled
+        compiled = _CompiledClosure(self.graph, element)
+        if store is not None:
+            store[id(element)] = compiled
+        return compiled
+
+    def _compiled_negated(self, element: NegatedPathPattern) -> _CompiledNegated:
+        store = self._plan_store()
+        if store is not None:
+            compiled = store.get(id(element))
+            if compiled is not None:
+                return compiled
+        compiled = _CompiledNegated(self.graph, element)
+        if store is not None:
+            store[id(element)] = compiled
         return compiled
 
     def _compile_bgp(self, bgp: BGP) -> _CompiledBGP:
@@ -657,6 +870,280 @@ class QueryEvaluator:
                         start_scan(level)
         finally:
             self.pattern_lookups += lookups
+
+    # -- property paths ------------------------------------------------------
+    def _stream_path(self, element: PathPattern,
+                     solutions: Iterator[Solution]) -> Iterator[Solution]:
+        """Evaluate a property-path pattern by lowering it to plain algebra.
+
+        ``seq``/``alt``/``inv`` become BGPs and unions (compiled and cached
+        like any other), ``*``/``+``/``?`` become closure iterators and
+        ``!(...)`` a negated-set scan.  Fresh join variables introduced by
+        the rewrite are stripped from emitted rows so they can never leak
+        into projections (``SELECT *`` discovers variables from rows).
+        """
+        group, fresh = rewrite_path_pattern(element)
+        stream = self._evaluate_group(group, solutions)
+        if not fresh:
+            return stream
+
+        def stripped() -> Iterator[Solution]:
+            for row in stream:
+                present = [var for var in fresh if var in row]
+                if present:
+                    row = Solution(row)
+                    for var in present:
+                        del row[var]
+                yield row
+
+        return stripped()
+
+    def _stream_closure(self, element: ClosurePattern,
+                        solutions: Iterator[Solution]) -> Iterator[Solution]:
+        """Streaming id-space BFS closure (``path*`` / ``path+`` / ``path?``).
+
+        Per the SPARQL 1.1 ALP semantics each input solution contributes
+        every *distinct* endpoint pair once; a bound subject runs a forward
+        BFS over the SPO index, a bound object a backward BFS over POS via
+        the inverted path, and two unbound endpoints enumerate the node
+        universe.  Zero-length paths (``*``/``?``) match a bound endpoint
+        even when the term is absent from the graph.  The frontier loop
+        ticks the execution context's amortised checkpoint, so closures over
+        cycle-heavy graphs honor deadline/cancel/budget and can be sliced by
+        the scheduler.
+        """
+        compiled = self._compiled_closure(element)
+        graph = self.graph
+        dictionary = graph.dictionary
+        lookup = dictionary.lookup
+        decode = dictionary.decode
+        execution = self.execution
+        checkpoint = execution.checkpoint if execution is not None else None
+        ticks = 0
+
+        def tick() -> None:
+            nonlocal ticks
+            ticks += 1
+            if checkpoint is not None and not ticks & 255:
+                checkpoint(256)
+
+        modifier = element.modifier
+        subject = element.subject
+        object_ = element.object
+        s_is_var = isinstance(subject, Variable)
+        o_is_var = isinstance(object_, Variable)
+        same_var = s_is_var and o_is_var and subject is object_
+
+        def directed(step, solution: Solution, start_term: Term,
+                     end_term: Optional[Term],
+                     bind_var: Optional[Variable]) -> Iterator[Solution]:
+            """Emit pairs from a closure anchored at ``start_term``."""
+            start_id = lookup(start_term)
+            end_id = None
+            if modifier in ("*", "?"):
+                # Zero-length path: the bound endpoint matches itself even
+                # when the term does not occur in the graph.
+                if end_term is not None:
+                    if end_term == start_term:
+                        yield Solution(solution)
+                else:
+                    row = Solution(solution)
+                    row[bind_var] = start_term
+                    yield row
+            if start_id is None:
+                return  # unknown term: no edges, zero-length handled above
+            if end_term is not None:
+                end_id = lookup(end_term)
+                if end_id is None:
+                    return
+            if modifier == "?":
+                seen = set()
+                for successor in step(start_id, tick):
+                    tick()
+                    if successor in seen:
+                        continue
+                    seen.add(successor)
+                    if successor == start_id:
+                        continue  # (x, x) already emitted as zero-length
+                    if end_id is not None:
+                        if successor == end_id:
+                            yield Solution(solution)
+                            return
+                    else:
+                        row = Solution(solution)
+                        row[bind_var] = decode(successor)
+                        yield row
+                return
+            skip_start = modifier == "*"
+            seen = set()
+            frontier = [start_id]
+            while frontier:
+                next_frontier = []
+                for node in frontier:
+                    tick()
+                    for successor in step(node, tick):
+                        tick()
+                        if successor in seen:
+                            continue
+                        seen.add(successor)
+                        next_frontier.append(successor)
+                        if skip_start and successor == start_id:
+                            continue  # zero-length pair already emitted
+                        if end_id is not None:
+                            if successor == end_id:
+                                yield Solution(solution)
+                                return
+                        else:
+                            row = Solution(solution)
+                            row[bind_var] = decode(successor)
+                            yield row
+                frontier = next_frontier
+
+        def unbound_pairs(solution: Solution) -> Iterator[Solution]:
+            """Both endpoints unbound: every node of the graph is a start."""
+            step = compiled.forward
+            for node in self._node_ids(graph):
+                tick()
+                if modifier in ("*", "?"):
+                    term = decode(node)
+                    row = Solution(solution)
+                    row[subject] = term
+                    if not same_var:
+                        row[object_] = term
+                    yield row
+                if modifier == "?":
+                    seen = set()
+                    for successor in step(node, tick):
+                        tick()
+                        if successor in seen or successor == node:
+                            continue
+                        seen.add(successor)
+                        if same_var:
+                            continue  # needs successor == node, emitted above
+                        row = Solution(solution)
+                        row[subject] = decode(node)
+                        row[object_] = decode(successor)
+                        yield row
+                    continue
+                seen = set()
+                frontier = [node]
+                while frontier:
+                    next_frontier = []
+                    for member in frontier:
+                        tick()
+                        for successor in step(member, tick):
+                            tick()
+                            if successor in seen:
+                                continue
+                            seen.add(successor)
+                            next_frontier.append(successor)
+                            if modifier == "*" and successor == node:
+                                continue  # zero-length pair already emitted
+                            if same_var:
+                                if successor == node:
+                                    row = Solution(solution)
+                                    row[subject] = decode(node)
+                                    yield row
+                                continue
+                            row = Solution(solution)
+                            row[subject] = decode(node)
+                            row[object_] = decode(successor)
+                            yield row
+                    frontier = next_frontier
+
+        for solution in solutions:
+            if checkpoint is not None:
+                checkpoint()
+            s_term = solution.get(subject) if s_is_var else subject
+            o_term = solution.get(object_) if o_is_var else object_
+            if s_term is not None:
+                yield from directed(compiled.forward, solution, s_term, o_term,
+                                    object_ if o_term is None else None)
+            elif o_term is not None:
+                yield from directed(compiled.backward, solution, o_term, None,
+                                    subject)
+            else:
+                yield from unbound_pairs(solution)
+
+    def _stream_negated(self, element: NegatedPathPattern,
+                        solutions: Iterator[Solution]) -> Iterator[Solution]:
+        """Negated property set: scan edges whose predicate is not excluded.
+
+        Bag semantics (one row per matching triple per direction), matching
+        the SPARQL 1.1 definition where ``!(...)`` is an edge step, not a
+        closure.
+        """
+        compiled = self._compiled_negated(element)
+        graph = self.graph
+        dictionary = graph.dictionary
+        lookup = dictionary.lookup
+        decode = dictionary.decode
+        triples_ids = graph.triples_ids
+        execution = self.execution
+        checkpoint = execution.checkpoint if execution is not None else None
+        ticks = 0
+        subject = element.subject
+        object_ = element.object
+        s_is_var = isinstance(subject, Variable)
+        o_is_var = isinstance(object_, Variable)
+        same_var = s_is_var and o_is_var and subject is object_
+        forward_ids = compiled.forward_ids
+        inverse_ids = compiled.inverse_ids
+
+        for solution in solutions:
+            if checkpoint is not None:
+                checkpoint()
+            s_term = solution.get(subject) if s_is_var else subject
+            o_term = solution.get(object_) if o_is_var else object_
+            s_id = lookup(s_term) if s_term is not None else None
+            o_id = lookup(o_term) if o_term is not None else None
+            if (s_term is not None and s_id is None) or \
+                    (o_term is not None and o_id is None):
+                continue  # bound to a term the store has never seen
+            if compiled.match_forward:
+                for s, predicate, o in triples_ids(s_id, None, o_id):
+                    ticks += 1
+                    if checkpoint is not None and not ticks & 255:
+                        checkpoint(256)
+                    if predicate in forward_ids:
+                        continue
+                    if same_var and s != o:
+                        continue
+                    row = Solution(solution)
+                    if s_term is None:
+                        row[subject] = decode(s)
+                    if o_term is None and not same_var:
+                        row[object_] = decode(o)
+                    yield row
+            if compiled.match_inverse:
+                # The path matches (s, o) when a triple (o, p, s) exists
+                # with p outside the inverse exclusion set.
+                for o, predicate, s in triples_ids(o_id, None, s_id):
+                    ticks += 1
+                    if checkpoint is not None and not ticks & 255:
+                        checkpoint(256)
+                    if predicate in inverse_ids:
+                        continue
+                    if same_var and s != o:
+                        continue
+                    row = Solution(solution)
+                    if s_term is None:
+                        row[subject] = decode(s)
+                    if o_term is None and not same_var:
+                        row[object_] = decode(o)
+                    yield row
+
+    @staticmethod
+    def _node_ids(graph: Graph):
+        """All subject/object ids of the graph (the RDF 'node' universe)."""
+        node_ids = getattr(graph, "node_ids", None)
+        if node_ids is not None:
+            return node_ids()
+        out = set()
+        for s, _, o in graph.triples_ids(None, None, None):
+            out.add(s)
+            out.add(o)
+        return out
 
     def _stream_filter(self, expression: Expression,
                        solutions: Iterator[Solution]) -> Iterator[Solution]:

@@ -31,6 +31,7 @@ from repro.rdf.terms import (
 )
 from repro.sparql.ast import (
     Aggregate,
+    AlternativePath,
     AskQuery,
     BGP,
     BinaryOp,
@@ -46,11 +47,18 @@ from repro.sparql.ast import (
     GroupPattern,
     InExpr,
     InsertDataUpdate,
+    InversePath,
+    LinkPath,
     MinusPattern,
     ModifyUpdate,
+    MulPath,
+    NegatedPath,
     OptionalPattern,
     OrderCondition,
+    PathExpr,
+    PathPattern,
     Query,
+    SequencePath,
     SelectItem,
     SelectQuery,
     SubSelectPattern,
@@ -366,6 +374,10 @@ class SPARQLParser:
                 # DELETE WHERE { pattern }: pattern doubles as delete template.
                 self._next()
                 where = self._parse_group_pattern()
+                if _group_contains_path(where):
+                    raise UnsupportedFeatureError(
+                        "property paths are not allowed in a DELETE WHERE "
+                        "template; use DELETE {...} WHERE {...} instead")
                 template = [TriplePattern(*t) for t in where.triple_patterns()]
                 return ModifyUpdate(delete_template=template, insert_template=[],
                                     where=where, graph=with_graph,
@@ -409,7 +421,8 @@ class SPARQLParser:
             self._expect_punct("{")
         triples: List[TriplePattern] = []
         while not self._at_punct("}") and self._peek().kind != "EOF":
-            triples.extend(self._parse_triples_same_subject())
+            # Templates are ground-able patterns: property paths are rejected.
+            triples.extend(self._parse_triples_same_subject(allow_paths=False))
             if self._at_punct("."):
                 self._next()
         if braced:
@@ -501,10 +514,15 @@ class SPARQLParser:
                 flush()
                 group.elements.extend(nested.elements)
                 continue
-            # Otherwise: triples.
-            if current_bgp is None:
-                current_bgp = BGP()
-            current_bgp.triples.extend(self._parse_triples_same_subject())
+            # Otherwise: triples (possibly with property-path predicates).
+            for item in self._parse_triples_same_subject():
+                if isinstance(item, PathPattern):
+                    flush()
+                    group.elements.append(item)
+                else:
+                    if current_bgp is None:
+                        current_bgp = BGP()
+                    current_bgp.triples.append(item)
             if self._at_punct("."):
                 self._next()
         flush()
@@ -544,14 +562,19 @@ class SPARQLParser:
             self._next()
         return ValuesPattern(variables, rows)
 
-    def _parse_triples_same_subject(self) -> List[TriplePattern]:
+    def _parse_triples_same_subject(
+            self, allow_paths: bool = True,
+    ) -> List[Union[TriplePattern, PathPattern]]:
         subject = self._parse_term(position="subject")
-        triples: List[TriplePattern] = []
+        triples: List[Union[TriplePattern, PathPattern]] = []
         while True:
-            predicate = self._parse_term(position="predicate")
+            predicate = self._parse_verb(allow_paths)
             while True:
                 obj = self._parse_term(position="object")
-                triples.append(TriplePattern(subject, predicate, obj))
+                if isinstance(predicate, PathExpr):
+                    triples.append(PathPattern(subject, predicate, obj))
+                else:
+                    triples.append(TriplePattern(subject, predicate, obj))
                 if self._at_punct(","):
                     self._next()
                     continue
@@ -563,6 +586,104 @@ class SPARQLParser:
                 continue
             break
         return triples
+
+    def _parse_verb(self, allow_paths: bool) -> Union[Term, PathExpr]:
+        """Parse the predicate position: a variable, an IRI, or a path."""
+        token = self._peek()
+        if token.kind == "VAR":
+            self._next()
+            return Variable(token.value)
+        if not allow_paths:
+            return self._parse_term(position="predicate")
+        path = self._parse_path()
+        if isinstance(path, LinkPath):
+            # A trivial path is a plain predicate: keep the seed TriplePattern
+            # shape so plan caching and the SPARQL-ML rewriter see no change.
+            return path.iri
+        return path
+
+    # ------------------------------------------------------------------
+    # Property paths (SPARQL 1.1 section 9)
+    # ------------------------------------------------------------------
+    def _parse_path(self) -> PathExpr:
+        branches = [self._parse_path_sequence()]
+        while self._at_punct("|"):
+            self._next()
+            branches.append(self._parse_path_sequence())
+        if len(branches) == 1:
+            return branches[0]
+        return AlternativePath(tuple(branches))
+
+    def _parse_path_sequence(self) -> PathExpr:
+        steps = [self._parse_path_elt_or_inverse()]
+        while self._at_punct("/"):
+            self._next()
+            steps.append(self._parse_path_elt_or_inverse())
+        if len(steps) == 1:
+            return steps[0]
+        return SequencePath(tuple(steps))
+
+    def _parse_path_elt_or_inverse(self) -> PathExpr:
+        if self._at_punct("^"):
+            self._next()
+            return InversePath(self._parse_path_elt())
+        return self._parse_path_elt()
+
+    def _parse_path_elt(self) -> PathExpr:
+        primary = self._parse_path_primary()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("*", "+", "?"):
+            self._next()
+            return MulPath(primary, token.value)
+        return primary
+
+    def _parse_path_primary(self) -> PathExpr:
+        token = self._peek()
+        if self._at_punct("("):
+            self._next()
+            path = self._parse_path()
+            self._expect_punct(")")
+            return path
+        if self._at_punct("!"):
+            self._next()
+            return self._parse_negated_property_set()
+        if token.kind == "KEYWORD" and token.value == "A":
+            self._next()
+            return LinkPath(RDF_TYPE)
+        if token.kind in ("IRI", "QNAME"):
+            return LinkPath(self._parse_iri())
+        raise self._error(
+            f"expected a predicate or property path, got {token.value!r}", token)
+
+    def _parse_negated_property_set(self) -> NegatedPath:
+        forward: List[IRI] = []
+        inverse: List[IRI] = []
+
+        def one_member() -> None:
+            if self._at_punct("^"):
+                self._next()
+                inverse.append(self._parse_path_iri_or_a())
+            else:
+                forward.append(self._parse_path_iri_or_a())
+
+        if self._at_punct("("):
+            self._next()
+            while not self._at_punct(")"):
+                one_member()
+                if self._at_punct("|"):
+                    self._next()
+                elif not self._at_punct(")"):
+                    raise self._error("expected '|' or ')' in negated property set")
+            self._next()
+        else:
+            one_member()
+        return NegatedPath(tuple(forward), tuple(inverse))
+
+    def _parse_path_iri_or_a(self) -> IRI:
+        if self._at_keyword("A"):
+            self._next()
+            return RDF_TYPE
+        return self._parse_iri()
 
     # ------------------------------------------------------------------
     # Terms
@@ -793,6 +914,19 @@ class SPARQLParser:
 # ---------------------------------------------------------------------------
 # Module-level helpers
 # ---------------------------------------------------------------------------
+
+def _group_contains_path(group: GroupPattern) -> bool:
+    for element in group.elements:
+        if isinstance(element, PathPattern):
+            return True
+        if isinstance(element, (OptionalPattern, MinusPattern)):
+            if _group_contains_path(element.pattern):
+                return True
+        if isinstance(element, UnionPattern):
+            if any(_group_contains_path(alt) for alt in element.alternatives):
+                return True
+    return False
+
 
 def parse_query(text: str, namespaces: Optional[NamespaceManager] = None) -> Query:
     """Parse a SPARQL query string into its AST."""

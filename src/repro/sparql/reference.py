@@ -12,9 +12,17 @@ verbatim for two jobs:
   streaming pipeline's BGP-join throughput as a speedup over this baseline.
 
 It only touches the public term-level :class:`~repro.rdf.graph.Graph` API
-(``triples`` / ``count``), so it keeps working unchanged on top of the
-dictionary-encoded store.  Do not optimise this module; its value is that it
-does not change.
+(``triples`` / ``count`` / ``nodes``), so it keeps working unchanged on top
+of the dictionary-encoded store.  Do not optimise this module; its value is
+that it does not change.
+
+One deliberate extension: a *naive fixed-point property-path evaluator*
+(:meth:`ReferenceQueryEvaluator._path_pairs`) serving as the differential
+oracle for the streaming closure iterators.  It evaluates paths entirely in
+term space by materialising endpoint-pair bags (sets for ``*``/``+``/``?``,
+per the SPARQL 1.1 ALP distinct-pair semantics) — a completely different
+code path from the id-space BFS rewrite in the streaming evaluator, which is
+exactly what makes the differential suite meaningful.
 """
 
 from __future__ import annotations
@@ -26,16 +34,24 @@ from repro.rdf.graph import Graph
 from repro.rdf.terms import Literal, Term, Triple, Variable, XSD_DOUBLE, XSD_INTEGER
 from repro.sparql.ast import (
     Aggregate,
+    AlternativePath,
     AskQuery,
     BGP,
     BindPattern,
     ConstructQuery,
     FilterPattern,
     GroupPattern,
+    InversePath,
+    LinkPath,
     MinusPattern,
+    MulPath,
+    NegatedPath,
     OptionalPattern,
+    PathExpr,
+    PathPattern,
     Query,
     SelectQuery,
+    SequencePath,
     SubSelectPattern,
     TriplePattern,
     UnionPattern,
@@ -149,6 +165,8 @@ class ReferenceQueryEvaluator:
         for element in group.elements:
             if isinstance(element, BGP):
                 solutions = self._evaluate_bgp(element, solutions)
+            elif isinstance(element, PathPattern):
+                solutions = self._evaluate_path_pattern(element, solutions)
             elif isinstance(element, FilterPattern):
                 solutions = [
                     sol for sol in solutions
@@ -215,6 +233,115 @@ class ReferenceQueryEvaluator:
                 if extended is not None:
                     results.append(extended)
         return results
+
+    # -- property paths (naive fixed-point oracle) ---------------------------
+    def _evaluate_path_pattern(self, pattern: PathPattern,
+                               solutions: List[Solution]) -> List[Solution]:
+        """Join a property-path pattern by materialising endpoint pairs."""
+        results: List[Solution] = []
+        for solution in solutions:
+            s = _resolve(pattern.subject, solution)
+            o = _resolve(pattern.object, solution)
+            for x, y in self._path_pairs(pattern.path, s, o):
+                extended = Solution(solution)
+                compatible = True
+                for term, value in ((pattern.subject, x), (pattern.object, y)):
+                    if isinstance(term, Variable):
+                        existing = extended.get(term)
+                        if existing is not None and existing != value:
+                            compatible = False
+                            break
+                        extended[term] = value
+                    elif term != value:
+                        compatible = False
+                        break
+                if compatible:
+                    results.append(extended)
+        return results
+
+    def _path_pairs(self, path: PathExpr, s: Optional[Term],
+                    o: Optional[Term]) -> List[Tuple[Term, Term]]:
+        """All ``(subject, object)`` pairs matching ``path``.
+
+        Bag semantics for ``seq``/``alt``/``inv``/``!(...)`` (one entry per
+        derivation), set semantics for ``*``/``+``/``?`` closures.  ``s``/``o``
+        anchor the search when bound; ``None`` leaves the endpoint free.
+        """
+        graph = self.graph
+        if isinstance(path, LinkPath):
+            return [(t.subject, t.object)
+                    for t in graph.triples(s, path.iri, o)]
+        if isinstance(path, InversePath):
+            return [(y, x) for (x, y) in self._path_pairs(path.path, o, s)]
+        if isinstance(path, SequencePath):
+            steps = path.steps
+            last_index = len(steps) - 1
+            pairs = self._path_pairs(steps[0], s, o if last_index == 0 else None)
+            for index in range(1, len(steps)):
+                target = o if index == last_index else None
+                joined: List[Tuple[Term, Term]] = []
+                for x, mid in pairs:
+                    for _, y in self._path_pairs(steps[index], mid, target):
+                        joined.append((x, y))
+                pairs = joined
+                if not pairs:
+                    break
+            return pairs
+        if isinstance(path, AlternativePath):
+            out: List[Tuple[Term, Term]] = []
+            for alternative in path.alternatives:
+                out.extend(self._path_pairs(alternative, s, o))
+            return out
+        if isinstance(path, MulPath):
+            return self._closure_pairs(path, s, o)
+        if isinstance(path, NegatedPath):
+            out = []
+            if path.match_forward:
+                for t in graph.triples(s, None, o):
+                    if t.predicate not in path.forward:
+                        out.append((t.subject, t.object))
+            if path.match_inverse:
+                for t in graph.triples(o, None, s):
+                    if t.predicate not in path.inverse:
+                        out.append((t.object, t.subject))
+            return out
+        raise QueryError(f"unsupported path expression {type(path).__name__}")
+
+    def _closure_pairs(self, path: MulPath, s: Optional[Term],
+                       o: Optional[Term]) -> List[Tuple[Term, Term]]:
+        """Fixed-point evaluation of ``*``/``+``/``?`` (distinct pairs)."""
+        modifier = path.modifier
+        inner = path.path
+        if s is not None:
+            starts = [s]
+        else:
+            starts = list(self.graph.nodes())
+            if o is not None and o not in starts:
+                # A zero-length path can match an object term that never
+                # occurs in the graph.
+                starts.append(o)
+        pairs = set()
+        for start in starts:
+            if modifier in ("*", "?"):
+                pairs.add((start, start))
+            if modifier == "?":
+                for _, y in self._path_pairs(inner, start, None):
+                    pairs.add((start, y))
+                continue
+            visited = set()
+            frontier = [start]
+            while frontier:
+                next_frontier = []
+                for node in frontier:
+                    for _, y in self._path_pairs(inner, node, None):
+                        if y not in visited:
+                            visited.add(y)
+                            next_frontier.append(y)
+                frontier = next_frontier
+            for y in visited:
+                pairs.add((start, y))
+        return [(x, y) for (x, y) in pairs
+                if (s is None or x == s) and (o is None or y == o)]
 
     def _evaluate_optional(self, element: OptionalPattern,
                            solutions: List[Solution]) -> List[Solution]:

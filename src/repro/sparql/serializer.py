@@ -15,6 +15,7 @@ from repro.exceptions import QueryError
 from repro.rdf.terms import Term, Variable
 from repro.sparql.ast import (
     Aggregate,
+    AlternativePath,
     AskQuery,
     BGP,
     BinaryOp,
@@ -27,11 +28,18 @@ from repro.sparql.ast import (
     FunctionCall,
     GroupPattern,
     InExpr,
+    InversePath,
+    LinkPath,
     MinusPattern,
+    MulPath,
+    NegatedPath,
     OptionalPattern,
     OrderCondition,
+    PathExpr,
+    PathPattern,
     SelectItem,
     SelectQuery,
+    SequencePath,
     SubSelectPattern,
     TriplePattern,
     UnaryOp,
@@ -43,6 +51,7 @@ from repro.sparql.ast import (
 __all__ = [
     "serialize_term",
     "serialize_expression",
+    "serialize_path",
     "serialize_group",
     "serialize_select",
     "serialize_query",
@@ -85,8 +94,56 @@ def serialize_expression(expr: Expression) -> str:
     raise QueryError(f"cannot serialize expression node {type(expr).__name__}")
 
 
+def serialize_path(path: PathExpr) -> str:
+    """Render a property path with the minimal parenthesisation that
+    round-trips through the parser's precedence (alt < seq < inverse/mod)."""
+    if isinstance(path, LinkPath):
+        return path.iri.n3()
+    if isinstance(path, InversePath):
+        inner = serialize_path(path.path)
+        # Nested inverses need parentheses: '^^' lexes as the datatype
+        # marker, and the grammar only allows '^' before a path *element*.
+        if isinstance(path.path, (SequencePath, AlternativePath, InversePath)):
+            inner = f"({inner})"
+        return f"^{inner}"
+    if isinstance(path, SequencePath):
+        parts = []
+        for step in path.steps:
+            text = serialize_path(step)
+            if isinstance(step, (AlternativePath, SequencePath)):
+                text = f"({text})"
+            parts.append(text)
+        return "/".join(parts)
+    if isinstance(path, AlternativePath):
+        parts = []
+        for alternative in path.alternatives:
+            text = serialize_path(alternative)
+            if isinstance(alternative, AlternativePath):
+                text = f"({text})"
+            parts.append(text)
+        return "|".join(parts)
+    if isinstance(path, MulPath):
+        inner = serialize_path(path.path)
+        if isinstance(path.path, (SequencePath, AlternativePath, InversePath,
+                                  MulPath)):
+            inner = f"({inner})"
+        return f"{inner}{path.modifier}"
+    if isinstance(path, NegatedPath):
+        members = [iri.n3() for iri in path.forward]
+        members.extend(f"^{iri.n3()}" for iri in path.inverse)
+        if len(members) == 1 and not path.inverse:
+            return f"!{members[0]}"
+        return f"!({'|'.join(members)})"
+    raise QueryError(f"cannot serialize path node {type(path).__name__}")
+
+
 def _serialize_triple(pattern: TriplePattern) -> str:
     return (f"{serialize_term(pattern.subject)} {serialize_term(pattern.predicate)} "
+            f"{serialize_term(pattern.object)} .")
+
+
+def _serialize_path_pattern(pattern: PathPattern) -> str:
+    return (f"{serialize_term(pattern.subject)} {serialize_path(pattern.path)} "
             f"{serialize_term(pattern.object)} .")
 
 
@@ -98,6 +155,8 @@ def serialize_group(group: GroupPattern, indent: int = 0) -> str:
         if isinstance(element, BGP):
             for triple in element.triples:
                 lines.append(inner_pad + _serialize_triple(triple))
+        elif isinstance(element, PathPattern):
+            lines.append(inner_pad + _serialize_path_pattern(element))
         elif isinstance(element, FilterPattern):
             lines.append(inner_pad + f"FILTER({serialize_expression(element.expression)})")
         elif isinstance(element, OptionalPattern):

@@ -58,11 +58,18 @@ _TOKEN_RE = re.compile(
   | (?P<langtag>@[a-zA-Z][a-zA-Z0-9-]*)
   | (?P<double_caret>\^\^)
   | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
-  | (?P<qname>[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z0-9_](?:[A-Za-z0-9_\-/%]|\.(?=[A-Za-z0-9_\-/%]))*
+    # Local names may contain '/' (KGNet-style IRIs like dblp:paper/1), but a
+    # '/' that starts another prefixed name is a property-path sequence
+    # operator (ex:p/ex:q), so it must not be swallowed into the local name.
+  | (?P<qname>[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z0-9_](?:[A-Za-z0-9_\-%]
+                                                   |/(?=[A-Za-z0-9_%\-/])(?!(?:[A-Za-z_][A-Za-z0-9_-]*)?:)
+                                                   |\.(?=[A-Za-z0-9_\-/%]))*
               |[A-Za-z_][A-Za-z0-9_-]*:
-              |:[A-Za-z0-9_](?:[A-Za-z0-9_\-/%]|\.(?=[A-Za-z0-9_\-/%]))*)
+              |:[A-Za-z0-9_](?:[A-Za-z0-9_\-%]
+                             |/(?=[A-Za-z0-9_%\-/])(?!(?:[A-Za-z_][A-Za-z0-9_-]*)?:)
+                             |\.(?=[A-Za-z0-9_\-/%]))*)
   | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
-  | (?P<op><=|>=|!=|&&|\|\||[=<>!+\-*/])
+  | (?P<op><=|>=|!=|&&|\|\||[=<>!+\-*/^|?])
   | (?P<punct>[{}()\[\].,;])
   | (?P<ws>\s+)
     """,

@@ -228,9 +228,11 @@ class TestAnonymousBlankNodes:
         with pytest.raises(ParseError):
             parse_turtle(f"<{self.EX}a> <{self.EX}p> [ <{self.EX}q> 1 .")
 
-    def test_collections_still_unsupported_with_clear_error(self):
-        with pytest.raises(ParseError):
-            parse_turtle(f"<{self.EX}a> <{self.EX}p> ( 1 2 ) .")
+    def test_collections_now_parse(self):
+        # Formerly a pinned gap; collections expand to rdf:first/rdf:rest
+        # chains (full coverage in test_turtle_collections.py).
+        graph = parse_turtle(f"<{self.EX}a> <{self.EX}p> ( 1 2 ) .")
+        assert len(graph) == 5  # link + 2 chain triples per item
 
 
 class TestStreamingIterator:

@@ -1,0 +1,170 @@
+"""Turtle RDF collections ``( ... )`` and long/short quoted literals.
+
+The satellite contract: collections expand to ``rdf:first``/``rdf:rest``
+chains terminated by ``rdf:nil`` (``()`` *is* ``rdf:nil``), nest, work in
+subject and object position, and are rejected as predicates; literals lex
+in all four quote forms (``"…"``, ``'…'``, ``\"\"\"…\"\"\"``, ``'''…'''``)
+with raw newlines and embedded quotes inside the long forms; and everything
+round-trips through the serializers (property-tested — the writers escape
+into the short form, so equality is on triple sets, not surface syntax).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.io import (
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    RDF_FIRST,
+    RDF_NIL,
+    RDF_REST,
+    Triple,
+)
+
+S, P = "<http://e/s>", "<http://e/p>"
+
+
+def triples(text: str):
+    return set(parse_turtle(text))
+
+
+def chain_items(graph: Graph, head):
+    """Walk an rdf:first/rdf:rest chain, asserting well-formedness."""
+    items = []
+    node = head
+    while node != RDF_NIL:
+        firsts = [t.object for t in graph if t.subject == node
+                  and t.predicate == RDF_FIRST]
+        rests = [t.object for t in graph if t.subject == node
+                 and t.predicate == RDF_REST]
+        assert len(firsts) == 1 and len(rests) == 1
+        items.append(firsts[0])
+        node = rests[0]
+    return items
+
+
+class TestCollections:
+    def test_empty_collection_is_rdf_nil(self):
+        graph = parse_turtle(f"{S} {P} () .")
+        assert set(graph) == {Triple(IRI("http://e/s"), IRI("http://e/p"),
+                                     RDF_NIL)}
+
+    def test_collection_expands_to_first_rest_chain(self):
+        graph = parse_turtle(f'{S} {P} (<http://e/a> "b" 3) .')
+        roots = [t.object for t in graph if t.predicate == IRI("http://e/p")]
+        assert len(roots) == 1 and isinstance(roots[0], BNode)
+        items = chain_items(graph, roots[0])
+        assert items[0] == IRI("http://e/a")
+        assert items[1] == Literal("b")
+        assert items[2].lexical == "3"
+        # 1 link triple + 2 chain triples per item.
+        assert len(graph) == 1 + 2 * 3
+
+    def test_nested_collections(self):
+        graph = parse_turtle(f"{S} {P} (<http://e/a> (<http://e/b>) ()) .")
+        root = next(t.object for t in graph
+                    if t.predicate == IRI("http://e/p"))
+        outer = chain_items(graph, root)
+        assert outer[0] == IRI("http://e/a")
+        assert chain_items(graph, outer[1]) == [IRI("http://e/b")]
+        assert outer[2] == RDF_NIL
+
+    def test_collection_as_subject(self):
+        graph = parse_turtle(f"(<http://e/a>) {P} <http://e/o> .")
+        links = [t for t in graph if t.predicate == IRI("http://e/p")]
+        assert len(links) == 1 and isinstance(links[0].subject, BNode)
+        assert chain_items(graph, links[0].subject) == [IRI("http://e/a")]
+
+    def test_collection_in_predicate_position_rejected(self):
+        with pytest.raises(ParseError, match="predicate"):
+            parse_turtle(f"{S} (<http://e/a>) <http://e/o> .")
+
+    def test_unterminated_collection_rejected(self):
+        with pytest.raises(ParseError, match="unterminated collection"):
+            parse_turtle(f"{S} {P} (<http://e/a>")
+
+    def test_statement_dot_inside_collection_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f"{S} {P} (<http://e/a> .")
+
+
+class TestQuoteForms:
+    def only_object(self, text: str):
+        graph = parse_turtle(text)
+        assert len(graph) == 1
+        return next(iter(graph)).object
+
+    @pytest.mark.parametrize("quoted,expected", [
+        ('"plain"', "plain"),
+        ("'single'", "single"),
+        ('"""long double"""', "long double"),
+        ("'''long single'''", "long single"),
+        ('"""has "inner" quotes"""', 'has "inner" quotes'),
+        ("'''has 'inner' quotes'''", "has 'inner' quotes"),
+        ('"""line one\nline two"""', "line one\nline two"),
+        ("'''tab\tkept'''", "tab\tkept"),
+        ('"""\\u0041"""', "A"),           # escapes still decode in long form
+        ('""""""', ""),                    # empty long string
+        ('"it\'s"', "it's"),               # other quote char is literal
+        ("'say \"hi\"'", 'say "hi"'),
+    ])
+    def test_lexical_forms(self, quoted, expected):
+        assert self.only_object(f"{S} {P} {quoted} .") == Literal(expected)
+
+    def test_long_string_with_language_and_datatype(self):
+        assert self.only_object(f"{S} {P} '''caf\\u00e9'''@fr .") == \
+            Literal("café", language="fr")
+        value = self.only_object(
+            f'{S} {P} """3"""^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        assert value.lexical == "3"
+
+    def test_unterminated_long_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse_turtle(f'{S} {P} """never closed .')
+
+
+#: Text strategy exercising every character class the quote forms fight
+#: over: both quote chars, backslashes, raw newlines/tabs and astral chars.
+_texts = st.text(
+    alphabet=st.sampled_from(list("ab\"'\\\n\t é😀")), max_size=12)
+_terms = st.one_of(
+    st.builds(Literal, _texts),
+    st.builds(lambda t: Literal(t, language="en"), _texts),
+    st.integers(0, 5).map(lambda i: IRI(f"http://e/i{i}")),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(_terms, max_size=6))
+    def test_turtle_round_trip_preserves_triples(self, objects):
+        graph = Graph()
+        for index, obj in enumerate(objects):
+            graph.add(Triple(IRI("http://e/s"), IRI(f"http://e/p{index}"),
+                             obj))
+        assert set(parse_turtle(serialize_turtle(graph))) == set(graph)
+        assert set(parse_ntriples(serialize_ntriples(graph))) == set(graph)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(_texts)
+    def test_long_form_source_parses_to_same_literal_as_short(self, text):
+        # Any text free of the closing delimiter can be embedded verbatim in
+        # a long string; compare against the escaped short form.
+        if '"""' in text or text.endswith('"') or "\\" in text:
+            return
+        long_form = parse_turtle(f'{S} {P} """{text}""" .')
+        assert next(iter(long_form)).object == Literal(text)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Run the property-path conformance corpus and emit a JSON report.
+
+The CI ``path-conformance`` job runs this against BOTH evaluators and
+uploads the report as a build artifact, so a conformance regression is
+visible as a diffable document, not just a red test:
+
+    PYTHONPATH=src python tests/sparql/run_path_corpus.py \
+        --output path-conformance-report.json
+
+Exit status is non-zero if any case fails on either engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.rdf.io import parse_turtle
+from repro.sparql import (
+    QueryEvaluator,
+    ReferenceQueryEvaluator,
+    SPARQLParser,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "path_corpus"
+
+ENGINES = {
+    "streaming": QueryEvaluator,
+    "reference": ReferenceQueryEvaluator,
+}
+
+
+def turtle_header(prefixes):
+    return "".join(f"@prefix {p}: <{iri}> .\n" for p, iri in prefixes.items())
+
+
+def sparql_header(prefixes):
+    return "".join(f"PREFIX {p}: <{iri}>\n" for p, iri in prefixes.items())
+
+
+def run_case(evaluator_cls, prefixes, case):
+    graph = parse_turtle(turtle_header(prefixes) + case["data"])
+    parsed = SPARQLParser(sparql_header(prefixes) + case["query"]).parse()
+    result = evaluator_cls(graph).evaluate(parsed)
+    if isinstance(result, bool):
+        return {"ask": result}
+    return [{v.name: sol[v].n3() for v in result.variables
+             if sol.get(v) is not None} for sol in result]
+
+
+def multiset(rows):
+    return collections.Counter(tuple(sorted(r.items())) for r in rows)
+
+
+def matches(got, expected):
+    if isinstance(expected, dict):
+        return got == expected
+    return multiset(got) == multiset(expected)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="path-conformance-report.json",
+                        help="path of the JSON report to write")
+    parser.add_argument("--corpus", default=str(CORPUS_DIR),
+                        help="corpus directory (default: the checked-in one)")
+    options = parser.parse_args(argv)
+
+    corpus_dir = Path(options.corpus)
+    files = sorted(corpus_dir.glob("*.json"))
+    report = {
+        "corpus": str(corpus_dir),
+        "files": len(files),
+        "engines": list(ENGINES),
+        "cases": [],
+        "summary": {},
+    }
+    passed = failed = errored = 0
+    started = time.perf_counter()
+    for path in files:
+        with open(path) as fh:
+            document = json.load(fh)
+        for case in document["cases"]:
+            entry = {"file": path.stem, "name": case["name"],
+                     "query": case["query"], "engines": {}}
+            for engine_name, engine_cls in ENGINES.items():
+                try:
+                    got = run_case(engine_cls, document["prefixes"], case)
+                except Exception as error:  # noqa: BLE001 — goes in report
+                    entry["engines"][engine_name] = {
+                        "status": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                    errored += 1
+                    continue
+                ok = matches(got, case["expected"])
+                detail = {"status": "pass" if ok else "fail"}
+                if not ok:
+                    detail["got"] = got
+                    detail["expected"] = case["expected"]
+                    failed += 1
+                else:
+                    passed += 1
+                entry["engines"][engine_name] = detail
+            report["cases"].append(entry)
+
+    total_cases = len(report["cases"])
+    report["summary"] = {
+        "cases": total_cases,
+        "checks": passed + failed + errored,
+        "passed": passed,
+        "failed": failed,
+        "errored": errored,
+        "elapsed_seconds": round(time.perf_counter() - started, 3),
+    }
+    with open(options.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"path corpus: {total_cases} cases x {len(ENGINES)} engines — "
+          f"{passed} passed, {failed} failed, {errored} errored "
+          f"({report['summary']['elapsed_seconds']}s); report: "
+          f"{options.output}")
+    return 1 if (failed or errored or total_cases == 0) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
