@@ -199,6 +199,35 @@ class CursorError(APIError):
     """A pagination cursor is unknown, expired, or already consumed."""
 
 
+class ResultStreamCut(APIError):
+    """A streamed result body terminated before it was complete.
+
+    The server aborts a chunked response mid-transfer when the query's
+    deadline or cancellation fires after the 200 header has gone out: it
+    closes the connection *without* the terminal chunk, so every conforming
+    HTTP client can tell the body is incomplete.  :class:`RemoteClient
+    <repro.server.client.RemoteClient>` converts that framing violation into
+    this typed error instead of retrying (the partial transfer proves the
+    query executed — re-running it is not known to be safe).
+
+    Attributes
+    ----------
+    partial_body:
+        The bytes received before the stream was cut.  Line-oriented result
+        formats (CSV/TSV) can salvage complete rows from it via
+        :func:`repro.sparql.results.parse.parse_select_bindings` with
+        ``partial=True``; JSON/XML salvage complete binding objects.
+    media_type:
+        The ``Content-Type`` the response declared, when known.
+    """
+
+    def __init__(self, message: str, *, partial_body: bytes = b"",
+                 media_type: str = "") -> None:
+        super().__init__(message)
+        self.partial_body = partial_body
+        self.media_type = media_type
+
+
 class ServerOverloaded(APIError):
     """The server shed the request because it is at capacity.
 

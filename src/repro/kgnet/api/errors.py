@@ -70,6 +70,7 @@ ERROR_CODES: Dict[Type[BaseException], str] = {
     X.BadRequestError: "BAD_REQUEST",
     X.UnknownOperationError: "UNKNOWN_OPERATION",
     X.CursorError: "CURSOR_ERROR",
+    X.ResultStreamCut: "RESULT_STREAM_CUT",
     X.ServerOverloaded: "SERVER_OVERLOADED",
 }
 

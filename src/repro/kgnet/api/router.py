@@ -35,7 +35,7 @@ from repro.exceptions import (
     ReadOnlyReplicaError,
     UnknownOperationError,
 )
-from repro.sparql.execution import ExecutionContext
+from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.gml.tasks import TaskSpec
 from repro.gml.train.budget import TaskBudget
 from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
@@ -114,6 +114,10 @@ class RouteMetrics:
     queries_timed_out: int = 0
     queries_cancelled: int = 0
     requests_shed: int = 0
+    #: Streamed responses cut after the 200 header went out (the request
+    #: already counted as a successful call; the interruption fired during
+    #: body transfer, so it shows up here instead of ``errors``).
+    streams_cut: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
                                   compare=False)
     _samples: List[float] = field(default_factory=list, repr=False,
@@ -149,6 +153,22 @@ class RouteMetrics:
             else:
                 self.cache_misses += 1
 
+    def record_stream_cut(self, error_code: Optional[str] = None) -> None:
+        """Account a response stream aborted mid-transfer.
+
+        The dispatch already recorded the call as ok (the failure fired
+        while the body streamed), so this only bumps the cut counter and
+        the per-cause hostile-load split.
+        """
+        with self._lock:
+            self.streams_cut += 1
+            if error_code == "QUERY_PREEMPTED":
+                self.queries_preempted += 1
+            elif error_code == "QUERY_TIMEOUT":
+                self.queries_timed_out += 1
+            elif error_code == "QUERY_CANCELLED":
+                self.queries_cancelled += 1
+
     def as_dict(self) -> Dict[str, object]:
         with self._lock:
             mean = self.total_seconds / self.calls if self.calls else 0.0
@@ -167,6 +187,7 @@ class RouteMetrics:
                 "queries_timed_out": self.queries_timed_out,
                 "queries_cancelled": self.queries_cancelled,
                 "requests_shed": self.requests_shed,
+                "streams_cut": self.streams_cut,
             }
 
 
@@ -307,7 +328,7 @@ class APIRouter:
             "ping": frozenset(),
             "load": frozenset({"triples", "ntriples", "graph_iri"}),
             "sparql": frozenset({"query", "page_size", "default_graph_uris",
-                                 "require", "timeout", "cancel"}),
+                                 "require", "timeout", "cancel", "stream"}),
             "sparqlml": frozenset({"query", "page_size", "method",
                                    "meta_sampling", "use_meta_sampling",
                                    "objective", "force_plan"}),
@@ -555,6 +576,11 @@ class APIRouter:
     # ------------------------------------------------------------------
     def _project_query_result(self, value: object,
                               page_size: object) -> Dict[str, object]:
+        if isinstance(value, StreamingResult):
+            # An envelope client asked for the JSON projection of a lazy
+            # SELECT: drain it here (still under its execution context's
+            # checkpoints) and project the materialised rows.
+            value = value.materialize()
         if isinstance(value, ResultSet):
             rows = value.to_python()
             page, cursor = self._paginate(rows, page_size)
@@ -636,6 +662,22 @@ class APIRouter:
                     on_stats=lambda s: stats_box.__setitem__("last", s)),
                 context)
             stats = stats_box.get("last")
+        elif params.get("stream") and require == "query":
+            # Lazy protocol path (no scheduler): hand back an unconsumed
+            # StreamingResult so the context's deadline and cancellation
+            # stay live while the transport serializes row by row — this is
+            # what makes a mid-transfer `timeout=` abort reachable at all.
+            # Statistics (and the plan-cache attribution) arrive via the
+            # callback when the consumer drains the stream; ASK/CONSTRUCT
+            # evaluate eagerly inside execute_stream and report immediately.
+            context = None
+            if timeout is not None or cancel is not None:
+                context = ExecutionContext(timeout=timeout, cancel=cancel)
+            metrics = self._route_metrics("sparql")
+            value = self.endpoint.execute_stream(
+                query, default_graph_iris=default_graphs, context=context,
+                on_stats=lambda s: metrics.record_cache(s.plan_cache_hit))
+            stats = None
         else:
             context = None
             if timeout is not None or cancel is not None:
@@ -812,6 +854,9 @@ class APIRouter:
             # triple-pattern index lookups, so APIClient users can watch the
             # query pipeline without reaching into endpoint internals.
             "query_cache": self.endpoint.cache_info(),
+            # The serialized-response cache above it: hits skip evaluation
+            # AND serialization, so watch this one to explain hot-path QPS.
+            "result_cache": self.endpoint.result_cache.stats(),
             "api": self.metrics(),
             "inference_coalescing": self.coalescing_stats(),
         }

@@ -36,7 +36,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import quote, urlsplit
 
-from repro.exceptions import APIError
+from repro.exceptions import APIError, ResultStreamCut
 from repro.kgnet.api.client import APIClient
 from repro.kgnet.api.errors import exception_from_payload
 from repro.sparql.results.parse import parse_ask, parse_select_bindings
@@ -197,6 +197,21 @@ class RemoteClient(APIClient):
                     sent = True
                     response = self._conn.getresponse()
                     payload = response.read()
+                except http.client.IncompleteRead as exc:
+                    # The server's streamed-failure contract: a chunked body
+                    # cut off without the terminal chunk means the query was
+                    # interrupted (deadline/cancel) *after* the 200 header.
+                    # IncompleteRead subclasses HTTPException, so this clause
+                    # must come first — the generic handler below would drop
+                    # the connection and RETRY a GET, re-running a query that
+                    # provably already executed.
+                    media_type = response.getheader("Content-Type", "") or ""
+                    self._drop_connection()
+                    raise ResultStreamCut(
+                        "server cut the result stream mid-transfer "
+                        f"({len(exc.partial)} bytes received)",
+                        partial_body=exc.partial,
+                        media_type=media_type) from exc
                 except (http.client.HTTPException, ConnectionError, OSError):
                     self._drop_connection()
                     if reused and (not sent or method == "GET"):
@@ -247,6 +262,7 @@ class RemoteClient(APIClient):
                        default_graph_uris: Optional[List[str]] = None,
                        method: str = "GET",
                        timeout: Optional[float] = None,
+                       extra_headers: Optional[Dict[str, str]] = None,
                        ) -> Tuple[int, str, str]:
         """Run ``query`` through ``/sparql``; returns (status, type, body).
 
@@ -256,7 +272,9 @@ class RemoteClient(APIClient):
         *server-side* execution deadline in seconds (the ``timeout=``
         protocol parameter, capped by the server's configured maximum); a
         query that exceeds it comes back as HTTP 504 with a
-        ``QUERY_TIMEOUT`` envelope.
+        ``QUERY_TIMEOUT`` envelope.  ``extra_headers`` rides along verbatim
+        (e.g. ``{"Cache-Control": "no-store"}`` to bypass the server's
+        result cache).
         """
         pairs = [("default-graph-uri", uri)
                  for uri in (default_graph_uris or [])]
@@ -266,17 +284,21 @@ class RemoteClient(APIClient):
             pairs.insert(0, ("query", query))
             target = "/sparql?" + "&".join(
                 f"{name}={quote(value, safe='')}" for name, value in pairs)
+            request_headers = {"Accept": accept}
+            request_headers.update(extra_headers or {})
             status, headers, body = self._request(
-                "GET", target, headers={"Accept": accept})
+                "GET", target, headers=request_headers)
         else:
             target = "/sparql"
             if pairs:
                 target += "?" + "&".join(
                     f"{name}={quote(value, safe='')}" for name, value in pairs)
+            request_headers = {"Accept": accept,
+                               "Content-Type": "application/sparql-query"}
+            request_headers.update(extra_headers or {})
             status, headers, body = self._request(
                 "POST", target, body=query.encode("utf-8"),
-                headers={"Accept": accept,
-                         "Content-Type": "application/sparql-query"})
+                headers=request_headers)
         content_type = headers.get("content-type", "").split(";", 1)[0].strip()
         return status, content_type, body.decode("utf-8")
 
@@ -304,16 +326,32 @@ class RemoteClient(APIClient):
                         default_graph_uris: Optional[List[str]] = None,
                         accept: str = MEDIA_JSON,
                         timeout: Optional[float] = None,
+                        partial_ok: bool = False,
+                        extra_headers: Optional[Dict[str, str]] = None,
                         ) -> List[Dict[str, Dict[str, str]]]:
         """SELECT via the protocol; returns JSON-shaped results bindings.
 
         Any negotiable SELECT format works: the response is parsed back
         into the JSON bindings shape whatever ``accept`` landed on (CSV is
         lossy by nature — see :mod:`repro.sparql.results.parse`).
+
+        When the server cuts the stream mid-transfer (``timeout=`` fired
+        after rows started flowing) the default is to raise the
+        :class:`~repro.exceptions.ResultStreamCut` — partial data must be
+        opted into.  ``partial_ok=True`` instead salvages every complete
+        binding from the truncated body.
         """
-        status, content_type, body = self.protocol_query(
-            query, accept=accept, default_graph_uris=default_graph_uris,
-            timeout=timeout)
+        try:
+            status, content_type, body = self.protocol_query(
+                query, accept=accept, default_graph_uris=default_graph_uris,
+                timeout=timeout, extra_headers=extra_headers)
+        except ResultStreamCut as exc:
+            if not partial_ok:
+                raise
+            media = exc.media_type.split(";", 1)[0].strip() or accept
+            return parse_select_bindings(
+                exc.partial_body.decode("utf-8", "replace"), media,
+                partial=True)
         if status != 200:
             raise self._protocol_error(status, body, "query")
         return parse_select_bindings(body, content_type)

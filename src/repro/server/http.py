@@ -55,8 +55,11 @@ class _DisconnectWatcher:
     checkpoint aborts the query with
     :class:`~repro.exceptions.QueryCancelled` and the worker serves the
     next request instead of finishing work nobody will read.  Readable
-    *data* is peeked, left in place, and the socket unwatched — the client
-    is pipelining the next request, not gone.
+    *data* is peeked and left in place — the client is pipelining the next
+    request, not gone — and the socket **stays watched**: a client that
+    pipelines and then dies mid-query must still be detected.  Because
+    buffered data keeps such a socket permanently readable, the poll loop
+    paces itself whenever a pass saw only pipelined data.
     """
 
     def __init__(self, poll_interval: float = 0.05) -> None:
@@ -106,6 +109,7 @@ class _DisconnectWatcher:
                         if sock.fileno() < 0:
                             self._watched.pop(sock).set()
                 continue
+            saw_pipelined = False
             for sock in set(readable) | set(errored):
                 with self._lock:
                     event = self._watched.get(sock)
@@ -117,7 +121,15 @@ class _DisconnectWatcher:
                     data = b""
                 if not data:
                     event.set()
-                self.unwatch(sock)
+                    self.unwatch(sock)
+                else:
+                    saw_pipelined = True
+            if saw_pipelined:
+                # Pipelined bytes keep their socket readable forever, which
+                # would turn the select() above into a busy spin; take the
+                # poll interval explicitly instead.  EOFs elsewhere are
+                # still noticed within one interval, same as the idle case.
+                time.sleep(self._poll_interval)
 
 
 def _coalesce(chunks: Iterable[bytes], size: int) -> Iterator[bytes]:
@@ -130,6 +142,24 @@ def _coalesce(chunks: Iterable[bytes], size: int) -> Iterator[bytes]:
             buffer.clear()
     if buffer:
         yield bytes(buffer)
+
+
+class _Headers(dict):
+    """Case-insensitive request-header view (keys stored lowercase).
+
+    The only mapping operations the server performs on request headers are
+    ``get`` and ``items()``; this keeps both at plain-dict speed instead of
+    paying for a full ``email.message.Message``.
+    """
+
+    def get(self, name: str, default=None):  # type: ignore[override]
+        return dict.get(self, name.lower(), default)
+
+    def __getitem__(self, name: str):
+        return dict.__getitem__(self, name.lower())
+
+    def __contains__(self, name) -> bool:
+        return dict.__contains__(self, str(name).lower())
 
 
 class _RequestHandler(http.server.BaseHTTPRequestHandler):
@@ -149,6 +179,129 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
         # our next write, freeing the worker, instead of pinning it forever.
         self.timeout = self.server.connection_timeout  # type: ignore[attr-defined]
         super().setup()
+
+    # Limits for the fast header parse below, mirroring the stock parser's
+    # http.client._MAXLINE / _MAXHEADERS (both answered with 431).
+    MAX_HEADER_LINE = 65536
+    MAX_HEADERS = 100
+
+    def parse_request(self) -> bool:
+        """Parse the request line and headers without the email package.
+
+        The stock :class:`http.server.BaseHTTPRequestHandler` hands header
+        lines to the email feedparser — tens of microseconds per request of
+        MIME machinery (universal newlines, charset policy, continuation
+        semantics) this server never uses.  This override keeps the stock
+        request-line handling bit for bit (same 400/505 answers, the same
+        HTTP/0.9 and ``close_connection`` rules, the gh-87389 ``//`` path
+        collapse) but reads headers with a plain line loop into a
+        lowercase-keyed dict, which is all the service layer consumes.
+        Repeated field names are comma-joined per RFC 9110 §5.2 — which
+        also makes conflicting duplicate ``Content-Length`` values
+        unparseable downstream (rejected, not smuggleable).
+        """
+        self.command = None  # type: ignore[assignment]
+        self.request_version = version = self.default_request_version
+        self.close_connection = True
+        requestline = str(self.raw_requestline, "iso-8859-1").rstrip("\r\n")
+        self.requestline = requestline
+        words = requestline.split()
+        if not words:
+            return False
+        if len(words) >= 3:
+            version = words[-1]
+            try:
+                if not version.startswith("HTTP/"):
+                    raise ValueError
+                major, dot, minor = version[5:].partition(".")
+                if (not dot or not major.isdigit() or not minor.isdigit()
+                        or len(major) > 10 or len(minor) > 10):
+                    raise ValueError
+                version_number = (int(major), int(minor))
+            except ValueError:
+                self.send_error(400, f"Bad request version ({version!r})")
+                return False
+            if version_number >= (1, 1) and self.protocol_version >= "HTTP/1.1":
+                self.close_connection = False
+            if version_number >= (2, 0):
+                self.send_error(505, f"Invalid HTTP version ({version[5:]})")
+                return False
+            self.request_version = version
+        if not 2 <= len(words) <= 3:
+            self.send_error(400, f"Bad request syntax ({requestline!r})")
+            return False
+        command, path = words[:2]
+        if len(words) == 2:
+            self.close_connection = True
+            if command != "GET":
+                self.send_error(400, f"Bad HTTP/0.9 request type ({command!r})")
+                return False
+        self.command, self.path = command, path
+        if self.path.startswith("//"):
+            self.path = "/" + self.path.lstrip("/")
+        headers = _Headers()
+        readline = self.rfile.readline
+        seen = 0
+        last: Optional[str] = None
+        while True:
+            line = readline(self.MAX_HEADER_LINE + 1)
+            if len(line) > self.MAX_HEADER_LINE:
+                self.send_error(431, "Header line too long")
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            seen += 1
+            if seen > self.MAX_HEADERS:
+                self.send_error(431,
+                                f"Too many headers (> {self.MAX_HEADERS})")
+                return False
+            text = str(line, "iso-8859-1").rstrip("\r\n")
+            if text[:1] in (" ", "\t"):
+                # Obsolete line folding: a continuation of the previous
+                # field's value (RFC 9112 §5.2 says replace the fold with
+                # one space).
+                if last is not None:
+                    headers[last] = headers[last] + " " + text.strip()
+                continue
+            name, sep, value = text.partition(":")
+            if not sep or not name or name != name.strip():
+                self.send_error(400, f"Malformed header line ({text!r})")
+                return False
+            last = name.lower()
+            value = value.strip()
+            if last in headers:
+                headers[last] = headers[last] + ", " + value
+            else:
+                headers[last] = value
+        self.headers = headers  # type: ignore[assignment]
+        connection = headers.get("connection", "").lower()
+        if connection == "close":
+            self.close_connection = True
+        elif connection == "keep-alive" and self.protocol_version >= "HTTP/1.1":
+            self.close_connection = False
+        expect = headers.get("expect", "").lower()
+        if (expect == "100-continue"
+                and self.protocol_version >= "HTTP/1.1"
+                and self.request_version >= "HTTP/1.1"):
+            if not self.handle_expect_100():
+                return False
+        return True
+
+    # The RFC 9110 Date header only changes once a second; formatting it
+    # from scratch costs ~8us per response.  Cache per whole second —
+    # the tuple swap is atomic under the GIL, so worker threads race at
+    # worst into one redundant format.
+    _date_cache: Tuple[int, str] = (-1, "")
+
+    def date_time_string(self, timestamp: Optional[float] = None) -> str:
+        if timestamp is not None:
+            return super().date_time_string(timestamp)
+        now = int(time.time())
+        cached_second, cached = _RequestHandler._date_cache
+        if cached_second != now:
+            cached = super().date_time_string(now)
+            _RequestHandler._date_cache = (now, cached)
+        return cached
 
     # The service handler answers every method the same way; unrouted ones
     # get their 405 from it, with the Allow header filled in.
@@ -187,7 +340,10 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(body)
+        if self.command != "HEAD":
+            # RFC 9110 §9.3.2: a HEAD response carries the same headers a
+            # GET would (including Content-Length) but never a body.
+            self.wfile.write(body)
         self.close_connection = True
 
     def _dispatch(self, drop_body: bool = False) -> None:
@@ -260,9 +416,16 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
             for name, value in response.headers:
                 self.send_header(name, value)
             self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
             if body and not drop_body:
-                self.wfile.write(body)
+                # Ride the body on the header buffer so the whole response
+                # leaves in ONE sendall: wfile is unbuffered, so separate
+                # writes are separate syscalls (and, pre-flush, separate
+                # packets a delayed-ACK peer can stall on).
+                self._headers_buffer.append(b"\r\n")
+                self._headers_buffer.append(body)
+                self.flush_headers()
+            else:
+                self.end_headers()
             return
         # Streaming bodies are never materialised — not even for HEAD or
         # HTTP/1.0, where buffering "just to get Content-Length" would mean
@@ -286,7 +449,7 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
                 self.send_header(name, value)
             self.send_header("Connection", "close")
             self.end_headers()
-            for chunk in _coalesce(response.body, STREAM_CHUNK_BYTES):
+            for chunk in self._body_chunks(response):
                 self.wfile.write(chunk)
             self.close_connection = True
             return
@@ -294,12 +457,50 @@ class _RequestHandler(http.server.BaseHTTPRequestHandler):
         for name, value in response.headers:
             self.send_header(name, value)
         self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Trailer", "X-KGNet-Stream-Status")
         self.end_headers()
-        for chunk in _coalesce(response.body, STREAM_CHUNK_BYTES):
-            self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
-            self.wfile.write(chunk)
-            self.wfile.write(b"\r\n")
-        self.wfile.write(b"0\r\n\r\n")
+        for chunk in self._body_chunks(response):
+            # One write per chunk: size line, payload and delimiter in a
+            # single buffer (wfile is unbuffered — three writes would be
+            # three syscalls per 16 KB chunk).
+            self.wfile.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
+        if response.stream_error is not None:
+            # Streamed-failure contract: the body producer was interrupted
+            # (deadline, cancellation, or an internal fault) after the 200
+            # header went out.  Omit the terminal chunk and close the
+            # connection — every conforming client then sees the body as
+            # incomplete-but-terminated (http.client raises IncompleteRead,
+            # curl reports error 18) instead of silently treating a
+            # truncated result as a complete one.
+            self.close_connection = True
+            return
+        # Clean completion carries an explicit trailer so protocol-aware
+        # clients can assert completeness positively, not just by absence
+        # of a framing violation.
+        self.wfile.write(b"0\r\nX-KGNet-Stream-Status: complete\r\n\r\n")
+
+    def _body_chunks(self, response: ServiceResponse) -> Iterator[bytes]:
+        """Coalesced body chunks that never raise from the *producer* side.
+
+        The service layer's stream guard already converts query
+        interruptions into a clean iterator end plus ``stream_error``; this
+        wrapper does the same for any other streaming body (e.g. the WAL
+        stream reading from disk), so a producer fault can never escape as
+        a handler traceback mid-response — it becomes a cut stream.  Socket
+        write errors are NOT caught here: they raise from ``wfile.write``
+        in the caller and keep their existing handling.
+        """
+        chunks = _coalesce(response.body, STREAM_CHUNK_BYTES)
+        while True:
+            try:
+                chunk = next(chunks)
+            except StopIteration:
+                return
+            except Exception as exc:  # noqa: BLE001 — cut, never traceback
+                if response.stream_error is None:
+                    response.stream_error = exc
+                return
+            yield chunk
 
 
 class KGNetHTTPServer(http.server.HTTPServer):
@@ -401,7 +602,12 @@ class KGNetHTTPServer(http.server.HTTPServer):
     @property
     def base_url(self) -> str:
         host, port = self.server_address[:2]
-        if ":" in str(host):  # IPv6 literal
+        host = str(host)
+        if host in ("0.0.0.0", "::", ""):
+            # A wildcard bind listens everywhere but is not a connectable
+            # address; hand clients the loopback equivalent instead.
+            host = "127.0.0.1"
+        if ":" in host:  # IPv6 literal
             host = f"[{host}]"
         return f"http://{host}:{port}"
 

@@ -52,12 +52,18 @@ transport.
 
 from __future__ import annotations
 
+import itertools
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
-from urllib.parse import parse_qs, unquote, urlsplit
+from urllib.parse import unquote, unquote_plus, urlsplit
 
-from repro.exceptions import BadRequestError, UnsupportedFeatureError
+from repro.exceptions import (
+    BadRequestError,
+    QueryInterrupted,
+    UnsupportedFeatureError,
+)
 from repro.kgnet.api.envelopes import API_VERSION, APIRequest, APIResponse
 from repro.kgnet.api.errors import error_payload
 from repro.kgnet.api.router import APIRouter
@@ -139,6 +145,35 @@ def http_status_for_error(code: str) -> int:
     return HTTP_STATUS_BY_CODE.get(code, 500)
 
 
+def _parse_query_string(qs: str) -> Dict[str, List[str]]:
+    """``urllib.parse.parse_qs(qs, keep_blank_values=True)``, hot-path cheap.
+
+    Every SPARQL protocol GET parses its query string, so this sits on the
+    serving fast path.  The stdlib helper burns ~20us per call on separator
+    validation and intermediate pair lists; this produces the identical
+    mapping (blank values kept, ``+`` and ``%xx`` decoded as UTF-8 with
+    replacement) but only pays for percent-decoding when a segment actually
+    contains an escape.
+    """
+    params: Dict[str, List[str]] = {}
+    if not qs:
+        return params
+    for segment in qs.split("&"):
+        if not segment:
+            continue
+        name, _, value = segment.partition("=")
+        if "%" in name or "+" in name:
+            name = unquote_plus(name)
+        if "%" in value or "+" in value:
+            value = unquote_plus(value)
+        bucket = params.get(name)
+        if bucket is None:
+            params[name] = [value]
+        else:
+            bucket.append(value)
+    return params
+
+
 def _decode_utf8(body: bytes) -> str:
     """Decode a protocol request body, mapping bad bytes to a 400, not a 500.
 
@@ -179,8 +214,8 @@ class ServiceRequest:
         #: legally encode any path character; routing must not care).
         self.path: str = unquote(split.path) or "/"
         #: Query-string parameters, each name mapped to its value list.
-        self.query_params: Dict[str, List[str]] = parse_qs(
-            split.query, keep_blank_values=True)
+        self.query_params: Dict[str, List[str]] = _parse_query_string(
+            split.query)
 
     def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
         return self.headers.get(name.lower(), default)
@@ -205,6 +240,12 @@ class ServiceResponse:
     status: int
     headers: List[Tuple[str, str]] = field(default_factory=list)
     body: Union[bytes, Iterable[bytes]] = b""
+    #: Set by the streaming guard when the body iterator was interrupted
+    #: mid-transfer (a :class:`~repro.exceptions.QueryInterrupted` after the
+    #: status line already went out).  A transport seeing this must make the
+    #: truncation *detectable* — for chunked transfer: omit the terminal
+    #: chunk and close the connection.
+    stream_error: Optional[BaseException] = None
 
     @property
     def is_streaming(self) -> bool:
@@ -234,15 +275,14 @@ class ServiceResponse:
         return cls(status=status, headers=all_headers, body=body)
 
     @classmethod
-    def stream(cls, fragments: Iterable[str], content_type: str,
+    def stream(cls, fragments: Iterable[bytes], content_type: str,
                status: int = 200) -> "ServiceResponse":
-        def encode() -> Iterator[bytes]:
-            for fragment in fragments:
-                yield fragment.encode("utf-8")
+        # Writers yield pre-encoded bytes; the transport writes each
+        # fragment straight to the socket with no second str→bytes copy.
         return cls(status=status,
                    headers=[("Content-Type",
                              f"{content_type}; charset=utf-8")],
-                   body=encode())
+                   body=iter(fragments))
 
 
 class ServiceHandler:
@@ -332,8 +372,7 @@ class ServiceHandler:
         else:
             content_type = request.content_type()
             if content_type == MEDIA_FORM:
-                body_params = parse_qs(_decode_utf8(request.body),
-                                       keep_blank_values=True)
+                body_params = _parse_query_string(_decode_utf8(request.body))
                 for name, values in body_params.items():
                     params.setdefault(name, []).extend(values)
             elif content_type == MEDIA_SPARQL_QUERY:
@@ -385,7 +424,8 @@ class ServiceHandler:
         return self._dispatch_query(query, default_graphs,
                                     request.header("accept"),
                                     timeout=timeout,
-                                    cancel_event=request.cancel_event)
+                                    cancel_event=request.cancel_event,
+                                    cache_control=request.header("cache-control"))
 
     @staticmethod
     def _single(params: Dict[str, List[str]], name: str) -> str:
@@ -399,14 +439,44 @@ class ServiceHandler:
                         default_graphs: Optional[List[str]],
                         accept: Optional[str],
                         timeout: Optional[str] = None,
-                        cancel_event: Optional[object] = None) -> ServiceResponse:
+                        cancel_event: Optional[object] = None,
+                        cache_control: Optional[str] = None) -> ServiceResponse:
         if accept is not None and negotiate(accept, ALL_MEDIA_TYPES) is None:
             # Hopeless Accept header: refuse BEFORE evaluating — a client
             # polling with the wrong Accept must cost a 406, not a full
             # query execution per request.  (The exact per-result-kind
             # negotiation still runs on the result below.)
             raise NotAcceptable(accept, ALL_MEDIA_TYPES)
-        api_params: Dict[str, object] = {"query": query, "require": "query"}
+        # Result cache: a hit returns the complete pre-encoded body with no
+        # evaluation, no serialization and no dispatch envelope.  Keys carry
+        # the raw Accept header (same header → same negotiated format; a
+        # finer key than the media type, never a wrong body) and the
+        # default-graph set; freshness rides on the dataset epoch checked in
+        # `lookup`.  `Cache-Control: no-store` opts a request out.
+        endpoint = getattr(self.router, "endpoint", None)
+        cache = getattr(endpoint, "result_cache", None)
+        if cache is not None and cache_control is not None \
+                and "no-store" in cache_control.lower():
+            cache = None
+        cache_key = epoch = None
+        if cache is not None:
+            started = time.perf_counter()
+            cache_key = (query, frozenset(default_graphs or ()), accept or "")
+            epoch = endpoint.dataset.epoch()
+            entry = cache.lookup(cache_key, epoch)
+            if entry is not None:
+                # Keep the route's call count/percentiles truthful even
+                # though the dispatch envelope was skipped.
+                self.router._route_metrics("sparql").record(
+                    time.perf_counter() - started, True)
+                return ServiceResponse(
+                    status=200,
+                    headers=[("Content-Type",
+                              f"{entry.media_type}; charset=utf-8"),
+                             ("X-KGNet-Result-Cache", "hit")],
+                    body=entry.body)
+        api_params: Dict[str, object] = {"query": query, "require": "query",
+                                         "stream": True}
         if default_graphs:
             api_params["default_graph_uris"] = default_graphs
         if timeout is not None:
@@ -418,12 +488,65 @@ class ServiceHandler:
         if not response.ok:
             return self._envelope_response(response)
         # In-process dispatch rides the rich result along as the attachment:
-        # serialization streams straight off the ResultSet/Graph without the
-        # JSON projection the envelope transport would pay for.
+        # serialization streams straight off the result without the JSON
+        # projection the envelope transport would pay for.  With `stream`
+        # set the attachment may be a lazy StreamingResult, so the query's
+        # deadline/cancellation stay live for the whole transfer.
         result = response.attachment
         media_type = negotiate_media_type(accept, result)
-        return ServiceResponse.stream(serialize_result(result, media_type),
-                                      content_type=media_type)
+        fragments = serialize_result(result, media_type)
+        # Pull the header fragment AND the first row eagerly: an
+        # interruption *before any output* must surface as the typed error
+        # envelope (504/499), not as a 200 that is cut immediately.
+        prefix: List[bytes] = []
+        for fragment in fragments:
+            prefix.append(fragment)
+            if len(prefix) >= 2:
+                break
+        service_response = ServiceResponse(
+            status=200,
+            headers=[("Content-Type", f"{media_type}; charset=utf-8")])
+        service_response.body = self._guarded_stream(
+            prefix, fragments, service_response, cache, cache_key, epoch,
+            media_type)
+        return service_response
+
+    def _guarded_stream(self, prefix: List[bytes], fragments: Iterable[bytes],
+                        response: ServiceResponse, cache, cache_key, epoch,
+                        media_type: str) -> Iterator[bytes]:
+        """Stream body fragments under the streamed-failure contract.
+
+        A mid-body :class:`~repro.exceptions.QueryInterrupted` never escapes
+        to the transport as a raw exception: the guard marks the response
+        cut (``stream_error``), records the cause on the route's metrics and
+        ends the iterator — the transport then close-delimits so any stock
+        client can tell the body is incomplete.  Cleanly completed bodies
+        within the size cap are stored in the result cache.
+        """
+        collected: Optional[List[bytes]] = [] if cache is not None else None
+        size = 0
+        try:
+            for fragment in itertools.chain(prefix, fragments):
+                if collected is not None:
+                    size += len(fragment)
+                    if size > cache.max_entry_bytes:
+                        # Too big to cache; keep streaming, stop collecting.
+                        collected = None
+                    else:
+                        collected.append(fragment)
+                yield fragment
+        except QueryInterrupted as exc:
+            response.stream_error = exc
+            code = error_payload(exc).get("code")
+            self.router._route_metrics("sparql").record_stream_cut(str(code))
+            return
+        except Exception as exc:  # noqa: BLE001 — cut the stream, never spew
+            response.stream_error = exc
+            self.router._route_metrics("sparql").record_stream_cut(
+                "INTERNAL_ERROR")
+            return
+        if collected is not None:
+            cache.store(cache_key, epoch, media_type, b"".join(collected))
 
     def _dispatch_update(self, update: str,
                          timeout: Optional[str] = None,

@@ -288,6 +288,106 @@ class PlanCache:
             }
 
 
+class _ResultCacheEntry:
+    __slots__ = ("epoch", "media_type", "body")
+
+    def __init__(self, epoch, media_type: str, body: bytes) -> None:
+        self.epoch = epoch
+        self.media_type = media_type
+        self.body = body
+
+
+class ResultCache:
+    """An epoch-invalidated LRU of fully serialized query responses.
+
+    Sits *above* the plan cache: where a plan-cache hit skips parsing and
+    compilation, a result-cache hit skips evaluation **and** serialization —
+    the stored value is the complete pre-encoded response body, ready to
+    write to a socket in one call.  Keys are
+    ``(query text, default-graph set, media type)``; each entry remembers
+    the dataset epoch it was computed under, and a lookup at any other epoch
+    counts as an *invalidation* and evicts the entry, so a mutation can
+    never leak a stale body.  Entries above ``max_entry_bytes`` are not
+    cached (a giant dump would evict the whole working set for one client);
+    ``max_bytes`` bounds the total held memory.
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 max_entry_bytes: int = 1 << 20,
+                 max_bytes: int = 32 << 20) -> None:
+        self.maxsize = maxsize
+        self.max_entry_bytes = max_entry_bytes
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, _ResultCacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def lookup(self, key: Tuple, epoch) -> Optional[_ResultCacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch:
+                # The dataset mutated since this body was serialized; drop
+                # the entry so the fresh store replaces it.
+                del self._entries[key]
+                self.total_bytes -= len(entry.body)
+                self.invalidations += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: Tuple, epoch, media_type: str, body: bytes) -> None:
+        if len(body) > self.max_entry_bytes:
+            return
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.total_bytes -= len(previous.body)
+            self._entries[key] = _ResultCacheEntry(epoch, media_type, body)
+            self.total_bytes += len(body)
+            while (len(self._entries) > self.maxsize
+                   or self.total_bytes > self.max_bytes):
+                _, evicted = self._entries.popitem(last=False)
+                self.total_bytes -= len(evicted.body)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            total = self.hits + self.misses + self.invalidations
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "total_bytes": self.total_bytes,
+                "hit_rate": round(self.hits / total, 6) if total else 0.0,
+            }
+
+
 class SPARQLEndpoint:
     """In-process SPARQL endpoint over an RDF dataset."""
 
@@ -303,6 +403,7 @@ class SPARQLEndpoint:
         self.optimize_joins = optimize_joins
         self.history: List[QueryStatistics] = []
         self.plan_cache = PlanCache()
+        self.result_cache = ResultCache()
         #: Total triple-pattern index lookups across all executed queries.
         #: Plain int for backwards compatibility; increments happen under
         #: ``_stats_lock`` (``+=`` is read-modify-write and loses updates
@@ -341,6 +442,7 @@ class SPARQLEndpoint:
         self.dataset = dataset
         self.namespaces = dataset.namespaces
         self.plan_cache.clear()
+        self.result_cache.clear()
 
     def register_udf(self, name: str, function: Callable[..., object],
                      aliases: Optional[List[str]] = None) -> None:
@@ -716,6 +818,7 @@ class SPARQLEndpoint:
     def reset_counters(self) -> None:
         self.udfs.reset_counts()
         self.plan_cache.reset_counters()
+        self.result_cache.reset_counters()
         with self._stats_lock:
             self.history.clear()
             self.total_pattern_lookups = 0

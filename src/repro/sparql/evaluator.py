@@ -168,20 +168,88 @@ class _CompiledBGP:
     """A BGP compiled to id space.
 
     ``specs`` holds one ``((s_const, s_slot), (p_const, p_slot),
-    (o_const, o_slot))`` entry per (reordered) triple pattern, where exactly
-    one of ``const`` (an interned term id) and ``slot`` (a variable slot
-    index) is set per component.  ``empty`` marks a BGP containing a constant
-    the dictionary has never interned — it cannot match anything.
+    (o_const, o_slot))`` entry per kept (reordered) triple pattern, where
+    exactly one of ``const`` (an interned term id) and ``slot`` (a variable
+    slot index) is set per component.  ``empty`` marks a BGP containing a
+    constant the dictionary has never interned — it cannot match anything.
+
+    ``intersectors`` runs parallel to ``specs``: each entry is a tuple of
+    ``(spec, unbound_position)`` pairs for patterns *folded out* of the
+    backtracking join by :func:`_fold_intersectors` — enforced batch-at-a-
+    time as id-set intersections at the level that binds their join
+    variable, instead of one nested-loop level per pattern.  ``var_slots``
+    still covers every variable of the original BGP (folded patterns never
+    introduce new variables), so emitted rows are unchanged.
     """
 
-    __slots__ = ("specs", "var_slots", "slot_vars", "num_slots", "empty")
+    __slots__ = ("specs", "var_slots", "slot_vars", "num_slots", "empty",
+                 "intersectors")
 
-    def __init__(self, specs, var_slots: Dict[Variable, int], empty: bool) -> None:
+    def __init__(self, specs, var_slots: Dict[Variable, int], empty: bool,
+                 intersectors=None) -> None:
         self.specs = specs
         self.var_slots = var_slots
         self.slot_vars = tuple(var_slots)  # slot index -> Variable
         self.num_slots = len(var_slots)
         self.empty = empty
+        self.intersectors = (intersectors if intersectors is not None
+                             else ((),) * len(specs))
+
+
+def _fold_intersectors(specs):
+    """Fold single-join-variable patterns into the level binding them.
+
+    A pattern whose components are all bound by earlier levels — except a
+    *join* variable ``v`` appearing exactly once — contributes no new
+    bindings and at most one match per candidate value of ``v``: it is a
+    membership test, not a scan.  Instead of spending a backtracking level
+    probing it once per candidate, fold it into the level that binds ``v``:
+    when that level enumerates candidates off one index set, every folded
+    pattern narrows the whole set with a single C-level ``set & set``
+    intersection (the canonical win is a star join: ``?s p1 o1 . ?s p2 o2 .
+    ?s p3 ?name`` runs one scan plus one intersection, not a nested loop).
+
+    Returns ``(kept_specs, intersectors)``, ``intersectors[i]`` being the
+    ``(spec, unbound_position)`` pairs enforced at kept level ``i``.
+    Multiset semantics are preserved exactly: a folded pattern's multiplicity
+    per candidate is one (all other components ground), which is what set
+    membership encodes.  Folding only considers *static* bindings — a level
+    whose join variable arrives pre-bound at runtime (seeded input solution)
+    degenerates to ground containment probes, handled by the runtime.
+    """
+    bound = set()            # slots statically bound by kept levels
+    level_of_slot = {}       # slot -> kept level that first binds it
+    target_slot = {}         # kept level -> its single new slot, if any
+    kept = []
+    intersectors = []
+    for spec in specs:
+        positions = [(index, slot) for index, (_, slot) in enumerate(spec)
+                     if slot is not None]
+        new = {slot for _, slot in positions if slot not in bound}
+        if not new and positions:
+            # Every variable already bound upstream: fold into the level
+            # that binds the last of them, if that level enumerates exactly
+            # that one variable (and it appears here exactly once — a
+            # repeated variable needs the per-triple compatibility check).
+            latest = max(level_of_slot[slot] for _, slot in positions)
+            v = target_slot.get(latest)
+            v_positions = [index for index, slot in positions if slot == v]
+            if v is not None and len(v_positions) == 1:
+                intersectors[latest] = intersectors[latest] + (
+                    (spec, v_positions[0]),)
+                continue
+        level = len(kept)
+        kept.append(spec)
+        intersectors.append(())
+        for _, slot in positions:
+            if slot not in bound:
+                bound.add(slot)
+                level_of_slot[slot] = level
+        if len(new) == 1:
+            v = next(iter(new))
+            if sum(1 for _, slot in positions if slot == v) == 1:
+                target_slot[level] = v
+    return kept, intersectors
 
 
 def _compile_step(graph: Graph, path):
@@ -649,6 +717,10 @@ class QueryEvaluator:
                         empty = True
                     spec.append((term_id, None))
             specs.append(tuple(spec))
+        if self.optimize_joins and not empty and len(specs) > 1:
+            kept, intersectors = _fold_intersectors(specs)
+            return _CompiledBGP(tuple(kept), var_slots, empty,
+                                tuple(intersectors))
         return _CompiledBGP(tuple(specs), var_slots, empty)
 
     # -- streaming operators -------------------------------------------------
@@ -719,15 +791,71 @@ class QueryEvaluator:
                 return graph.subject_ids(p, o)
             return graph.predicate_ids(s, o)
 
+        intersectors = compiled.intersectors
+        contains_ids = graph.contains_ids
+
+        def resolve_ground(ispec):
+            """Resolve a folded spec under ``env`` (join component → None)."""
+            (s_const, s_slot), (p_const, p_slot), (o_const, o_slot) = ispec
+            return (s_const if s_slot is None else env[s_slot],
+                    p_const if p_slot is None else env[p_slot],
+                    o_const if o_slot is None else env[o_slot])
+
+        def intersect_values(level: int, values):
+            """Narrow a level's candidate id set by its folded patterns.
+
+            One ``set & set`` per folded pattern replaces one index probe
+            per candidate per pattern inside the join loop.  Intersection
+            allocates a fresh set every time — the stored index sets the
+            graph hands out are never mutated.  Interruption cost is
+            charged batch-at-a-time: one checkpoint call carries the whole
+            intersection's work amount, keeping deadline/cancel latency
+            bounded by a single batch instead of ticking per element.
+            """
+            for ispec, position in intersectors[level]:
+                if not values:
+                    break
+                s, p, o = resolve_ground(ispec)
+                probe = direct_values(s, p, o, position)
+                if not probe:
+                    return ()
+                if checkpoint is not None:
+                    checkpoint(min(len(values), len(probe)))
+                values = values & probe
+            return values
+
+        def intersectors_hold(level: int) -> bool:
+            """Folded patterns as ground containment probes.
+
+            Taken when the level's join variable arrived pre-bound at
+            runtime (seeded by the input solution), so there is no
+            candidate set to intersect — each folded pattern is fully
+            ground and holds iff the store contains its triple.
+            """
+            for ispec, _ in intersectors[level]:
+                s, p, o = resolve_ground(ispec)
+                if checkpoint is not None:
+                    checkpoint(1)
+                if not contains_ids(s, p, o):
+                    return False
+            return True
+
         def start_scan(level: int) -> None:
             s, p, o, unb = resolve(level)
             if len(unb) == 1:
                 position, slot = unb[0]
                 single_slot[level] = slot
-                scans[level] = iter(direct_values(s, p, o, position))
+                values = direct_values(s, p, o, position)
+                if intersectors[level]:
+                    values = intersect_values(level, values)
+                scans[level] = iter(values)
                 return
             single_slot[level] = None
             unbound[level] = unb
+            if intersectors[level] and not unb \
+                    and not intersectors_hold(level):
+                scans[level] = iter(())
+                return
             scans[level] = triples_ids(s, p, o)
 
         def emit_leaf(solution: Solution) -> Iterator[Solution]:
@@ -743,6 +871,8 @@ class QueryEvaluator:
             if len(unb) == 1:
                 position, leaf_slot = unb[0]
                 values = direct_values(s, p, o, position)
+                if intersectors[last_level]:
+                    values = intersect_values(last_level, values)
                 if not values:
                     return
                 base = Solution(solution)
@@ -772,8 +902,12 @@ class QueryEvaluator:
             # slots (possibly a repeated variable): generic scan, binding
             # and undoing slots per element.  This is where a cross-product
             # adversary spends its life, so it ticks the amortised
-            # checkpoint.
+            # checkpoint.  A leaf with folded patterns can only land here
+            # fully ground (its join variable was seeded): the folds become
+            # containment probes.
             nonlocal ticks
+            if intersectors[last_level] and not intersectors_hold(last_level):
+                return
             for triple_ids_row in triples_ids(s, p, o):
                 ticks += 1
                 if checkpoint is not None and not ticks & 255:

@@ -201,6 +201,61 @@ def _parse_tsv_select(text: str) -> List[Binding]:
 
 
 # ---------------------------------------------------------------------------
+# Partial-document salvage (truncated streams)
+# ---------------------------------------------------------------------------
+
+def _salvage_json_select(text: str) -> List[Binding]:
+    """Recover complete binding objects from a truncated JSON document.
+
+    The serializer emits ``"bindings":[`` followed by one compact object per
+    row; a cut stream ends mid-object or mid-array.  Decode row objects one
+    at a time with ``raw_decode`` and stop at the first undecodable tail.
+    """
+    marker = text.find('"bindings"')
+    if marker < 0:
+        return []
+    start = text.find("[", marker)
+    if start < 0:
+        return []
+    decoder = json.JSONDecoder()
+    rows: List[Binding] = []
+    index = start + 1
+    length = len(text)
+    while index < length:
+        while index < length and text[index] in ", \t\r\n":
+            index += 1
+        if index >= length or text[index] != "{":
+            break
+        try:
+            row, index = decoder.raw_decode(text, index)
+        except ValueError:
+            break
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+def _salvage_xml_select(text: str) -> List[Binding]:
+    """Recover complete ``<result>`` elements from truncated XML."""
+    end = text.rfind("</result>")
+    if end < 0:
+        return []
+    repaired = text[:end + len("</result>")] + "</results></sparql>"
+    try:
+        return _parse_xml_select(repaired)
+    except ET.ParseError:
+        return []
+
+
+def _salvage_lines(text: str, newline: str) -> str:
+    """Drop the trailing incomplete line of a cut CSV/TSV stream."""
+    end = text.rfind(newline)
+    if end < 0:
+        return ""
+    return text[:end + len(newline)]
+
+
+# ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 
@@ -212,10 +267,34 @@ _SELECT_PARSERS = {
     _media_key(MEDIA_TSV): _parse_tsv_select,
 }
 
+_SELECT_SALVAGERS = {
+    _media_key(MEDIA_JSON): _salvage_json_select,
+    "application/json": _salvage_json_select,
+    _media_key(MEDIA_XML): _salvage_xml_select,
+    _media_key(MEDIA_CSV): lambda text: _parse_csv_select(
+        _salvage_lines(text, "\r\n")),
+    _media_key(MEDIA_TSV): lambda text: _parse_tsv_select(
+        _salvage_lines(text, "\n")),
+}
 
-def parse_select_bindings(text: str, media_type: str) -> List[Binding]:
-    """Parse a SELECT results document into JSON-shaped binding objects."""
-    parser = _SELECT_PARSERS.get(_media_key(media_type))
+
+def parse_select_bindings(text: str, media_type: str,
+                          partial: bool = False) -> List[Binding]:
+    """Parse a SELECT results document into JSON-shaped binding objects.
+
+    ``partial=True`` parses a *truncated* document — the salvageable prefix
+    of a result stream the server cut mid-transfer (see
+    :class:`~repro.exceptions.ResultStreamCut`).  Every complete row in the
+    prefix is returned; the torn tail is dropped instead of raising.
+    """
+    key = _media_key(media_type)
+    if partial:
+        salvager = _SELECT_SALVAGERS.get(key)
+        if salvager is None:
+            raise APIError(
+                f"cannot parse SPARQL results of media type {media_type!r}")
+        return salvager(text)
+    parser = _SELECT_PARSERS.get(key)
     if parser is None:
         raise APIError(
             f"cannot parse SPARQL results of media type {media_type!r}")

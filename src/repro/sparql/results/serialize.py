@@ -11,13 +11,21 @@ SPARQL 1.1 response formats a stock client understands:
   CSV/TSV results note),
 * ``application/n-triples`` / ``text/turtle`` for CONSTRUCT graphs.
 
-Every writer is a generator yielding string fragments — header first, then
-one fragment per solution row — so an HTTP transport can stream an
+Every writer is a generator yielding **bytes** fragments — header first,
+then one fragment per solution row — so an HTTP transport can stream an
 arbitrarily large result with chunked transfer encoding while holding only
-one row's serialization in memory.  :func:`negotiate_media_type` implements
-``Accept``-header negotiation (q-values, ``type/*`` and ``*/*`` ranges) over
-the formats applicable to a given result kind and raises
-:class:`NotAcceptable` when the client's preferences cannot be met.
+one row's serialization in memory, and write each fragment to the socket
+without a second str→bytes copy.  Term encodings are memoized on the term
+dictionary: the :class:`~repro.rdf.dictionary.TermDictionary` interns every
+decoded term (one object per id for the dataset's lifetime), so the bounded
+module-level memos below are exactly ids → encoded-fragments tables shared
+by *every* stream — a predicate or subject that appears in ten thousand
+rows across ten thousand requests is escaped and UTF-8-encoded once, not
+once per request.
+:func:`negotiate_media_type` implements ``Accept``-header negotiation
+(q-values, ``type/*`` and ``*/*`` ranges) over the formats applicable to a
+given result kind and raises :class:`NotAcceptable` when the client's
+preferences cannot be met.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from xml.sax.saxutils import quoteattr as _xml_attr
 from repro.exceptions import APIError, QueryError
 from repro.rdf.graph import Graph
 from repro.rdf.terms import BNode, IRI, Literal, Term, Variable, XSD_STRING
+from repro.sparql.execution import StreamingResult
 from repro.sparql.results.core import ResultSet, Solution
 
 __all__ = [
@@ -139,6 +148,14 @@ def _range_matches(media_range: str, offered: str) -> bool:
     return media_range == offered
 
 
+#: Memo for :func:`negotiate`: real clients send a handful of distinct
+#: ``Accept`` headers against a handful of offer tuples, so the hot path is
+#: one dict probe.  Bounded against hostile header churn; cleared, not
+#: evicted, on overflow (negotiation is pure, so entries never go stale).
+_NEGOTIATE_MEMO: dict = {}
+_NEGOTIATE_MEMO_LIMIT = 1024
+
+
 def negotiate(accept: Optional[str], offered: Sequence[str]) -> Optional[str]:
     """Pick the best of ``offered`` for an ``Accept`` header.
 
@@ -149,6 +166,23 @@ def negotiate(accept: Optional[str], offered: Sequence[str]) -> Optional[str]:
     hand back exactly the format the client vetoed).  Ties in quality break
     toward the server's offer order.  Returns None when nothing survives.
     """
+    key = (accept, tuple(offered))
+    try:
+        return _NEGOTIATE_MEMO[key]
+    except (KeyError, TypeError):
+        pass
+    best = _negotiate_uncached(accept, offered)
+    try:
+        if len(_NEGOTIATE_MEMO) >= _NEGOTIATE_MEMO_LIMIT:
+            _NEGOTIATE_MEMO.clear()
+        _NEGOTIATE_MEMO[key] = best
+    except TypeError:
+        pass  # unhashable accept value; just skip the memo
+    return best
+
+
+def _negotiate_uncached(accept: Optional[str],
+                        offered: Sequence[str]) -> Optional[str]:
     ranges = parse_accept(accept)
     if not ranges:
         return offered[0] if offered else None
@@ -184,7 +218,7 @@ def negotiate_media_type(accept: Optional[str], result: object) -> str:
     formats, ``bool`` the JSON/XML boolean formats, :class:`Graph` the RDF
     serializations.  Raises :class:`NotAcceptable` when negotiation fails.
     """
-    if isinstance(result, ResultSet):
+    if isinstance(result, (ResultSet, StreamingResult)):
         offered: Sequence[str] = RESULT_MEDIA_TYPES
     elif isinstance(result, bool):
         offered = BOOLEAN_MEDIA_TYPES
@@ -271,71 +305,149 @@ def _tsv_value(term: Optional[Term]) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Streaming writers (generators of string fragments)
+# Persistent encoding memos
+# ---------------------------------------------------------------------------
+#
+# One bounded module-level table per wire encoding, keyed on the (interned)
+# term object.  Encoding is a pure function of the term's value, so entries
+# never go stale across datasets or epochs; on overflow a table is simply
+# cleared and re-fills (worst case: re-encode, never a wrong fragment).
+# Plain dict get/set is atomic under the GIL, so concurrent request threads
+# share the tables without a lock — a race costs one duplicate encode.
+
+_TERM_MEMO_LIMIT = 1 << 16
+
+_JSON_KEY_MEMO: dict = {}   # Variable -> b'"name":'
+_JSON_TERM_MEMO: dict = {}  # Term -> compact binding-object JSON bytes
+_XML_TERM_MEMO: dict = {}   # (Variable, Term) -> <binding> element bytes
+_CSV_TERM_MEMO: dict = {}   # Term|None -> RFC 4180 field bytes
+_TSV_TERM_MEMO: dict = {}   # Term|None -> SPARQL term syntax bytes
+_N3_TERM_MEMO: dict = {}    # Term -> N-Triples term bytes
+
+
+# ---------------------------------------------------------------------------
+# Streaming writers (generators of bytes fragments)
 # ---------------------------------------------------------------------------
 
 def write_select_json(variables: Sequence[Variable],
-                      solutions: Iterable[Solution]) -> Iterator[str]:
+                      solutions: Iterable[Solution]) -> Iterator[bytes]:
     head = json.dumps({"head": {"vars": [v.name for v in variables]}},
                       separators=(",", ":"))
-    yield head[:-1] + ',"results":{"bindings":['
+    yield (head[:-1] + ',"results":{"bindings":[').encode("utf-8")
+    term_memo = _JSON_TERM_MEMO
+    key_memo = _JSON_KEY_MEMO
     first = True
     for solution in solutions:
-        row = {var.name: binding_json(term) for var, term in solution.items()}
-        fragment = json.dumps(row, separators=(",", ":"))
-        yield fragment if first else "," + fragment
+        parts = []
+        for var, term in solution.items():
+            key = key_memo.get(var)
+            if key is None:
+                if len(key_memo) >= _TERM_MEMO_LIMIT:
+                    key_memo.clear()
+                key = key_memo[var] = (json.dumps(var.name) + ":").encode("utf-8")
+            encoded = term_memo.get(term)
+            if encoded is None:
+                if len(term_memo) >= _TERM_MEMO_LIMIT:
+                    term_memo.clear()
+                encoded = term_memo[term] = json.dumps(
+                    binding_json(term), separators=(",", ":")).encode("utf-8")
+            parts.append(key + encoded)
+        fragment = b"{" + b",".join(parts) + b"}"
+        yield fragment if first else b"," + fragment
         first = False
-    yield "]}}"
+    yield b"]}}"
 
 
-def write_ask_json(value: bool) -> Iterator[str]:
+def write_ask_json(value: bool) -> Iterator[bytes]:
     yield json.dumps({"head": {}, "boolean": bool(value)},
-                     separators=(",", ":"))
+                     separators=(",", ":")).encode("utf-8")
 
 
 def write_select_xml(variables: Sequence[Variable],
-                     solutions: Iterable[Solution]) -> Iterator[str]:
+                     solutions: Iterable[Solution]) -> Iterator[bytes]:
     head = "".join(f'<variable name={_xml_attr(v.name)}/>' for v in variables)
     yield (f'<?xml version="1.0"?>\n<sparql xmlns="{_XMLNS}">'
-           f"<head>{head}</head><results>")
+           f"<head>{head}</head><results>").encode("utf-8")
+    # Keyed by (variable, term): the XML binding element embeds the name.
+    memo = _XML_TERM_MEMO
     for solution in solutions:
-        bindings = "".join(
-            _binding_xml(var.name, solution[var])
-            for var in variables if var in solution)
-        yield f"<result>{bindings}</result>"
-    yield "</results></sparql>"
+        parts = [b"<result>"]
+        for var in variables:
+            term = solution.get(var)
+            if term is None:
+                continue
+            key = (var, term)
+            encoded = memo.get(key)
+            if encoded is None:
+                if len(memo) >= _TERM_MEMO_LIMIT:
+                    memo.clear()
+                encoded = memo[key] = _binding_xml(
+                    var.name, term).encode("utf-8")
+            parts.append(encoded)
+        parts.append(b"</result>")
+        yield b"".join(parts)
+    yield b"</results></sparql>"
 
 
-def write_ask_xml(value: bool) -> Iterator[str]:
+def write_ask_xml(value: bool) -> Iterator[bytes]:
     yield (f'<?xml version="1.0"?>\n<sparql xmlns="{_XMLNS}">'
            f"<head></head><boolean>{'true' if value else 'false'}</boolean>"
-           "</sparql>")
+           "</sparql>").encode("utf-8")
 
 
 def write_select_csv(variables: Sequence[Variable],
-                     solutions: Iterable[Solution]) -> Iterator[str]:
-    yield ",".join(v.name for v in variables) + "\r\n"
+                     solutions: Iterable[Solution]) -> Iterator[bytes]:
+    yield (",".join(v.name for v in variables) + "\r\n").encode("utf-8")
+    memo = _CSV_TERM_MEMO
     for solution in solutions:
-        yield ",".join(_csv_value(solution.get(v)) for v in variables) + "\r\n"
+        parts = []
+        for var in variables:
+            term = solution.get(var)
+            encoded = memo.get(term)
+            if encoded is None:
+                if len(memo) >= _TERM_MEMO_LIMIT:
+                    memo.clear()
+                encoded = memo[term] = _csv_value(term).encode("utf-8")
+            parts.append(encoded)
+        yield b",".join(parts) + b"\r\n"
 
 
 def write_select_tsv(variables: Sequence[Variable],
-                     solutions: Iterable[Solution]) -> Iterator[str]:
-    yield "\t".join(f"?{v.name}" for v in variables) + "\n"
+                     solutions: Iterable[Solution]) -> Iterator[bytes]:
+    yield ("\t".join(f"?{v.name}" for v in variables) + "\n").encode("utf-8")
+    memo = _TSV_TERM_MEMO
     for solution in solutions:
-        yield "\t".join(_tsv_value(solution.get(v)) for v in variables) + "\n"
+        parts = []
+        for var in variables:
+            term = solution.get(var)
+            encoded = memo.get(term)
+            if encoded is None:
+                if len(memo) >= _TERM_MEMO_LIMIT:
+                    memo.clear()
+                encoded = memo[term] = _tsv_value(term).encode("utf-8")
+            parts.append(encoded)
+        yield b"\t".join(parts) + b"\n"
 
 
-def write_graph_ntriples(graph: Graph) -> Iterator[str]:
+def write_graph_ntriples(graph: Graph) -> Iterator[bytes]:
+    memo = _N3_TERM_MEMO
     for triple in graph:
-        yield triple.n3() + "\n"
+        parts = []
+        for term in triple:
+            encoded = memo.get(term)
+            if encoded is None:
+                if len(memo) >= _TERM_MEMO_LIMIT:
+                    memo.clear()
+                encoded = memo[term] = term.n3().encode("utf-8")
+            parts.append(encoded)
+        yield b" ".join(parts) + b" .\n"
 
 
-def write_graph_turtle(graph: Graph) -> Iterator[str]:
+def write_graph_turtle(graph: Graph) -> Iterator[bytes]:
     # Turtle groups statements by subject, which needs the whole graph in
     # hand anyway; reuse the canonical writer and yield it in one fragment.
     from repro.rdf.io import serialize_turtle
-    yield serialize_turtle(graph)
+    yield serialize_turtle(graph).encode("utf-8")
 
 
 _SELECT_WRITERS = {
@@ -359,17 +471,39 @@ _GRAPH_WRITERS = {
 }
 
 
-def serialize_result(result: object, media_type: str) -> Iterator[str]:
-    """Serialize one evaluation result in ``media_type`` as a fragment stream.
+def _finishing_rows(result: StreamingResult) -> Iterator[Solution]:
+    """Drain a lazy SELECT, reporting the row count on clean exhaustion.
+
+    A mid-stream :class:`~repro.exceptions.QueryInterrupted` propagates out
+    through the writer (the transport turns it into a cut stream); ``finish``
+    only fires for complete results, so statistics never describe a partial
+    drain as a full one.
+    """
+    rows = 0
+    for solution in result.solutions:
+        rows += 1
+        yield solution
+    result.finish(rows)
+
+
+def serialize_result(result: object, media_type: str) -> Iterator[bytes]:
+    """Serialize one evaluation result in ``media_type`` as a bytes stream.
 
     ``media_type`` must have come from :func:`negotiate_media_type` (or be
     one of the constants above); an inapplicable combination — CSV for an
     ASK, JSON for a graph — raises :class:`~repro.exceptions.QueryError`.
+    A :class:`~repro.sparql.execution.StreamingResult` serializes row by row
+    as the lazy pipeline produces them, which keeps the execution context's
+    deadline and cancellation live for the whole transfer.
     """
     if isinstance(result, ResultSet):
         writer = _SELECT_WRITERS.get(media_type)
         if writer is not None:
             return writer(result.variables, iter(result))
+    elif isinstance(result, StreamingResult):
+        writer = _SELECT_WRITERS.get(media_type)
+        if writer is not None:
+            return writer(result.variables, _finishing_rows(result))
     elif isinstance(result, bool):
         writer = _BOOLEAN_WRITERS.get(media_type)
         if writer is not None:

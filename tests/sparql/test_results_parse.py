@@ -147,3 +147,59 @@ class TestLiveRoundTrip:
         assert client.protocol_ask(
             f"ASK {{ <{EX}s2> <{EX}q> <{EX}missing> }}",
             accept=MEDIA_XML) is False
+
+
+class TestPartialSalvage:
+    """``partial=True`` recovers every complete row from a torn body.
+
+    These are the documents a stream cut leaves behind: truncated
+    mid-object (JSON), mid-element (XML), or mid-line (CSV/TSV).  The
+    salvagers must return the complete rows and silently drop the torn
+    tail — never raise, never fabricate a partial row.
+    """
+
+    FULL_JSON = ('{"head":{"vars":["s"]},"results":{"bindings":['
+                 '{"s":{"type":"uri","value":"http://x/a"}},'
+                 '{"s":{"type":"uri","value":"http://x/b"}},'
+                 '{"s":{"type":"uri","value":"http://x/c"}}]}}')
+
+    def test_json_truncated_mid_object(self):
+        torn = self.FULL_JSON[:self.FULL_JSON.rindex('{"s"') + 20]
+        rows = parse_select_bindings(torn, MEDIA_JSON, partial=True)
+        assert [r["s"]["value"] for r in rows] == ["http://x/a", "http://x/b"]
+
+    def test_json_truncated_before_any_row(self):
+        assert parse_select_bindings('{"head":{"vars":["s"]},"resul',
+                                     MEDIA_JSON, partial=True) == []
+
+    def test_json_complete_document_unchanged_by_partial_flag(self):
+        assert parse_select_bindings(self.FULL_JSON, MEDIA_JSON,
+                                     partial=True) == \
+            parse_select_bindings(self.FULL_JSON, MEDIA_JSON)
+
+    def test_xml_truncated_mid_element(self):
+        full = ('<?xml version="1.0"?>'
+                '<sparql xmlns="http://www.w3.org/2005/sparql-results#">'
+                '<head><variable name="s"/></head><results>'
+                '<result><binding name="s"><uri>http://x/a</uri></binding>'
+                '</result>'
+                '<result><binding name="s"><uri>http://x/b</uri></binding>'
+                '</result></results></sparql>')
+        torn = full[:full.rindex("<result>") + 30]
+        rows = parse_select_bindings(torn, MEDIA_XML, partial=True)
+        assert [r["s"]["value"] for r in rows] == ["http://x/a"]
+
+    def test_csv_truncated_mid_line(self):
+        torn = "s\r\nhttp://x/a\r\nhttp://x/b\r\nhttp://x"
+        rows = parse_select_bindings(torn, MEDIA_CSV, partial=True)
+        assert [r["s"]["value"] for r in rows] == ["http://x/a", "http://x/b"]
+
+    def test_tsv_truncated_mid_line(self):
+        torn = "?s\n<http://x/a>\n<http://x/b>\n<http://x"
+        rows = parse_select_bindings(torn, MEDIA_TSV, partial=True)
+        assert [r["s"]["value"] for r in rows] == ["http://x/a", "http://x/b"]
+
+    def test_without_partial_flag_truncation_still_raises(self):
+        torn = self.FULL_JSON[:-10]
+        with pytest.raises(Exception):
+            parse_select_bindings(torn, MEDIA_JSON)
