@@ -1,6 +1,12 @@
 """Synthetic benchmark knowledge graphs and their standard GML tasks."""
 
-from repro.datasets.generator import GeneratorConfig, KGBuilder
+from repro.datasets.generator import (
+    GeneratorConfig,
+    KGBuilder,
+    StreamingKGConfig,
+    materialize_synthetic_kg,
+    stream_synthetic_kg,
+)
 from repro.datasets.dblp import (
     DBLPConfig,
     dblp_author_affiliation_task,
@@ -13,6 +19,9 @@ from repro.datasets.yago import YAGOConfig, generate_yago_kg, yago_place_country
 __all__ = [
     "GeneratorConfig",
     "KGBuilder",
+    "StreamingKGConfig",
+    "stream_synthetic_kg",
+    "materialize_synthetic_kg",
     "DBLPConfig",
     "generate_dblp_kg",
     "dblp_paper_venue_task",

@@ -328,6 +328,7 @@ class APIRouter:
             "ping": frozenset(),
             "load": frozenset({"triples", "ntriples", "graph_iri"}),
             "sparql": frozenset({"query", "page_size", "default_graph_uris",
+                                 "named_graph_uris",
                                  "require", "timeout", "cancel", "stream"}),
             "sparqlml": frozenset({"query", "page_size", "method",
                                    "meta_sampling", "use_meta_sampling",
@@ -626,6 +627,14 @@ class APIRouter:
                     "'default_graph_uris' must be a non-empty list of IRI strings")
             default_graphs = [_as_iri_text(g, "default_graph_uris[]")
                               for g in default_graphs]
+        named_graphs = params.get("named_graph_uris")
+        if named_graphs is not None:
+            if (not isinstance(named_graphs, (list, tuple))
+                    or not named_graphs):
+                raise BadRequestError(
+                    "'named_graph_uris' must be a non-empty list of IRI strings")
+            named_graphs = [_as_iri_text(g, "named_graph_uris[]")
+                            for g in named_graphs]
         require = params.get("require")
         if require is not None and require not in ("query", "update"):
             raise BadRequestError("'require' must be 'query' or 'update'")
@@ -658,7 +667,8 @@ class APIRouter:
             stats_box: Dict[str, object] = {}
             value = self.scheduler.run(
                 lambda: self.endpoint.execute_stream(
-                    query, default_graph_iris=default_graphs, context=context,
+                    query, default_graph_iris=default_graphs,
+                    named_graph_iris=named_graphs, context=context,
                     on_stats=lambda s: stats_box.__setitem__("last", s)),
                 context)
             stats = stats_box.get("last")
@@ -675,7 +685,8 @@ class APIRouter:
                 context = ExecutionContext(timeout=timeout, cancel=cancel)
             metrics = self._route_metrics("sparql")
             value = self.endpoint.execute_stream(
-                query, default_graph_iris=default_graphs, context=context,
+                query, default_graph_iris=default_graphs,
+                named_graph_iris=named_graphs, context=context,
                 on_stats=lambda s: metrics.record_cache(s.plan_cache_hit))
             stats = None
         else:
@@ -684,6 +695,7 @@ class APIRouter:
                 context = ExecutionContext(timeout=timeout, cancel=cancel)
             value = self.endpoint.execute(query,
                                           default_graph_iris=default_graphs,
+                                          named_graph_iris=named_graphs,
                                           require=require, context=context)
             # thread_statistics() is this thread's own request record, so
             # the hit/miss split stays exact under concurrent serving.

@@ -70,6 +70,11 @@ class UnionGraphView:
         """The dataset epoch token this view pins (plan-cache key)."""
         return self._epoch
 
+    @property
+    def stats_epoch(self):
+        """Version of the optimizer statistics — the pinned dataset token."""
+        return self._epoch
+
     def decode_id(self, term_id: int) -> Term:
         return self._dict.decode(term_id)
 
@@ -150,6 +155,20 @@ class UnionGraphView:
                                  o: Optional[int] = None) -> int:
         """Planning estimate: the cheap non-deduplicated upper bound."""
         return sum(member.count_ids(s, p, o) for member in self._members)
+
+    # -- distinct-count statistics (selectivity estimation) -----------------
+    # Per-member sums are upper bounds (an id distinct in two members is
+    # counted twice), which is the right trade for the planning path: O(1)
+    # per member, and overestimating a divisor only makes the optimizer
+    # slightly conservative.
+    def distinct_subjects_ids(self, p: Optional[int] = None) -> int:
+        return sum(member.distinct_subjects_ids(p) for member in self._members)
+
+    def distinct_objects_ids(self, p: Optional[int] = None) -> int:
+        return sum(member.distinct_objects_ids(p) for member in self._members)
+
+    def distinct_predicates_ids(self) -> int:
+        return sum(member.distinct_predicates_ids() for member in self._members)
 
     # -- term-space access (reference evaluator, UDFs) ----------------------
     def _encode_pattern(self, subject, predicate, obj):

@@ -18,7 +18,10 @@ caching/planning layers above:
 * ``epoch`` — a counter bumped on every mutation, used by the endpoint's
   plan cache and cached union graph to detect staleness without diffing,
 * per-predicate / per-subject / per-object cardinality counters, giving the
-  join-order optimizer O(1) estimates instead of per-query index probes.
+  join-order optimizer O(1) estimates instead of per-query index probes,
+* per-predicate *distinct-subject* counts (distinct objects and the global
+  distinct counts fall out of the index shapes for free), which turn those
+  triple counts into join selectivities for the cost-based optimizer.
 
 Concurrency model — snapshot isolation
 --------------------------------------
@@ -125,6 +128,12 @@ class Graph:
         self._p_counts: Dict[int, int] = {}
         self._s_counts: Dict[int, int] = {}
         self._o_counts: Dict[int, int] = {}
+        # Distinct subjects per predicate id.  The dual (distinct objects
+        # per predicate) is len(self._pos[pid]) — already maintained by the
+        # POS index — and the global distinct counts are the top-level index
+        # key counts, so this is the only extra counter the selectivity
+        # estimator needs.
+        self._ps_counts: Dict[int, int] = {}
         #: Cached per-epoch snapshot; True while its containers are shared
         #: with the live graph (next write must copy-on-write first).
         self._snapshot_cache: Optional["GraphSnapshot"] = None
@@ -151,6 +160,17 @@ class Graph:
     @property
     def epoch(self) -> int:
         """Mutation counter; any change to the triple set bumps it."""
+        return self._epoch
+
+    @property
+    def stats_epoch(self) -> int:
+        """Version of the optimizer statistics (cardinality/distinct counts).
+
+        The counters are maintained inline on the write path, so they
+        advance in lock-step with :attr:`epoch`; plan caches key on this
+        separately so a future sampled/deferred statistics refresh can
+        invalidate plans without a triple-set change (and vice versa).
+        """
         return self._epoch
 
     def decode_id(self, term_id: int) -> Term:
@@ -208,6 +228,7 @@ class Graph:
         self._s_counts = dict(self._s_counts)
         self._p_counts = dict(self._p_counts)
         self._o_counts = dict(self._o_counts)
+        self._ps_counts = dict(self._ps_counts)
         # Every inner bucket is now (potentially) shared with a snapshot.
         # A dead owned bucket's id cannot alias a shared one: the shared
         # bucket was allocated while the owned one was still alive, so their
@@ -302,7 +323,12 @@ class Graph:
                 objects = by_pred.get(pi)
                 if objects is not None and oi in objects:
                     return False
-        self._owned_set(self._owned_dict(self._spo, si), pi).add(oi)
+        objects = self._owned_set(self._owned_dict(self._spo, si), pi)
+        if not objects:
+            # First (subject, predicate) pairing: a new distinct subject
+            # under this predicate.
+            self._ps_counts[pi] = self._ps_counts.get(pi, 0) + 1
+        objects.add(oi)
         self._owned_set(self._owned_dict(self._pos, pi), oi).add(si)
         self._owned_set(self._owned_dict(self._osp, oi), si).add(pi)
         self._size += 1
@@ -358,6 +384,14 @@ class Graph:
             self._s_counts = s_counts
             self._p_counts = p_counts
             self._o_counts = o_counts
+            # Distinct-subject counts are derivable from the adopted SPO
+            # index with one pass over its (s, p) pairs — recomputing here
+            # keeps the checkpoint format unchanged.
+            ps_counts: Dict[int, int] = {}
+            for by_pred in spo.values():
+                for pi in by_pred:
+                    ps_counts[pi] = ps_counts.get(pi, 0) + 1
+            self._ps_counts = ps_counts
             self._size = size
             if size:
                 self._epoch += 1
@@ -373,16 +407,19 @@ class Graph:
         spo, pos, osp = self._spo, self._pos, self._osp
         s_counts, p_counts, o_counts = (self._s_counts, self._p_counts,
                                         self._o_counts)
+        ps_counts = self._ps_counts
         added = 0
         for si, pi, oi in id_triples:
             by_pred = spo.get(si)
             if by_pred is None:
                 by_pred = spo[si] = {}
                 objects = by_pred[pi] = set()
+                ps_counts[pi] = ps_counts.get(pi, 0) + 1
             else:
                 objects = by_pred.get(pi)
                 if objects is None:
                     objects = by_pred[pi] = set()
+                    ps_counts[pi] = ps_counts.get(pi, 0) + 1
                 elif oi in objects:
                     continue
             objects.add(oi)
@@ -475,6 +512,11 @@ class Graph:
         self._owned_set(by_pred, pi).discard(oi)
         if not by_pred[pi]:
             del by_pred[pi]
+            remaining = self._ps_counts[pi] - 1
+            if remaining:
+                self._ps_counts[pi] = remaining
+            else:
+                del self._ps_counts[pi]
         if not by_pred:
             del self._spo[si]
         by_obj = self._owned_dict(self._pos, pi)
@@ -510,6 +552,7 @@ class Graph:
             self._p_counts = {}
             self._s_counts = {}
             self._o_counts = {}
+            self._ps_counts = {}
             self._cow_pending = False
             if self._fresh is not None:
                 self._fresh = set()
@@ -690,6 +733,45 @@ class Graph:
     # single O(1) index probe, so the estimate *is* the exact count.
     estimate_cardinality_ids = count_ids
 
+    # -- distinct-count statistics (the selectivity estimator's inputs) -------
+    def distinct_subjects_ids(self, p: Optional[int] = None) -> int:
+        """Distinct subjects overall, or among triples with predicate ``p``.
+
+        O(1) either way: the global count is the SPO key count, the
+        per-predicate count is maintained incrementally on the write path.
+        """
+        if p is None:
+            return len(self._spo)
+        return self._ps_counts.get(p, 0)
+
+    def distinct_objects_ids(self, p: Optional[int] = None) -> int:
+        """Distinct objects overall, or among triples with predicate ``p``."""
+        if p is None:
+            return len(self._osp)
+        by_obj = self._pos.get(p)
+        return len(by_obj) if by_obj else 0
+
+    def distinct_predicates_ids(self) -> int:
+        """Number of distinct predicates (the POS key count)."""
+        return len(self._pos)
+
+    def distinct_subject_count(self, predicate: object = None) -> int:
+        """Term-level :meth:`distinct_subjects_ids` (stats/reporting path)."""
+        if predicate is None:
+            return len(self._spo)
+        pid = self.encode_term(predicate)
+        return self._ps_counts.get(pid, 0) if pid is not None else 0
+
+    def distinct_object_count(self, predicate: object = None) -> int:
+        """Term-level :meth:`distinct_objects_ids` (stats/reporting path)."""
+        if predicate is None:
+            return len(self._osp)
+        pid = self.encode_term(predicate)
+        if pid is None:
+            return 0
+        by_obj = self._pos.get(pid)
+        return len(by_obj) if by_obj else 0
+
     def predicate_cardinality(self, predicate: object) -> int:
         """Number of triples using ``predicate`` (maintained incrementally)."""
         term = _as_term(predicate, allow_none=True)
@@ -864,6 +946,7 @@ class GraphSnapshot(Graph):
         snap._s_counts = graph._s_counts
         snap._p_counts = graph._p_counts
         snap._o_counts = graph._o_counts
+        snap._ps_counts = graph._ps_counts
         snap._snapshot_cache = None
         snap._cow_pending = False
         snap._fresh = None

@@ -95,18 +95,87 @@ class _Token:
         return f"_Token({self.kind}, {self.value!r}, line={self.line})"
 
 
-def _tokenize(text: str) -> Iterator[_Token]:
+#: Characters pulled per ``read()`` when tokenizing a file-like source.
+_CHUNK_SIZE = 1 << 16
+
+#: A match this close to the buffer's end may grow with more input, so the
+#: tokenizer refills before emitting.  Three characters cover the longest
+#: ambiguous continuation: a number's ``e+``/``e-`` exponent prefix (the
+#: digits themselves extend the match to the buffer end, re-triggering the
+#: refill) and the ``.`` that may either terminate a statement or continue
+#: a decimal / dotted qname local part.
+_LOOKAHEAD_MARGIN = 3
+
+
+def _tokenize(source: Union[str, Iterable[str]]) -> Iterator[_Token]:
+    """Tokenize a string or an iterable of string chunks, statement-at-a-time.
+
+    Chunked sources never concatenate into one big string: the scan keeps a
+    rolling buffer of the current chunk plus any token tail that straddles a
+    chunk boundary, so memory stays O(chunk + longest token) no matter how
+    large the document is.  The boundary rules:
+
+    * **no match** at the buffer head — pull more input before declaring the
+      character illegal (it may be the first byte of a multi-char token);
+    * **match running within** :data:`_LOOKAHEAD_MARGIN` **of the buffer's
+      end** — pull more input and re-match: almost any token (IRI, literal,
+      number, qname, ``@prefix``, even whitespace) can continue in the next
+      chunk, and some need more than one character of lookahead to
+      disambiguate (``3`` + ``.14`` is one number but ``3`` + ``. ex:s`` is
+      a number and a statement terminator; ``1e`` + ``+5``, ``ex:a`` +
+      ``.b`` likewise);
+    * **a short-string match that is really a long-form opener** — a buffer
+      holding ``\"\"\"abc`` matches the *empty* short literal ``\"\"`` with
+      the third quote still unconsumed; emitting it would mis-parse every
+      long literal whose body outruns the chunk, so a 2-quote match followed
+      by its own quote character retains and extends instead.
+    """
+    chunks = iter((source,) if isinstance(source, str) else source)
+    buffer = ""
     pos = 0
     line = 1
-    length = len(text)
-    while pos < length:
-        match = _TOKEN_RE.match(text, pos)
+    exhausted = False
+
+    def refill() -> bool:
+        """Drop the consumed prefix, append the next non-empty chunk."""
+        nonlocal buffer, pos, exhausted
+        while not exhausted:
+            try:
+                chunk = next(chunks)
+            except StopIteration:
+                exhausted = True
+                break
+            if chunk:
+                buffer = buffer[pos:] + chunk
+                pos = 0
+                return True
+        return False
+
+    while True:
+        if pos >= len(buffer):
+            if refill():
+                continue
+            return
+        match = _TOKEN_RE.match(buffer, pos)
         if match is None:
-            raise ParseError(f"unexpected character {text[pos]!r}", line=line)
-        kind = match.lastgroup
+            if refill():
+                continue
+            raise ParseError(f"unexpected character {buffer[pos]!r}", line=line)
         value = match.group(0)
+        end = match.end()
+        if not exhausted:
+            if len(buffer) - end < _LOOKAHEAD_MARGIN:
+                if refill():
+                    continue
+            elif (len(value) == 2 and value in ('""', "''")
+                    and buffer[end] == value[0]):
+                # ``"""`` prefix mistaken for an empty short string: the
+                # closing triple-quote hasn't arrived yet.
+                if refill():
+                    continue
+        kind = match.lastgroup
         line += value.count("\n")
-        pos = match.end()
+        pos = end
         if kind in ("ws", "comment"):
             continue
         if kind == "plocal" or kind == "pname":
@@ -114,6 +183,15 @@ def _tokenize(text: str) -> Iterator[_Token]:
             yield _Token("qname", value, line)
             continue
         yield _Token(kind, value, line)
+
+
+def _iter_chunks(source: TextIO, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
+    """Drain a file-like object in fixed-size chunks."""
+    while True:
+        chunk = source.read(chunk_size)
+        if not chunk:
+            return
+        yield chunk
 
 
 #: One pass over every escape form: numeric (``\uXXXX`` / ``\UXXXXXXXX``)
@@ -180,11 +258,18 @@ def _unescape_iri(value: str, line: Optional[int] = None) -> str:
 
 
 class _TurtleParser:
-    """Recursive-descent parser over the token stream."""
+    """Recursive-descent parser over the token stream.
 
-    def __init__(self, text: str, namespaces: Optional[NamespaceManager] = None) -> None:
-        self.tokens: List[_Token] = list(_tokenize(text))
-        self.pos = 0
+    The parser pulls tokens lazily through a one-slot lookahead, so a
+    chunked source (see :func:`_tokenize`) is parsed statement-at-a-time:
+    at no point do the tokens — let alone the text — of the whole document
+    exist in memory at once.
+    """
+
+    def __init__(self, source: Union[str, Iterable[str]],
+                 namespaces: Optional[NamespaceManager] = None) -> None:
+        self._tokens: Iterator[_Token] = _tokenize(source)
+        self._lookahead: Optional[_Token] = None
         self.namespaces = namespaces or NamespaceManager()
         self.base: Optional[str] = None
         #: Triples produced while parsing anonymous blank nodes (``[...]``);
@@ -193,15 +278,15 @@ class _TurtleParser:
 
     # -- token helpers ------------------------------------------------------
     def _peek(self) -> Optional[_Token]:
-        if self.pos < len(self.tokens):
-            return self.tokens[self.pos]
-        return None
+        if self._lookahead is None:
+            self._lookahead = next(self._tokens, None)
+        return self._lookahead
 
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
             raise ParseError("unexpected end of input")
-        self.pos += 1
+        self._lookahead = None
         return token
 
     def _expect_punct(self, char: str) -> None:
@@ -407,25 +492,35 @@ class _TurtleParser:
 # Public API
 # ---------------------------------------------------------------------------
 
-def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
-    """Parse Turtle-lite ``text`` into ``graph`` (a new graph by default)."""
+def _as_chunk_source(source: Union[str, TextIO]) -> Union[str, Iterator[str]]:
+    """Normalize a string / file-like source for the chunked tokenizer."""
+    if hasattr(source, "read"):
+        return _iter_chunks(source)
+    return source
+
+
+def parse_turtle(text: Union[str, TextIO],
+                 graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle-lite ``text`` (a string or file-like) into ``graph``."""
     graph = graph if graph is not None else Graph()
-    parser = _TurtleParser(text, namespaces=graph.namespaces)
+    parser = _TurtleParser(_as_chunk_source(text), namespaces=graph.namespaces)
     graph.add_all(parser.parse())
     return graph
 
 
-def iter_turtle(text: str,
+def iter_turtle(text: Union[str, TextIO],
                 namespaces: Optional[NamespaceManager] = None) -> Iterator[Triple]:
     """Stream triples out of Turtle-lite ``text`` without building a graph.
 
-    This is the parser entry point the streaming bulk loader
+    ``text`` may be a string or an open file-like object; file-likes are
+    read in :data:`_CHUNK_SIZE` pieces, never drained whole.  This is the
+    parser entry point the streaming bulk loader
     (:mod:`repro.storage.bulkload`) feeds from: triples come out one at a
     time as the recursive-descent parser produces them, so a caller can
     batch them straight into id-space indexes instead of materialising a
     triple list (or an intermediate :class:`Graph`) first.
     """
-    parser = _TurtleParser(text, namespaces=namespaces)
+    parser = _TurtleParser(_as_chunk_source(text), namespaces=namespaces)
     return parser.parse()
 
 
@@ -466,13 +561,15 @@ def serialize_turtle(graph: Graph) -> str:
 
 
 def load_graph(source: Union[str, TextIO], graph: Optional[Graph] = None) -> Graph:
-    """Load a graph from a file path or file-like object."""
+    """Load a graph from a file path or file-like object.
+
+    Either way the serialized text streams through the chunked tokenizer —
+    the document is never held in memory whole.
+    """
     if hasattr(source, "read"):
-        text = source.read()
-    else:
-        with open(source, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    return parse_turtle(text, graph=graph)
+        return parse_turtle(source, graph=graph)
+    with open(source, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle, graph=graph)
 
 
 def dump_graph(graph: Graph, destination: Union[str, TextIO],

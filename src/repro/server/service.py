@@ -16,7 +16,8 @@ Routes
     The W3C SPARQL 1.1 Protocol.  Queries arrive as ``query=`` (GET or
     form-encoded POST) or as a direct ``application/sparql-query`` body;
     updates as ``update=`` (POST only) or ``application/sparql-update``.
-    ``default-graph-uri=`` composes the protocol dataset.  Results are
+    ``default-graph-uri=`` / ``named-graph-uri=`` compose the protocol
+    dataset.  Results are
     content-negotiated on ``Accept`` across the SPARQL 1.1 JSON/XML/CSV/TSV
     result formats (N-Triples/Turtle for CONSTRUCT) and stream row-by-row.
 
@@ -399,30 +400,30 @@ class ServiceHandler:
         if (query is None) == (update is None):
             raise BadRequestError(
                 "exactly one of 'query' or 'update' must be supplied")
-        for unsupported in ("named-graph-uri", "using-graph-uri",
-                            "using-named-graph-uri"):
+        for unsupported in ("using-graph-uri", "using-named-graph-uri"):
             if params.get(unsupported):
                 # Dropping these silently would run the request against the
                 # WRONG dataset (e.g. a DELETE meant for one graph wiping
                 # the default graph) — refuse loudly instead.
                 raise UnsupportedFeatureError(
                     f"{unsupported} dataset selection is not supported yet; "
-                    "address named graphs with GRAPH patterns (or "
-                    "default-graph-uri for queries)")
+                    "address update targets with GRAPH patterns / WITH")
         default_graphs = params.get("default-graph-uri") or None
+        named_graphs = params.get("named-graph-uri") or None
         # Per-request execution deadline: capped server-side by the router's
         # max_query_timeout, so a client cannot buy unbounded execution.
         timeout = self._single(params, "timeout") if "timeout" in params else None
 
         if update is not None:
-            if default_graphs:
+            if default_graphs or named_graphs:
                 raise BadRequestError(
-                    "default-graph-uri does not apply to updates "
-                    "(use using-graph-uri semantics via USING/WITH)")
+                    "default-graph-uri / named-graph-uri do not apply to "
+                    "updates (use using-graph-uri semantics via USING/WITH)")
             return self._dispatch_update(update, timeout=timeout,
                                          cancel_event=request.cancel_event)
         return self._dispatch_query(query, default_graphs,
                                     request.header("accept"),
+                                    named_graphs=named_graphs,
                                     timeout=timeout,
                                     cancel_event=request.cancel_event,
                                     cache_control=request.header("cache-control"))
@@ -438,6 +439,7 @@ class ServiceHandler:
     def _dispatch_query(self, query: str,
                         default_graphs: Optional[List[str]],
                         accept: Optional[str],
+                        named_graphs: Optional[List[str]] = None,
                         timeout: Optional[str] = None,
                         cancel_event: Optional[object] = None,
                         cache_control: Optional[str] = None) -> ServiceResponse:
@@ -461,7 +463,8 @@ class ServiceHandler:
         cache_key = epoch = None
         if cache is not None:
             started = time.perf_counter()
-            cache_key = (query, frozenset(default_graphs or ()), accept or "")
+            cache_key = (query, frozenset(default_graphs or ()),
+                         frozenset(named_graphs or ()), accept or "")
             epoch = endpoint.dataset.epoch()
             entry = cache.lookup(cache_key, epoch)
             if entry is not None:
@@ -479,6 +482,8 @@ class ServiceHandler:
                                          "stream": True}
         if default_graphs:
             api_params["default_graph_uris"] = default_graphs
+        if named_graphs:
+            api_params["named_graph_uris"] = named_graphs
         if timeout is not None:
             api_params["timeout"] = timeout
         if cancel_event is not None:

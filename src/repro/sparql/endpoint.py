@@ -64,12 +64,18 @@ from repro.sparql.ast import (
     Update,
     ValuesPattern,
 )
-from repro.sparql.evaluator import QueryEvaluator, QueryPlan, reorder_patterns
+from repro.sparql.evaluator import QueryEvaluator, QueryPlan
 from repro.sparql.execution import ExecutionContext, StreamingResult
 from repro.sparql.functions import UDFRegistry
+from repro.sparql.optimizer import (
+    element_variables,
+    estimate_element_cardinality,
+    explain_bgp_levels,
+    reorder_group_elements,
+)
 from repro.sparql.parser import SPARQLParser
 from repro.sparql.paths import rewrite_path_pattern
-from repro.sparql.results import ResultSet
+from repro.sparql.results import ResultSet, Solution
 from repro.sparql.serializer import (
     serialize_expression,
     serialize_path,
@@ -93,38 +99,71 @@ def _explain_path_endpoints(pattern) -> Dict[str, str]:
 
 
 def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
-                  optimize_joins: bool = True) -> List[Dict[str, object]]:
+                  optimize_joins: bool = True,
+                  bound: Optional[set] = None,
+                  analyze: Optional[Callable[[List], int]] = None
+                  ) -> List[Dict[str, object]]:
     """Render a WHERE group as a list of explain-plan nodes.
 
-    Each node is a plain dict (JSON-serialisable).  BGPs show their triple
-    patterns in the join order the evaluator would pick (when ``graph`` is
-    given and ``optimize_joins`` is set); property-path patterns show both
-    the original path expression and the lowered plan it rewrites to —
-    including the streaming closure / negated-property-set iterator nodes,
-    which is how callers see that ``p+`` became a BFS closure rather than a
-    join.
+    Each node is a plain dict (JSON-serialisable).  When ``graph`` is given
+    and ``optimize_joins`` is set, the nodes appear in the *cost-based*
+    order the evaluator runs them (contiguous join runs reordered, barriers
+    in place), BGPs show their triple patterns in the chosen join order
+    with per-level estimated cardinalities (``levels``), and every join
+    element carries its ``estimated_cardinality`` under the variables bound
+    so far.  Property-path patterns show both the original path expression
+    and the lowered plan it rewrites to — including the streaming closure /
+    negated-property-set iterator nodes, which is how callers see that
+    ``p+`` became a BFS closure rather than a join.
+
+    ``bound`` seeds the variables considered already bound (nested calls).
+    ``analyze`` is an optional callback mapping a triple-pattern prefix to
+    its *actual* row count; when provided, each BGP level also reports
+    ``actual`` — the measured cardinality after joining the levels so far —
+    next to its estimate (``EXPLAIN ANALYZE``).
     """
     nodes: List[Dict[str, object]] = []
-    for element in group.elements:
+    bound = set(bound or ())
+    elements = list(group.elements)
+    costed = graph is not None and optimize_joins
+    if costed and len(elements) > 1:
+        elements = reorder_group_elements(graph, elements)
+    for element in elements:
         if isinstance(element, BGP):
             patterns = list(element.triples)
-            optimized = optimize_joins and graph is not None and len(patterns) > 1
-            if optimized:
-                patterns = reorder_patterns(graph, patterns)
-            nodes.append({
-                "node": "bgp",
-                "patterns": [_explain_triple(p) for p in patterns],
-                "join_order_optimized": optimized,
-            })
+            optimized = costed and len(patterns) > 1
+            node: Dict[str, object] = {"node": "bgp"}
+            if costed:
+                levels = explain_bgp_levels(graph, patterns, bound)
+                patterns = [pattern for pattern, _ in levels]
+                level_nodes: List[Dict[str, object]] = []
+                for depth, (pattern, estimate) in enumerate(levels):
+                    level: Dict[str, object] = {
+                        "pattern": _explain_triple(pattern),
+                        "estimated": round(estimate, 3),
+                    }
+                    if analyze is not None:
+                        level["actual"] = analyze(patterns[:depth + 1])
+                    level_nodes.append(level)
+                node["levels"] = level_nodes
+                node["estimated_cardinality"] = round(
+                    estimate_element_cardinality(graph, element, bound), 3)
+            node["patterns"] = [_explain_triple(p) for p in patterns]
+            node["join_order_optimized"] = optimized
+            nodes.append(node)
         elif isinstance(element, PathPattern):
             rewritten, fresh = rewrite_path_pattern(element)
-            node: Dict[str, object] = {
+            node = {
                 "node": "path",
                 "path": serialize_path(element.path),
             }
             node.update(_explain_path_endpoints(element))
+            if costed:
+                node["estimated_cardinality"] = round(
+                    estimate_element_cardinality(graph, element, bound), 3)
             node["fresh_variables"] = sorted(v.name for v in fresh)
-            node["rewritten"] = explain_group(rewritten, graph, optimize_joins)
+            node["rewritten"] = explain_group(rewritten, graph, optimize_joins,
+                                              bound=bound, analyze=analyze)
             nodes.append(node)
         elif isinstance(element, ClosurePattern):
             node = {
@@ -134,6 +173,9 @@ def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
                 "path": serialize_path(element.path),
             }
             node.update(_explain_path_endpoints(element))
+            if costed:
+                node["estimated_cardinality"] = round(
+                    estimate_element_cardinality(graph, element, bound), 3)
             nodes.append(node)
         elif isinstance(element, NegatedPathPattern):
             node = {
@@ -141,6 +183,9 @@ def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
                 "path": serialize_path(element.path),
             }
             node.update(_explain_path_endpoints(element))
+            if costed:
+                node["estimated_cardinality"] = round(
+                    estimate_element_cardinality(graph, element, bound), 3)
             nodes.append(node)
         elif isinstance(element, FilterPattern):
             nodes.append({
@@ -150,17 +195,22 @@ def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
         elif isinstance(element, OptionalPattern):
             nodes.append({
                 "node": "optional",
-                "children": explain_group(element.pattern, graph, optimize_joins),
+                "children": explain_group(element.pattern, graph,
+                                          optimize_joins, bound=bound,
+                                          analyze=analyze),
             })
         elif isinstance(element, MinusPattern):
             nodes.append({
                 "node": "minus",
-                "children": explain_group(element.pattern, graph, optimize_joins),
+                "children": explain_group(element.pattern, graph,
+                                          optimize_joins, bound=bound,
+                                          analyze=analyze),
             })
         elif isinstance(element, UnionPattern):
             nodes.append({
                 "node": "union",
-                "branches": [explain_group(branch, graph, optimize_joins)
+                "branches": [explain_group(branch, graph, optimize_joins,
+                                           bound=bound, analyze=analyze)
                              for branch in element.alternatives],
             })
         elif isinstance(element, BindPattern):
@@ -183,6 +233,7 @@ def explain_group(group: GroupPattern, graph: Optional[Graph] = None,
             })
         else:  # pragma: no cover - defensive
             nodes.append({"node": type(element).__name__})
+        bound.update(element_variables(element))
     return nodes
 
 
@@ -504,7 +555,8 @@ class SPARQLEndpoint:
     def execute(self, text: str,
                 default_graph_iris: Optional[List[Union[str, IRI]]] = None,
                 require: Optional[str] = None,
-                context: Optional[ExecutionContext] = None):
+                context: Optional[ExecutionContext] = None,
+                named_graph_iris: Optional[List[Union[str, IRI]]] = None):
         """Parse once and route a query *or* an update from the AST.
 
         Unlike :meth:`query` / :meth:`update`, which require the caller to
@@ -512,10 +564,13 @@ class SPARQLEndpoint:
         SELECT / ASK / CONSTRUCT requests return their evaluation result,
         update requests return the number of affected triples.
 
-        ``default_graph_iris`` is the SPARQL 1.1 *Protocol* dataset override
-        (``default-graph-uri=``): when given, the query evaluates against the
-        union of exactly those named graphs (overriding any ``FROM`` clause,
-        as the protocol prescribes).  It never applies to updates.
+        ``default_graph_iris`` / ``named_graph_iris`` are the SPARQL 1.1
+        *Protocol* dataset override (``default-graph-uri=`` /
+        ``named-graph-uri=``): when either is given, the query evaluates
+        against the union of exactly the listed graphs (overriding any
+        ``FROM`` / ``FROM NAMED`` clause, as the protocol prescribes; the
+        evaluator merges GRAPH scoping into one view, so both parameters
+        restrict the same union).  They never apply to updates.
 
         ``require`` pins the request kind before anything executes: pass
         ``"query"`` or ``"update"`` to reject the other kind with a
@@ -533,10 +588,11 @@ class SPARQLEndpoint:
                 raise QueryError(
                     "the request is a SPARQL update, not a query; "
                     "send it through the update operation")
-            if default_graph_iris:
+            if default_graph_iris or named_graph_iris:
                 raise QueryError(
-                    "protocol dataset selection (default-graph-uri) does not "
-                    "apply to updates; use USING / WITH in the request")
+                    "protocol dataset selection (default-graph-uri / "
+                    "named-graph-uri) does not apply to updates; use "
+                    "USING / WITH in the request")
             return self._run_updates(parsed, text, cache_hit=cache_hit,
                                      context=context)
         if require == "update":
@@ -546,6 +602,7 @@ class SPARQLEndpoint:
         return self._run_query(parsed, text, graph_iri=None, plan=plan,
                                cache_hit=cache_hit,
                                default_graph_iris=default_graph_iris,
+                               named_graph_iris=named_graph_iris,
                                context=context)
 
     def is_update(self, text: str) -> bool:
@@ -563,7 +620,8 @@ class SPARQLEndpoint:
     def execute_stream(self, text: str,
                        default_graph_iris: Optional[List[Union[str, IRI]]] = None,
                        context: Optional[ExecutionContext] = None,
-                       on_stats: Optional[Callable[[QueryStatistics], None]] = None):
+                       on_stats: Optional[Callable[[QueryStatistics], None]] = None,
+                       named_graph_iris: Optional[List[Union[str, IRI]]] = None):
         """Evaluate a protocol *query* request lazily.
 
         SELECT queries return a :class:`~repro.sparql.execution.StreamingResult`
@@ -584,8 +642,8 @@ class SPARQLEndpoint:
             raise QueryError(
                 "the request is a SPARQL update, not a query; "
                 "updates cannot be streamed")
-        if default_graph_iris:
-            graph = self._protocol_graph(default_graph_iris)
+        if default_graph_iris or named_graph_iris:
+            graph = self._protocol_graph(default_graph_iris, named_graph_iris)
         else:
             graph = self._evaluation_graph(parsed)
         evaluator = QueryEvaluator(graph, udfs=self.udfs,
@@ -636,8 +694,10 @@ class SPARQLEndpoint:
         return self._run_query(parsed, text, graph_iri=graph_iri, plan=plan,
                                cache_hit=cache_hit)
 
-    def _protocol_graph(self, graph_iris: List[Union[str, IRI]]):
-        """Pin the dataset a protocol ``default-graph-uri`` request names.
+    def _protocol_graph(self, graph_iris: Optional[List[Union[str, IRI]]],
+                        named_graph_iris: Optional[List[Union[str, IRI]]] = None):
+        """Pin the dataset a protocol ``default-graph-uri`` /
+        ``named-graph-uri`` request names.
 
         Delegates to :meth:`DatasetSnapshot.union_of
         <repro.rdf.dataset.DatasetSnapshot.union_of>`: a logical, pinned,
@@ -646,19 +706,30 @@ class SPARQLEndpoint:
         plans.  Graph IRIs the dataset does not hold contribute nothing —
         per the protocol the service composes the dataset from the
         documents it can resolve, and an unknown one is empty here.
+
+        The parser flattens ``GRAPH <g> { ... }`` scoping into the enclosing
+        group (queries always evaluate against one merged view), so the
+        default-graph and named-graph selections collapse into a single
+        restricted union: what ``named-graph-uri`` *restricts* here is which
+        graphs are visible at all — triples of any graph not listed in
+        either parameter cannot match.
         """
-        iris = tuple(IRI(g) if isinstance(g, str) else g for g in graph_iris)
-        return self.dataset.snapshot().union_of(iris)
+        iris = [IRI(g) if isinstance(g, str) else g
+                for g in (graph_iris or ())]
+        iris.extend(IRI(g) if isinstance(g, str) else g
+                    for g in (named_graph_iris or ()))
+        return self.dataset.snapshot().union_of(tuple(dict.fromkeys(iris)))
 
     def _run_query(self, query: Query, text: str,
                    graph_iri: Optional[Union[str, IRI]] = None,
                    plan: Optional[QueryPlan] = None,
                    cache_hit: bool = False,
                    default_graph_iris: Optional[List[Union[str, IRI]]] = None,
-                   context: Optional[ExecutionContext] = None):
+                   context: Optional[ExecutionContext] = None,
+                   named_graph_iris: Optional[List[Union[str, IRI]]] = None):
         """Evaluate an already-parsed query, recording statistics."""
-        if default_graph_iris:
-            graph = self._protocol_graph(default_graph_iris)
+        if default_graph_iris or named_graph_iris:
+            graph = self._protocol_graph(default_graph_iris, named_graph_iris)
         elif graph_iri is not None:
             # Pin like every other path: a concurrent writer must not mutate
             # the buckets this query's join pipeline is iterating.
@@ -757,22 +828,34 @@ class SPARQLEndpoint:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def explain(self, text: str) -> Dict[str, object]:
+    def explain(self, text: str, analyze: bool = False) -> Dict[str, object]:
         """Describe how a query would execute, without executing it.
 
-        Returns a JSON-serialisable dict with the query ``kind`` and a
-        ``plan`` tree of the WHERE group: BGP nodes list their triple
-        patterns in the optimizer's join order, and property-path patterns
-        additionally expose the lowered plan (``rewritten``) the evaluator
-        streams — fresh-variable join chains, union branches for
-        alternatives, and ``closure`` / ``negated-property-set`` iterator
-        nodes for ``*``/``+``/``?`` and ``!(...)``.
+        Returns a JSON-serialisable dict with the query ``kind``, a
+        ``statistics`` block, and a ``plan`` tree of the WHERE group: BGP
+        nodes list their triple patterns in the optimizer's chosen join
+        order together with per-level estimated cardinalities (``levels``),
+        every join element carries its ``estimated_cardinality``, and
+        property-path patterns additionally expose the lowered plan
+        (``rewritten``) the evaluator streams — fresh-variable join chains,
+        union branches for alternatives, and ``closure`` /
+        ``negated-property-set`` iterator nodes for ``*``/``+``/``?`` and
+        ``!(...)``.
 
-        Parses through the plan cache (so ``explain`` then ``execute`` costs
-        one parse), but records no statistics and touches no data beyond the
-        cardinality counters the join optimizer reads.
+        ``statistics`` reports how the plan interacts with the caches: the
+        parse/plan-cache outcome for this text (``plan_cache_hit``) plus the
+        dataset epoch and the evaluation graph's statistics epoch — the keys
+        under which the compiled join orders are cached, so two ``explain``
+        calls with equal epochs are guaranteed to describe the same cached
+        plan.
+
+        With ``analyze=True`` each BGP level also executes its pattern
+        prefix (in the chosen order, reordering disabled) and reports the
+        *actual* cardinality next to the estimate — the plan-quality
+        contract the optimizer tests pin.  Plain ``explain`` touches no
+        data beyond the cardinality counters the optimizer reads.
         """
-        parsed, _plan, _cache_hit = self._cached_parse(text)
+        parsed, _plan, cache_hit = self._cached_parse(text)
         if isinstance(parsed, list):
             return {
                 "kind": "UPDATE",
@@ -787,10 +870,28 @@ class SPARQLEndpoint:
         else:  # pragma: no cover - defensive
             kind = type(parsed).__name__
         graph = self._evaluation_graph(parsed)
+        counter = None
+        if analyze:
+            def counter(patterns: List) -> int:
+                # The prefix arrives already in the optimizer's chosen
+                # order; evaluate it verbatim so the actuals line up with
+                # the per-level estimates.
+                evaluator = QueryEvaluator(graph, udfs=self.udfs,
+                                           optimize_joins=False)
+                prefix = GroupPattern([BGP(triples=list(patterns))])
+                return sum(1 for _ in evaluator._evaluate_group(
+                    prefix, iter((Solution(),))))
         return {
             "kind": kind,
             "optimize_joins": self.optimize_joins,
-            "plan": explain_group(parsed.where, graph, self.optimize_joins),
+            "statistics": {
+                "plan_cache_hit": cache_hit,
+                "dataset_epoch": self.dataset.epoch(),
+                "stats_epoch": getattr(graph, "stats_epoch", None),
+                "num_triples": len(graph),
+            },
+            "plan": explain_group(parsed.where, graph, self.optimize_joins,
+                                  analyze=counter),
         }
 
     def last_statistics(self) -> Optional[QueryStatistics]:

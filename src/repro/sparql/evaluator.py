@@ -86,6 +86,11 @@ from repro.sparql.ast import (
     VariableExpr,
 )
 from repro.sparql.execution import ExecutionContext
+from repro.sparql.optimizer import (
+    estimate_pattern_cardinality,
+    reorder_group_elements,
+    reorder_patterns,
+)
 from repro.sparql.paths import invert_path, normalize_path, rewrite_path_pattern
 from repro.sparql.functions import (
     EvaluationContext,
@@ -95,69 +100,11 @@ from repro.sparql.functions import (
 )
 from repro.sparql.results import ResultSet, Solution
 
+# ``reorder_patterns`` / ``estimate_pattern_cardinality`` grew up here and
+# moved to :mod:`repro.sparql.optimizer`; they stay re-exported for the
+# existing import sites.
 __all__ = ["QueryEvaluator", "QueryPlan", "reorder_patterns",
            "estimate_pattern_cardinality"]
-
-
-# ---------------------------------------------------------------------------
-# Cardinality estimation and join reordering
-# ---------------------------------------------------------------------------
-
-def estimate_pattern_cardinality(graph: Graph, pattern: TriplePattern,
-                                 bound: Optional[set] = None) -> float:
-    """Estimate how many solutions ``pattern`` produces.
-
-    Constant components are answered from the graph's incrementally
-    maintained cardinality counters (O(1), no index walking); variables
-    already bound by earlier patterns in the join order divide the estimate
-    (they act as additional selections once the join is underway).
-    """
-    bound = bound or set()
-    s = pattern.subject if not isinstance(pattern.subject, Variable) else None
-    p = pattern.predicate if not isinstance(pattern.predicate, Variable) else None
-    o = pattern.object if not isinstance(pattern.object, Variable) else None
-    # estimate_cardinality == count on a plain Graph (O(1) counters); union
-    # views answer it with a cheap non-deduplicated bound instead of the
-    # exact enumerating count.
-    estimate = float(graph.estimate_cardinality(s, p, o))
-    if estimate == 0:
-        return 0.0
-    for term in (pattern.subject, pattern.predicate, pattern.object):
-        if isinstance(term, Variable) and term in bound:
-            estimate = max(1.0, estimate / 10.0)
-    return estimate
-
-
-def reorder_patterns(graph: Graph,
-                     patterns: Sequence[TriplePattern]) -> List[TriplePattern]:
-    """Greedy join-order optimization.
-
-    Repeatedly picks the remaining pattern with the smallest estimated
-    cardinality given the variables bound so far, preferring patterns that
-    connect to the already-chosen ones (to avoid Cartesian products).
-    """
-    remaining = list(patterns)
-    ordered: List[TriplePattern] = []
-    bound: set = set()
-    while remaining:
-        best_index = 0
-        best_score = None
-        for index, pattern in enumerate(remaining):
-            cardinality = estimate_pattern_cardinality(graph, pattern, bound)
-            connected = bool(bound) and any(
-                isinstance(t, Variable) and t in bound for t in pattern
-            )
-            # Disconnected patterns are penalised heavily (Cartesian product).
-            score = (0 if connected or not bound else 1, cardinality)
-            if best_score is None or score < best_score:
-                best_score = score
-                best_index = index
-        chosen = remaining.pop(best_index)
-        ordered.append(chosen)
-        for term in chosen:
-            if isinstance(term, Variable):
-                bound.add(term)
-    return ordered
 
 
 # ---------------------------------------------------------------------------
@@ -417,7 +364,9 @@ class _CompiledNegated:
 
 
 class _PlanState:
-    """Compiled BGPs bound to one (graph identity, epoch, optimize flag)."""
+    """Compiled artifacts bound to one (graph identity, epoch, statistics
+    epoch, optimize flag) target: compiled BGPs/closures/negated sets and
+    cost-ordered group element lists."""
 
     __slots__ = ("graph_ref", "compiled")
 
@@ -453,11 +402,18 @@ class QueryPlan:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._states: "OrderedDict[Tuple[int, int, bool], _PlanState]" = OrderedDict()
+        self._states: "OrderedDict[Tuple, _PlanState]" = OrderedDict()
 
     def state_for(self, graph: Graph, optimize_joins: bool) -> _PlanState:
-        """The compiled-BGP store for exactly this graph object and epoch."""
-        key = (id(graph), graph.epoch, optimize_joins)
+        """The compiled-BGP store for exactly this graph object and epoch.
+
+        The key also carries the graph's *statistics epoch*: cost-based
+        join orders are a function of the optimizer statistics, so a
+        statistics refresh must invalidate cached orderings even if it were
+        ever decoupled from the triple-set mutation counter.
+        """
+        key = (id(graph), graph.epoch,
+               getattr(graph, "stats_epoch", None), optimize_joins)
         with self._lock:
             state = self._states.get(key)
             if state is not None and state.graph_ref() is graph:
@@ -613,11 +569,36 @@ class QueryEvaluator:
         return result
 
     # -- group pattern evaluation -------------------------------------------
+    def _group_elements(self, group: GroupPattern) -> Sequence:
+        """The group's elements in cost order (cached per plan target).
+
+        Contiguous runs of join-commutative elements (BGPs, path patterns,
+        closures, negated property sets) are reordered smallest-estimated-
+        cardinality-first with bound-variable propagation, so e.g. an
+        unanchored transitive closure runs after the patterns that bind one
+        of its endpoints.  FILTER / OPTIONAL / MINUS / BIND / VALUES / UNION
+        / sub-SELECT elements never move.  The ordering is cached in the
+        plan store under the *group's* identity (disjoint from the BGP /
+        closure entries, which key their own AST nodes).
+        """
+        elements = group.elements
+        if not self.optimize_joins or len(elements) < 2:
+            return elements
+        store = self._plan_store()
+        if store is not None:
+            ordered = store.get(id(group))
+            if ordered is not None:
+                return ordered
+        ordered = reorder_group_elements(self.graph, elements)
+        if store is not None:
+            store[id(group)] = ordered
+        return ordered
+
     def _evaluate_group(self, group: GroupPattern,
                         solutions: Iterator[Solution]) -> Iterator[Solution]:
         """Chain one lazy operator per group element over ``solutions``."""
         stream = solutions
-        for element in group.elements:
+        for element in self._group_elements(group):
             if isinstance(element, BGP):
                 stream = self._stream_bgp(element, stream)
             elif isinstance(element, PathPattern):

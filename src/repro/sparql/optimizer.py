@@ -1,0 +1,423 @@
+"""Cost-based join ordering for the streaming SPARQL evaluator.
+
+This module turns the graph's incrementally maintained statistics into
+plans.  The inputs are all O(1) probes:
+
+* **constant positions** are answered exactly from the per-subject /
+  per-predicate / per-object triple counters (or a single index probe for
+  two-constant shapes) via ``Graph.estimate_cardinality``,
+* **variable positions already bound** by earlier join levels divide the
+  estimate by the matching *distinct-count* statistic — distinct subjects
+  per predicate (maintained on the write path), distinct objects per
+  predicate (the POS bucket size), or the global distinct counts (index key
+  counts) when the predicate itself is unknown.  That is the classical
+  ``|R| / V(R, a)`` uniform-frequency selectivity.
+
+On top of the estimator sit two greedy orderers implementing the RDF-3X
+heuristic (smallest estimated cardinality first, bound variables
+propagated, Cartesian products postponed):
+
+* :func:`reorder_patterns` orders the triple patterns *within* one BGP
+  (this is what the compiled join pipeline consumes), and
+* :func:`reorder_group_elements` orders whole group elements across a
+  contiguous run of join-commutative operators — BGPs, property-path
+  patterns, closures (``p+``/``p*``/``p?``) and negated property sets — so
+  that e.g. a closure with no bound endpoint runs *after* the patterns that
+  bind one endpoint, instead of enumerating the node universe.  FILTER /
+  OPTIONAL / MINUS / BIND / VALUES / UNION / sub-SELECT elements are
+  **barriers**: they carry left-join or scope semantics and never move, and
+  nothing is reordered across them.  (Joins are commutative under SPARQL
+  bag semantics; a closure contributes a set-semantics relation per the ALP
+  definition and a negated set a bag-semantics relation, so permuting a run
+  is result-identical — the differential and Hypothesis suites under
+  ``tests/sparql/test_optimizer.py`` enforce exactly that.)
+
+Determinism contract: every tie in the greedy loops is broken by a
+canonical serialization of the candidate, so *any* written order of the
+same patterns converges on the same chosen plan.  ``explain()`` exposes the
+chosen order with per-level estimates (see
+:func:`repro.sparql.endpoint.explain_group`), which is what the plan-quality
+tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.rdf.terms import Variable
+from repro.sparql.ast import (
+    BGP,
+    ClosurePattern,
+    GraphPattern,
+    NegatedPathPattern,
+    PathPattern,
+    TriplePattern,
+    UnionPattern,
+)
+from repro.sparql.paths import path_link_iris, rewrite_path_pattern
+from repro.sparql.serializer import serialize_path, serialize_term
+
+__all__ = [
+    "estimate_pattern_cardinality",
+    "estimate_element_cardinality",
+    "reorder_patterns",
+    "reorder_group_elements",
+    "explain_bgp_levels",
+    "is_join_element",
+]
+
+#: Element types whose adjacency forms a commutative join run.
+_JOIN_ELEMENTS = (BGP, PathPattern, ClosurePattern, NegatedPathPattern)
+
+#: Estimates are capped so products over long chains stay ordered floats.
+_MAX_ESTIMATE = 1e30
+
+#: A closure explores multiple BFS hops; its one-step fan-out estimate is
+#: scaled by this factor to stand in for the expected reachable set.
+_CLOSURE_EXPANSION = 4.0
+
+#: Selectivity divisor used when the graph exposes no distinct-count
+#: statistics (pre-optimizer behaviour: each bound variable divides by 10).
+_LEGACY_DIVISOR = 10.0
+
+
+def is_join_element(element: GraphPattern) -> bool:
+    """True for elements the group-level reorderer may permute."""
+    return isinstance(element, _JOIN_ELEMENTS)
+
+
+# ---------------------------------------------------------------------------
+# Selectivity estimation
+# ---------------------------------------------------------------------------
+
+def _predicate_id(graph, predicate) -> Optional[int]:
+    encode = getattr(graph, "encode_term", None)
+    if encode is None:
+        return None
+    return encode(predicate)
+
+
+def _distinct(graph, method_name: str, pid: Optional[int]) -> float:
+    """A distinct-count divisor, falling back to the legacy heuristic."""
+    method = getattr(graph, method_name, None)
+    if method is None:
+        return _LEGACY_DIVISOR
+    count = method(pid)
+    return float(count) if count else 1.0
+
+
+def estimate_pattern_cardinality(graph, pattern: TriplePattern,
+                                 bound: Optional[Set[Variable]] = None) -> float:
+    """Estimate how many rows ``pattern`` produces given ``bound`` variables.
+
+    Constant components are answered from the graph's maintained counters
+    (O(1), no index walking).  A variable position already bound by earlier
+    join levels acts as a selection: the estimate is divided by the number
+    of *distinct* values that position takes among the matching triples —
+    per-predicate distinct subjects/objects when the predicate is constant,
+    the global distinct counts otherwise.
+    """
+    bound = bound or set()
+    subject, predicate, object_ = pattern.subject, pattern.predicate, pattern.object
+    s = None if isinstance(subject, Variable) else subject
+    p = None if isinstance(predicate, Variable) else predicate
+    o = None if isinstance(object_, Variable) else object_
+    # estimate_cardinality == count on a plain Graph (O(1) counters); union
+    # views answer it with a cheap non-deduplicated bound instead of the
+    # exact enumerating count.
+    estimate = float(graph.estimate_cardinality(s, p, o))
+    if estimate == 0.0:
+        return 0.0
+    pid = _predicate_id(graph, p) if p is not None else None
+    if isinstance(subject, Variable) and subject in bound:
+        estimate /= _distinct(graph, "distinct_subjects_ids", pid)
+    if isinstance(predicate, Variable) and predicate in bound:
+        method = getattr(graph, "distinct_predicates_ids", None)
+        divisor = float(method()) if method is not None else _LEGACY_DIVISOR
+        estimate /= divisor if divisor else 1.0
+    if isinstance(object_, Variable) and object_ in bound:
+        estimate /= _distinct(graph, "distinct_objects_ids", pid)
+    return min(max(estimate, 1.0), _MAX_ESTIMATE)
+
+
+def _node_universe(graph) -> float:
+    """Planning estimate of the graph's node count (subjects + objects)."""
+    distinct = getattr(graph, "distinct_subjects_ids", None)
+    if distinct is not None:
+        return float(distinct(None) + graph.distinct_objects_ids(None))
+    return float(len(graph))
+
+
+def _step_cardinality(graph, path) -> float:
+    """How many edges one application of ``path`` can traverse."""
+    links = path_link_iris(path)
+    if links is None:
+        # Negated sets scan a node's whole edge list and filter.
+        return max(float(len(graph)), 1.0)
+    total = 0.0
+    for iri in links:
+        total += float(graph.estimate_cardinality(None, iri, None))
+    return max(total, 1.0)
+
+
+def _endpoint_bound(term, bound: Set[Variable]) -> bool:
+    return not isinstance(term, Variable) or term in bound
+
+
+def estimate_element_cardinality(graph, element: GraphPattern,
+                                 bound: Optional[Set[Variable]] = None) -> float:
+    """Estimate the output cardinality of one join-run element.
+
+    * **BGP** — product of per-level estimates along its own greedy order
+      (bound variables propagated level to level).
+    * **Closure** (``p*``/``p+``/``p?``) — with a bound endpoint, the
+      one-step fan-out (step edges / distinct start nodes) scaled by the
+      expansion factor; with *no* bound endpoint, the node universe times
+      that fan-out — deliberately enormous, which is what pushes an
+      unanchored closure behind its binding producers.
+    * **Negated property set** — the non-excluded edge count per direction,
+      divided by the global distinct counts for each bound endpoint.
+    * **Path pattern** (``seq``/``alt``/``inv`` not yet lowered) — the
+      estimate of its memoized lowering.
+    """
+    bound = set(bound or ())
+    if isinstance(element, BGP):
+        return _estimate_bgp(graph, list(element.triples), bound)
+    if isinstance(element, ClosurePattern):
+        step = _step_cardinality(graph, element.path)
+        starts = _distinct(graph, "distinct_subjects_ids",
+                           None if path_link_iris(element.path) is None
+                           else _single_link_pid(graph, element.path))
+        fan_out = max(step / max(starts, 1.0), 1.0) * _CLOSURE_EXPANSION
+        s_bound = _endpoint_bound(element.subject, bound)
+        o_bound = _endpoint_bound(element.object, bound)
+        if s_bound and o_bound:
+            return 1.0
+        if s_bound or o_bound:
+            return min(fan_out, _MAX_ESTIMATE)
+        return min(_node_universe(graph) * fan_out, _MAX_ESTIMATE)
+    if isinstance(element, NegatedPathPattern):
+        path = element.path
+        directions = int(path.match_forward) + int(path.match_inverse)
+        estimate = float(len(graph)) * max(directions, 1)
+        if estimate == 0.0:
+            return 0.0
+        if _endpoint_bound(element.subject, bound):
+            estimate /= _distinct(graph, "distinct_subjects_ids", None)
+        if _endpoint_bound(element.object, bound):
+            estimate /= _distinct(graph, "distinct_objects_ids", None)
+        return min(max(estimate, 1.0), _MAX_ESTIMATE)
+    if isinstance(element, PathPattern):
+        group, _fresh = rewrite_path_pattern(element)
+        return _estimate_elements(graph, group.elements, bound)
+    return 1.0
+
+
+def _single_link_pid(graph, path) -> Optional[int]:
+    """The predicate id when the path traverses exactly one link IRI."""
+    links = path_link_iris(path)
+    if links is not None and len(links) == 1:
+        return _predicate_id(graph, links[0])
+    return None
+
+
+def _estimate_bgp(graph, patterns: List[TriplePattern],
+                  bound: Set[Variable]) -> float:
+    inner = set(bound)
+    total = 1.0
+    for pattern in reorder_patterns(graph, patterns, inner):
+        estimate = estimate_pattern_cardinality(graph, pattern, inner)
+        if estimate == 0.0:
+            return 0.0
+        total = min(total * estimate, _MAX_ESTIMATE)
+        inner.update(term for term in pattern if isinstance(term, Variable))
+    return total
+
+
+def _estimate_elements(graph, elements: Sequence[GraphPattern],
+                       bound: Set[Variable]) -> float:
+    """Joint estimate of a sequence of elements with binding propagation."""
+    inner = set(bound)
+    total = 1.0
+    for element in elements:
+        if isinstance(element, UnionPattern):
+            estimate = sum(
+                _estimate_elements(graph, branch.elements, inner)
+                for branch in element.alternatives)
+        elif isinstance(element, _JOIN_ELEMENTS):
+            estimate = estimate_element_cardinality(graph, element, inner)
+        else:
+            estimate = 1.0
+        if estimate == 0.0:
+            return 0.0
+        total = min(total * estimate, _MAX_ESTIMATE)
+        inner.update(element_variables(element))
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Greedy ordering
+# ---------------------------------------------------------------------------
+
+def _pattern_key(pattern: TriplePattern) -> str:
+    """Canonical tie-break key: any permutation picks the same winner."""
+    return (f"{serialize_term(pattern.subject)} "
+            f"{serialize_term(pattern.predicate)} "
+            f"{serialize_term(pattern.object)}")
+
+
+def reorder_patterns(graph, patterns: Sequence[TriplePattern],
+                     bound: Optional[Set[Variable]] = None
+                     ) -> List[TriplePattern]:
+    """Greedy smallest-estimated-cardinality-first join ordering.
+
+    Repeatedly picks the remaining pattern with the smallest estimated
+    cardinality given the variables bound so far, preferring patterns that
+    connect to the already-chosen ones (a disconnected pick is a Cartesian
+    product and is postponed).  Ties break on the canonical pattern
+    serialization, so the chosen order is independent of the written order.
+    """
+    remaining = list(patterns)
+    ordered: List[TriplePattern] = []
+    bound = set(bound or ())
+    seeded = bool(bound)
+    while remaining:
+        best_index = 0
+        best_score = None
+        for index, pattern in enumerate(remaining):
+            cardinality = estimate_pattern_cardinality(graph, pattern, bound)
+            connected = bool(bound) and any(
+                isinstance(t, Variable) and t in bound for t in pattern
+            )
+            # Disconnected patterns are penalised heavily (Cartesian
+            # product); before anything is bound every pattern qualifies.
+            # A seeded bound set (sub-BGP estimation) counts as "something
+            # is bound" only once a chosen pattern actually connects.
+            free_pass = not bound or (seeded and not ordered)
+            score = (0 if connected or free_pass else 1, cardinality,
+                     _pattern_key(pattern))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        for term in chosen:
+            if isinstance(term, Variable):
+                bound.add(term)
+    return ordered
+
+
+def element_variables(element: GraphPattern) -> Iterator[Variable]:
+    if isinstance(element, BGP):
+        for pattern in element.triples:
+            for term in pattern:
+                if isinstance(term, Variable):
+                    yield term
+        return
+    for term in (getattr(element, "subject", None),
+                 getattr(element, "object", None),
+                 getattr(element, "variable", None)):
+        if isinstance(term, Variable):
+            yield term
+    variables = getattr(element, "variables", None)
+    if variables is not None and not callable(variables):
+        for variable in variables:
+            if isinstance(variable, Variable):
+                yield variable
+
+
+def _element_key(element: GraphPattern) -> str:
+    """Canonical, permutation-invariant tie-break key for a run element."""
+    if isinstance(element, BGP):
+        return "bgp:" + "|".join(sorted(_pattern_key(p)
+                                        for p in element.triples))
+    if isinstance(element, ClosurePattern):
+        return (f"closure:{serialize_path(element.path)}{element.modifier}:"
+                f"{serialize_term(element.subject)}:"
+                f"{serialize_term(element.object)}")
+    if isinstance(element, NegatedPathPattern):
+        return (f"negated:{serialize_path(element.path)}:"
+                f"{serialize_term(element.subject)}:"
+                f"{serialize_term(element.object)}")
+    if isinstance(element, PathPattern):
+        return (f"path:{serialize_path(element.path)}:"
+                f"{serialize_term(element.subject)}:"
+                f"{serialize_term(element.object)}")
+    return type(element).__name__
+
+
+def _order_run(graph, run: List[GraphPattern],
+               bound: Set[Variable]) -> List[GraphPattern]:
+    """Order one contiguous run of join-commutative elements."""
+    if len(run) < 2:
+        return run
+    remaining = list(run)
+    ordered: List[GraphPattern] = []
+    inner = set(bound)
+    while remaining:
+        best_index = 0
+        best_score = None
+        for index, element in enumerate(remaining):
+            estimate = estimate_element_cardinality(graph, element, inner)
+            connected = bool(inner) and any(
+                variable in inner for variable in element_variables(element))
+            score = (0 if connected or not inner else 1, estimate,
+                     _element_key(element))
+            if best_score is None or score < best_score:
+                best_score = score
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        inner.update(element_variables(chosen))
+    return ordered
+
+
+def reorder_group_elements(graph,
+                           elements: Sequence[GraphPattern]
+                           ) -> List[GraphPattern]:
+    """Cost-order the join runs of a group, leaving barriers in place.
+
+    Contiguous runs of BGPs / path patterns / closures / negated sets are
+    reordered greedily (smallest estimated cardinality first, bound
+    variables propagated); every other element type is a barrier that keeps
+    its position, and bindings it introduces (BIND, VALUES) still propagate
+    into later runs.
+    """
+    ordered: List[GraphPattern] = []
+    run: List[GraphPattern] = []
+    bound: Set[Variable] = set()
+
+    def flush() -> None:
+        if run:
+            for element in _order_run(graph, run, bound):
+                ordered.append(element)
+                bound.update(element_variables(element))
+            run.clear()
+
+    for element in elements:
+        if is_join_element(element):
+            run.append(element)
+        else:
+            flush()
+            ordered.append(element)
+            bound.update(element_variables(element))
+    flush()
+    return ordered
+
+
+def explain_bgp_levels(graph, patterns: Sequence[TriplePattern],
+                       bound: Optional[Set[Variable]] = None):
+    """The chosen join order with per-level cardinality estimates.
+
+    Returns ``[(pattern, estimate), ...]`` in the order
+    :func:`reorder_patterns` picks, each estimate computed under the
+    variables bound by the preceding levels — exactly the numbers the
+    greedy loop compared.  This is what ``explain()`` renders.
+    """
+    inner = set(bound or ())
+    levels = []
+    for pattern in reorder_patterns(graph, patterns, inner):
+        levels.append((pattern, estimate_pattern_cardinality(graph, pattern,
+                                                             inner)))
+        inner.update(term for term in pattern if isinstance(term, Variable))
+    return levels

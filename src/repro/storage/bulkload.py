@@ -99,18 +99,17 @@ def stream_load(graph: Graph, source: Union[str, TextIO],
     accepted for symmetry with :func:`repro.rdf.io.dump_graph` (both formats
     share one parser).
 
-    Memory profile: the *serialized* source is held in memory whole — a
-    file-like object is drained with ``read()`` and the tokenizer scans the
-    full text — so a load costs O(source bytes) transient memory on top of
-    the final indexes.  What streams is everything downstream of the
-    parser: triples flow straight from the recursive-descent parser into
-    id-space batches, with no intermediate triple list and no staging copy
-    of the graph.  Statement-at-a-time chunked parsing for file sources is
-    a noted follow-up (see ROADMAP.md, storage open items).
+    Memory profile: a file-like source streams end to end.  The tokenizer
+    reads it in fixed-size chunks and parses statement-at-a-time, so the
+    serialized document is never held in memory whole — transient memory is
+    O(chunk + batch) regardless of file size — and triples flow straight
+    from the recursive-descent parser into id-space batches, with no
+    intermediate triple list and no staging copy of the graph.  (A string
+    source is, of course, already resident; everything downstream of the
+    tokenizer still streams.)
     """
     if fmt not in ("turtle", "ntriples", "nt"):
         raise RDFError(f"unknown bulk-load format {fmt!r}")
-    text = source.read() if hasattr(source, "read") else source
     return stream_load_triples(
-        graph, iter_turtle(text, namespaces=graph.namespaces),
+        graph, iter_turtle(source, namespaces=graph.namespaces),
         batch_size=batch_size)

@@ -1,0 +1,136 @@
+"""Chunked, statement-at-a-time Turtle parsing.
+
+The tokenizer scans a rolling buffer and must emit exactly the token stream
+the whole-string scan produces, no matter where the chunk boundaries fall.
+The hostile boundaries are tokens whose prefix is itself a valid token:
+``3`` + ``.14`` (number vs. statement dot), ``1e`` + ``+5`` (exponent),
+``ex:a`` + ``.b`` (dotted qname local), and the worst one — ``\"\"\"`` split
+after two quotes, where the prefix matches the *empty short literal*.
+
+The streaming property is pinned behaviourally: a file-like source whose
+``read()`` counts calls must be drained in bounded chunks, never whole.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.io import (
+    _CHUNK_SIZE,
+    _tokenize,
+    iter_turtle,
+    load_graph,
+    parse_turtle,
+    serialize_ntriples,
+)
+from repro.storage.bulkload import stream_load
+
+DOC = '''@prefix ex: <https://e.com/> .
+# comment up front
+ex:s ex:p "short" , """a long
+literal with "quotes" and even "" inside""" ;
+  ex:q 'x' , \'\'\'another ' long\'\'\' , 3.14 , 42 , 1e+5 , -0.5 , true ;
+  ex:r <https://e.com/obj\\u0041> , _:b7 .
+ex:a.b ex:p "dotted local"@en .
+ex:t ex:u [ ex:v ( ex:a ex:b ) ] .
+'''
+
+
+def _chunks(text, size):
+    return iter(text[i:i + size] for i in range(0, len(text), size))
+
+
+def _tokens(source):
+    return [(t.kind, t.value) for t in _tokenize(source)]
+
+
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("size", list(range(1, 17)) + [23, 64, 4096])
+    def test_token_stream_identical_at_every_chunk_size(self, size):
+        assert _tokens(_chunks(DOC, size)) == _tokens(DOC)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_parse_identical_at_every_chunk_size(self, size):
+        baseline = len(parse_turtle(DOC))
+        graph = Graph()
+        graph.add_all(iter_turtle(_chunks(DOC, size),
+                                  namespaces=graph.namespaces))
+        assert len(graph) == baseline
+
+    def test_triple_quote_split_after_two_quotes(self):
+        # '""' + '"body"""' — the empty-short-literal trap, split exactly
+        # where the regex short-matches.
+        doc = '<https://e/s> <https://e/p> """body with "innards" x""" .'
+        chunks = iter([doc[:30], doc[30:50], doc[50:]])
+        assert doc[28:30] == '""'  # split lands right after two quotes
+        triples = list(iter_turtle(chunks))
+        assert len(triples) == 1
+        assert triples[0].object.lexical == 'body with "innards" x'
+
+    def test_number_then_statement_dot_stays_two_tokens(self):
+        # "42" + ". <eof-ish>" must NOT merge into a decimal.
+        chunks = iter(['<https://e/s> <https://e/p> 42 ', '.\n'])
+        triples = list(iter_turtle(chunks))
+        assert triples[0].object.lexical == "42"
+
+    def test_malformed_input_still_raises(self):
+        with pytest.raises(ParseError):
+            list(iter_turtle(iter(['<https://e/s> <https://e/p> ', '`oops'])))
+
+    def test_unterminated_literal_raises_not_hangs(self):
+        with pytest.raises(ParseError):
+            list(iter_turtle(iter(['<https://e/s> <https://e/p> "never close'])))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(size=st.integers(min_value=1, max_value=len(DOC)))
+def test_chunk_size_never_changes_the_tokens(size):
+    assert _tokens(_chunks(DOC, size)) == _tokens(DOC)
+
+
+class TestStreamingSources:
+    def test_load_graph_accepts_file_like(self):
+        expected = serialize_ntriples(
+            t for t in parse_turtle(DOC) if not _has_bnode(t))
+        got = serialize_ntriples(
+            t for t in load_graph(StringIO(DOC)) if not _has_bnode(t))
+        assert got == expected
+
+    def test_file_like_is_read_in_chunks_not_drained(self):
+        reads = []
+
+        class CountingReader:
+            def __init__(self, text):
+                self._inner = StringIO(text)
+
+            def read(self, size=-1):
+                reads.append(size)
+                return self._inner.read(size)
+
+        big = "".join(f"<https://e/s{i}> <https://e/p> <https://e/o{i}> .\n"
+                      for i in range(20_000))
+        graph = Graph()
+        report = stream_load(graph, CountingReader(big))
+        assert report.triples_added == 20_000
+        assert len(reads) > 1, "source must stream, not be drained whole"
+        assert all(size == _CHUNK_SIZE for size in reads)
+
+    def test_stream_load_file_like_matches_string_load(self):
+        from_string = Graph()
+        stream_load(from_string, DOC)
+        from_file = Graph()
+        stream_load(from_file, StringIO(DOC))
+        strip = lambda g: serialize_ntriples(t for t in g if not _has_bnode(t))
+        assert strip(from_file) == strip(from_string)
+
+
+def _has_bnode(triple):
+    from repro.rdf.terms import BNode
+    return any(isinstance(term, BNode) for term in triple)

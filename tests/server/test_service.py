@@ -376,10 +376,43 @@ class TestDatasetSelection:
         # (id(graph), epoch)) reuse across repeated protocol requests.
         assert first is second
 
-    def test_named_graph_uri_is_501(self, handler):
-        extra = "&named-graph-uri=" + quote("http://example.org/g1", safe="")
-        response = sparql_get(handler, ASK_QUERY, extra=extra)
-        assert response.status == 501
+    def test_named_graph_uri_restricts_the_dataset(self, handler):
+        for graph, value in (("gN1", "1"), ("gN2", "2")):
+            post(handler, "/sparql",
+                 f'INSERT DATA {{ GRAPH <http://example.org/{graph}> '
+                 f'{{ <http://e/{graph}> <http://e/p> {value} }} }}',
+                 content_type="application/sparql-update")
+        extra = "&named-graph-uri=" + quote("http://example.org/gN1", safe="")
+        response = sparql_get(handler, "SELECT ?s WHERE { ?s ?p ?o }",
+                              accept=MEDIA_JSON, extra=extra)
+        bindings = json.loads(body_text(response))["results"]["bindings"]
+        # Only the listed graph is visible: gN2 (and the default graph)
+        # contribute nothing to the restricted protocol dataset.
+        assert {b["s"]["value"] for b in bindings} == {"http://e/gN1"}
+
+    def test_default_and_named_graph_uris_compose_one_dataset(self, handler):
+        for graph, value in (("gC1", "1"), ("gC2", "2")):
+            post(handler, "/sparql",
+                 f'INSERT DATA {{ GRAPH <http://example.org/{graph}> '
+                 f'{{ <http://e/{graph}> <http://e/p> {value} }} }}',
+                 content_type="application/sparql-update")
+        extra = ("&default-graph-uri=" + quote("http://example.org/gC1",
+                                               safe="")
+                 + "&named-graph-uri=" + quote("http://example.org/gC2",
+                                               safe=""))
+        response = sparql_get(handler, "SELECT ?s WHERE { ?s ?p ?o }",
+                              accept=MEDIA_JSON, extra=extra)
+        bindings = json.loads(body_text(response))["results"]["bindings"]
+        assert {b["s"]["value"] for b in bindings} == \
+            {"http://e/gC1", "http://e/gC2"}
+
+    def test_named_graph_uri_on_update_is_400(self, handler):
+        body = ("update=" + quote(
+            "INSERT DATA { <http://e/s> <http://e/p> 1 }", safe="")
+            + "&named-graph-uri=" + quote("http://example.org/g1", safe=""))
+        response = post(handler, "/sparql", body,
+                        content_type="application/x-www-form-urlencoded")
+        assert response.status == 400
 
     @pytest.mark.parametrize("param", ["using-graph-uri",
                                        "using-named-graph-uri"])
